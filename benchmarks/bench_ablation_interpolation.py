@@ -1,0 +1,41 @@
+"""Ablation: interpolation neighbourhood size (the paper uses k=10).
+
+Sweeps k over {2, 6, 10, 20} on the paper's embodied +public series
+(the case with 96 holes, where the choice matters most) and reports how
+far each k lands from the paper's printed interpolated total.
+"""
+
+import pytest
+
+from repro.interpolate.peers import PeerInterpolator
+from repro.reporting.figures import reference_series
+from repro.reporting.tables import render_table
+
+
+def test_ablation_interpolation_neighbourhood(benchmark, save_artifact):
+    series = reference_series("embodied", "public")
+    paper_total = reference_series("embodied", "interpolated").total_mt()
+
+    def sweep():
+        totals = {}
+        for k in (2, 6, 10, 20):
+            completed, _ = PeerInterpolator(n_peers=k).fill(dict(series.values))
+            totals[k] = sum(completed.values())
+        return totals
+
+    totals = benchmark(sweep)
+
+    # Every neighbourhood size must complete the series; the paper's
+    # k=10 should land within a few percent of its printed total, and
+    # no k should change the grand total by more than ~15% (the holes
+    # are mid-sized systems, not the giants).
+    for k, total in totals.items():
+        assert abs(total - paper_total) / paper_total < 0.15, k
+    assert abs(totals[10] - paper_total) / paper_total < 0.05
+
+    rows = [(k, round(total / 1e3, 1),
+             round(100 * (total - paper_total) / paper_total, 2))
+            for k, total in sorted(totals.items())]
+    save_artifact("ablation_interpolation.txt", render_table(
+        ("k peers", "Embodied total (kMT)", "vs paper (%)"), rows,
+        title="Ablation: interpolation neighbourhood size"))

@@ -1,0 +1,26 @@
+"""Figure 3: carbon vs rank under top500.org data only (reference path)."""
+
+from repro.reporting.figures import figure3, reference_series
+
+
+def test_fig3_series_from_paper_table(benchmark, save_artifact):
+    def compute():
+        return (reference_series("operational", "top500"),
+                reference_series("embodied", "top500"))
+
+    op, emb = benchmark(compute)
+
+    # Paper: 391 operational / 283 embodied systems under this scenario.
+    assert op.n_covered == 391
+    assert emb.n_covered == 283
+    # The figures' y-axis ceilings: ~100k MT operational, ~50k embodied
+    # (Fig 3b); every plotted point fits under them (with Aurora's
+    # 93.7k MT operational near the top of 3a).
+    assert max(v for _, v in op.points()) < 100_000
+    assert 90_000 < max(v for _, v in op.points())
+    # Head-vs-tail shape: the top-50 mean dwarfs the bottom-100 mean.
+    top = [v for r, v in op.points() if r <= 50]
+    tail = [v for r, v in op.points() if r > 400]
+    assert sum(top) / len(top) > 5 * sum(tail) / len(tail)
+
+    save_artifact("fig03_carbon_vs_rank.txt", figure3())

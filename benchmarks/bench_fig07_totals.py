@@ -1,0 +1,31 @@
+"""Figure 7: total and average carbon, covered sets vs interpolated 500."""
+
+import pytest
+
+from repro.analysis.aggregate import fig7_rows
+from repro.reporting.figures import figure7, reference_series
+
+
+def test_fig7_totals_and_averages(benchmark, save_artifact):
+    op = reference_series("operational", "public")
+    emb = reference_series("embodied", "public")
+
+    op_row, emb_row = benchmark(fig7_rows, op, emb)
+
+    # Paper: 490 systems / 1.37 M MT operational; 404 / 1.53 M embodied;
+    # completing to 500 gives 1.39 M (+1.74%) and 1.88 M (+23.18%).
+    assert op_row.covered.n_systems == 490
+    assert op_row.covered.total_mt == pytest.approx(1.37e6, rel=0.01)
+    assert op_row.completed.total_mt == pytest.approx(1.39e6, rel=0.01)
+    assert op_row.interpolation_increase_percent == pytest.approx(1.74, abs=0.25)
+
+    assert emb_row.covered.n_systems == 404
+    assert emb_row.covered.total_mt == pytest.approx(1.53e6, rel=0.01)
+    assert emb_row.completed.total_mt == pytest.approx(1.88e6, rel=0.03)
+    assert emb_row.interpolation_increase_percent == pytest.approx(23.18, abs=3.0)
+
+    # Fig 7b: per-system averages are "thousands of MT CO2e".
+    assert 1_000 < op_row.completed.average_mt < 10_000
+    assert 1_000 < emb_row.completed.average_mt < 10_000
+
+    save_artifact("fig07_totals.txt", figure7())

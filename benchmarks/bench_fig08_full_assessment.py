@@ -1,0 +1,24 @@
+"""Figure 8: full Top 500 carbon vs rank (interpolation-completed)."""
+
+import pytest
+
+from repro.reporting.figures import figure8, reference_series
+
+
+def test_fig8_full_assessment_series(benchmark, save_artifact):
+    def compute():
+        return (reference_series("operational", "interpolated"),
+                reference_series("embodied", "interpolated"))
+
+    op, emb = benchmark(compute)
+
+    # All 500 systems present in both series.
+    assert op.n_covered == 500
+    assert emb.n_covered == 500
+    # Totals are the headline numbers.
+    assert op.total_mt() == pytest.approx(1.39e6, rel=0.01)
+    assert emb.total_mt() == pytest.approx(1.88e6, rel=0.01)
+    # Fig 8b's y-ceiling: Aurora's 138.5k MT embodied is the peak.
+    assert max(v for _, v in emb.points()) == pytest.approx(138_495)
+
+    save_artifact("fig08_full_assessment.txt", figure8())

@@ -1,0 +1,31 @@
+"""Figure 10: projected Top 500 carbon, 2025-2030."""
+
+import pytest
+
+from repro.projection.growth import CarbonProjection
+from repro.reporting.figures import figure10, reference_series
+
+
+def test_fig10_projection(benchmark, study, save_artifact):
+    op_total = reference_series("operational", "interpolated").total_mt()
+    emb_total = reference_series("embodied", "interpolated").total_mt()
+
+    def compute():
+        projection = CarbonProjection.paper_defaults(op_total, emb_total)
+        return projection, projection.series()
+
+    projection, points = benchmark(compute)
+
+    # Paper: by 2030 operational is "nearly double" 2024 (1.8x) and
+    # embodied reaches 1.1x.
+    op_x, emb_x = projection.multiplier_at(2030)
+    assert op_x == pytest.approx(1.80, abs=0.02)
+    assert emb_x == pytest.approx(1.13, abs=0.03)
+    assert [p.year for p in points] == list(range(2024, 2031))
+    # 2030 operational ~2.5M MT (Fig 10a's axis tops at 2500 kMT).
+    assert points[-1].operational_mt == pytest.approx(2.51e6, rel=0.02)
+
+    # Model path: turnover-derived growth must order the same way.
+    assert study.turnover.operational_annual > study.turnover.embodied_annual
+
+    save_artifact("fig10_projection.txt", figure10())

@@ -1,0 +1,41 @@
+"""Figure 11: projected performance-per-carbon vs the ideal line."""
+
+import pytest
+
+from repro.projection.perf_carbon import perf_carbon_projection
+from repro.reporting.figures import (
+    REFERENCE_TOTAL_RMAX_TFLOPS,
+    figure11,
+    reference_series,
+)
+
+
+def test_fig11_perf_per_carbon(benchmark, save_artifact):
+    op_total = reference_series("operational", "interpolated").total_mt()
+    emb_total = reference_series("embodied", "interpolated").total_mt()
+
+    def compute():
+        op = perf_carbon_projection(REFERENCE_TOTAL_RMAX_TFLOPS, op_total,
+                                    "operational")
+        emb = perf_carbon_projection(REFERENCE_TOTAL_RMAX_TFLOPS, emb_total,
+                                     "embodied")
+        return op, emb, op.series(), emb.series()
+
+    op, emb, op_points, emb_points = benchmark(compute)
+
+    # Projected improvement: the paper's 0.2 PFlop/s per kMT per year.
+    gain = op_points[-1].projected_pflops_per_kmt \
+        - op_points[0].projected_pflops_per_kmt
+    assert gain == pytest.approx(0.2 * 6)
+
+    # Ideal line: 2x every 18 months -> 16x over 6 years.
+    ideal_growth = op_points[-1].ideal_pflops_per_kmt \
+        / op_points[0].ideal_pflops_per_kmt
+    assert ideal_growth == pytest.approx(2 ** 4)
+
+    # "Dramatically slower than ... Dennard scaling": the achieved line
+    # falls an order of magnitude behind ideal within the window.
+    assert op.gap_at(2030) > 9.0
+    assert emb.gap_at(2030) > 9.0
+
+    save_artifact("fig11_perf_carbon.txt", figure11())

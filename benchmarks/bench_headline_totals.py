@@ -1,0 +1,29 @@
+"""Headline numbers: the abstract's totals and everyday equivalences."""
+
+import pytest
+
+from repro.core.equivalences import equivalences
+from repro.reporting.figures import headline, reference_series
+
+
+def test_headline_totals_and_equivalences(benchmark, save_artifact):
+    def compute():
+        op = reference_series("operational", "interpolated").total_mt()
+        emb = reference_series("embodied", "interpolated").total_mt()
+        return op, emb, equivalences(op), equivalences(emb)
+
+    op, emb, op_eq, emb_eq = benchmark(compute)
+
+    # "1.4 million MT CO2e operational carbon (1 Year) and 1.9 million
+    # MT CO2e embodied carbon" (abstract; 1.39/1.88 in the body).
+    assert op == pytest.approx(1.39e6, rel=0.01)
+    assert emb == pytest.approx(1.88e6, rel=0.01)
+
+    # "equivalent to 325k gasoline-powered vehicles annual emissions"
+    # / "439k vehicles"; 3.5 B vehicle miles / 4.8 B passenger miles.
+    assert op_eq.vehicles_per_year == pytest.approx(325_000, rel=0.01)
+    assert emb_eq.vehicles_per_year == pytest.approx(439_000, rel=0.01)
+    assert op_eq.vehicle_miles == pytest.approx(3.5e9, rel=0.02)
+    assert emb_eq.vehicle_miles == pytest.approx(4.8e9, rel=0.02)
+
+    save_artifact("headline.txt", headline())

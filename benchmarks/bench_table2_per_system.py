@@ -1,0 +1,32 @@
+"""Table II: per-system operational and embodied carbon, three scenarios."""
+
+import pytest
+
+from repro.data.paper_table import by_name, coverage_counts, load_paper_table
+from repro.reporting.figures import table2_excerpt
+
+
+def test_table2_per_system_results(benchmark, save_artifact):
+    table = benchmark(load_paper_table)
+
+    assert len(table) == 500
+    counts = coverage_counts()
+    assert counts["operational_top500"] == 391
+    assert counts["embodied_public"] == 404
+
+    # Spot checks straight from the printed appendix.
+    el_capitan = by_name("El Capitan")
+    assert el_capitan.operational.top500 == 71_590
+    assert el_capitan.operational.public == 55_360
+    assert by_name("Frontier").embodied.public == 133_225
+    assert by_name("Supercomputer Fugaku").operational.top500 == 97_058
+    assert by_name("Tianhe-2A").operational.interpolated == 66_064
+    assert by_name("Marlyn").rank == 500
+
+    # The appendix's named contrasts.
+    assert by_name("Leonardo").operational.interpolated \
+        / by_name("LUMI").operational.interpolated == pytest.approx(4.3, abs=0.1)
+    assert by_name("Frontier").embodied.interpolated \
+        / by_name("El Capitan").embodied.interpolated == pytest.approx(2.6, abs=0.1)
+
+    save_artifact("table2_per_system.txt", table2_excerpt(n_rows=25))

@@ -1,0 +1,44 @@
+"""Throughput: fleet assessment, serial vs parallel.
+
+Not a paper figure — an engineering benchmark for the library itself:
+assessing one 500-system list is the pipeline's hot loop (ablation
+grids re-run it hundreds of times), so its cost and the parallel
+speedup path are tracked here.
+"""
+
+import os
+
+from repro.core.easyc import EasyC
+
+
+def test_throughput_serial_fleet(benchmark, study):
+    ez = EasyC()
+    records = list(study.public_records)
+    assessments = benchmark(ez.assess_fleet, records)
+    assert len(assessments) == 500
+
+
+def test_throughput_parallel_fleet(benchmark, study):
+    ez = EasyC()
+    records = list(study.public_records)
+    workers = min(4, os.cpu_count() or 1)
+
+    def run():
+        return ez.assess_fleet(records, parallel=True, max_workers=workers)
+
+    assessments = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(assessments) == 500
+
+
+def test_throughput_study_end_to_end(benchmark, dataset):
+    from repro.study import Top500CarbonStudy
+
+    def run():
+        result = Top500CarbonStudy().run(dataset)
+        # Force the lazily derived aggregates too.
+        result.fig7
+        result.op_sensitivity
+        return result
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.public_coverage.operational.n_covered == 490

@@ -1,0 +1,43 @@
+"""Engineering benchmark: vectorized vs scalar fleet evaluation.
+
+The sweep workloads (ablations, Monte-Carlo) re-evaluate the same fleet
+many times; the NumPy batch path in :mod:`repro.core.vectorized` is the
+fast lane.  This bench tracks both paths and asserts their numerical
+equivalence on the benchmarked data.
+"""
+
+import numpy as np
+
+from repro.core.operational import OperationalModel
+from repro.core.vectorized import batch_operational_mt, fleet_to_arrays
+from repro.errors import InsufficientDataError
+
+
+def _scalar(records, model):
+    out = np.full(len(records), np.nan)
+    for i, record in enumerate(records):
+        try:
+            out[i] = model.estimate(record).value_mt
+        except InsufficientDataError:
+            pass
+    return out
+
+
+def test_vectorized_fleet_evaluation(benchmark, study):
+    records = list(study.public_records)
+    model = OperationalModel()
+    arrays = fleet_to_arrays(records, model.grid)
+
+    batch = benchmark(batch_operational_mt, records, model, arrays=arrays)
+
+    reference = _scalar(records, model)
+    both_nan = np.isnan(batch) & np.isnan(reference)
+    assert np.all(both_nan | np.isclose(batch, reference, rtol=1e-9))
+    assert np.count_nonzero(~np.isnan(batch)) == 490
+
+
+def test_scalar_fleet_evaluation(benchmark, study):
+    records = list(study.public_records)
+    model = OperationalModel()
+    reference = benchmark(_scalar, records, model)
+    assert np.count_nonzero(~np.isnan(reference)) == 490

@@ -1,0 +1,38 @@
+"""Benchmark fixtures.
+
+Each ``bench_*`` file regenerates one table or figure of the paper:
+it benchmarks the computation, asserts the reproduction targets, and
+writes the rendered text artifact to ``results/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.data.top500 import Top500Dataset, generate_top500
+from repro.study import StudyResult, Top500CarbonStudy
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def dataset() -> Top500Dataset:
+    return generate_top500()
+
+
+@pytest.fixture(scope="session")
+def study(dataset: Top500Dataset) -> StudyResult:
+    return Top500CarbonStudy().run(dataset)
+
+
+@pytest.fixture(scope="session")
+def save_artifact():
+    """Writer for rendered figure text under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        (RESULTS_DIR / name).write_text(text + "\n", encoding="utf-8")
+
+    return _save

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Beyond the Top 500: assess named HPC portfolios.
+
+The paper's future work: "we would like to model carbon footprint for
+all of the US National Science Foundation ACCESS scientific computing
+sites, those of the US Department of Energy, or of similar such systems
+in Europe."  This example runs the generalized fleet pipeline over
+three such portfolios and compares their carbon profiles, including
+Monte-Carlo uncertainty bands on the totals.
+
+Run:
+    python examples/fleet_portfolios.py
+"""
+
+from repro.fleets import BUILTIN_FLEETS, assess_fleet
+from repro.reporting.tables import render_table
+
+
+def main() -> None:
+    rows = []
+    reports = {}
+    for name, fleet in BUILTIN_FLEETS.items():
+        report = assess_fleet(fleet)
+        reports[name] = report
+        band = report.operational_band
+        rows.append((
+            name, report.n_systems,
+            round(report.operational_total_mt, 0),
+            f"{band.p5_mt:,.0f}-{band.p95_mt:,.0f}",
+            round(report.embodied_total_mt, 0),
+            round(report.operational_equivalence.vehicles_per_year, 0),
+        ))
+
+    print(render_table(
+        ("Fleet", "#", "Operational (MT/yr)", "90% band (MT)",
+         "Embodied (MT)", "Vehicles-equiv"),
+        rows, title="Carbon footprint of three HPC portfolios"))
+
+    print("\nPer-system detail (doe-like):")
+    for assessment in reports["doe-like"].assessments:
+        op = assessment.operational
+        emb = assessment.embodied
+        print(f"  {assessment.name:<18} op {op.value_mt:>9,.0f} MT/yr   "
+              f"emb {emb.value_mt:>9,.0f} MT   "
+              f"(storage share {emb.breakdown_mt['storage'] / emb.value_mt:.0%})")
+
+    doe = reports["doe-like"]
+    euro = reports["eurohpc-like"]
+    per_system_doe = doe.operational_total_mt / doe.n_systems
+    per_system_euro = euro.operational_total_mt / euro.n_systems
+    print(f"\nA DOE-like leadership system averages "
+          f"{per_system_doe / per_system_euro:.1f}x the operational carbon "
+          f"of a EuroHPC-like one — scale and grid mix compounding.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""What-if projections for the Top 500's carbon trajectory.
+
+Extends the paper's Figure 10/11 analysis with scenario knobs the
+discussion section motivates: What if list turnover slows?  What if
+grids decarbonize faster than machines grow?  Where does the
+perf-per-carbon curve cross the paper's 2030 point under each?
+
+Run:
+    python examples/projection_scenarios.py
+"""
+
+from repro.data.paper_table import totals_mt
+from repro.projection.growth import CarbonProjection
+from repro.projection.perf_carbon import perf_carbon_projection
+from repro.projection.turnover import TurnoverModel
+from repro.reporting.figures import REFERENCE_TOTAL_RMAX_TFLOPS
+from repro.reporting.tables import render_table
+
+SCENARIOS = [
+    # (label, op %/cycle, emb %/cycle)
+    ("paper (5%/1% per cycle)", 0.05, 0.01),
+    ("slower turnover (3%/0.5%)", 0.03, 0.005),
+    ("AI-driven surge (8%/2%)", 0.08, 0.02),
+    ("efficiency wins (2%/1%)", 0.02, 0.01),
+]
+
+
+def main() -> None:
+    totals = totals_mt()
+    base_op = totals["operational_interpolated"]
+    base_emb = totals["embodied_interpolated"]
+    print(f"2024 base (paper): {base_op / 1e3:,.0f} kMT operational, "
+          f"{base_emb / 1e3:,.0f} kMT embodied\n")
+
+    rows = []
+    for label, op_cycle, emb_cycle in SCENARIOS:
+        model = TurnoverModel(operational_per_cycle=op_cycle,
+                              embodied_per_cycle=emb_cycle)
+        projection = CarbonProjection.from_turnover(model, base_op, base_emb)
+        p2030 = projection.at(2030)
+        op_x, emb_x = projection.multiplier_at(2030)
+        rows.append((label,
+                     f"{model.operational_annual:.1%}",
+                     round(p2030.operational_mt / 1e3, 0),
+                     f"{op_x:.2f}x",
+                     round(p2030.embodied_mt / 1e3, 0),
+                     f"{emb_x:.2f}x"))
+    print(render_table(
+        ("Scenario", "Op growth/yr", "2030 op (kMT)", "vs 2024",
+         "2030 emb (kMT)", "vs 2024"),
+        rows, title="Figure 10 under turnover scenarios"))
+
+    # Perf-per-carbon: how fast would the achieved ratio have to improve
+    # to keep TOTAL operational carbon flat while performance grows at
+    # the historical pace?
+    print("\nPerf-per-carbon (Figure 11 extension):")
+    projection = perf_carbon_projection(
+        REFERENCE_TOTAL_RMAX_TFLOPS, base_op, "operational")
+    p2030 = projection.at(2030)
+    print(f"  2024 achieved ratio : {projection.base_ratio:.1f} PFlops/kMT")
+    print(f"  2030 projected      : {p2030.projected_pflops_per_kmt:.1f} "
+          f"PFlops/kMT (paper's +0.2/yr)")
+    print(f"  2030 ideal (2x/18mo): {p2030.ideal_pflops_per_kmt:.0f} PFlops/kMT")
+    print(f"  gap by 2030         : {projection.gap_at(2030):.1f}x")
+    # Carbon-neutral growth: performance x16 by 2030 (ideal line) with
+    # flat carbon would need the ratio to grow 16x too — i.e. ~4.7x the
+    # paper's whole 2030 projected ratio.
+    needed = projection.base_ratio * 16
+    print(f"  ratio needed for flat-carbon ideal-pace growth: "
+          f"{needed:.0f} PFlops/kMT "
+          f"({needed / p2030.projected_pflops_per_kmt:.1f}x the projection)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Quickstart: assess one HPC system's carbon footprint with EasyC.
+
+Demonstrates the "gentle slope": start from what a Top500 entry gives
+you, watch what each added metric unlocks and how the uncertainty band
+narrows.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro import EasyC, SystemRecord
+from repro.core import equivalences
+from repro.hardware.memory import MemoryType
+
+
+def show(label: str, easyc: EasyC, record: SystemRecord) -> None:
+    assessment = easyc.assess(record)
+    print(f"\n=== {label} ===")
+    for kind in ("operational", "embodied"):
+        estimate = getattr(assessment, kind)
+        if estimate is None:
+            print(f"  {kind:>12}: NOT COVERED (insufficient data)")
+            continue
+        print(f"  {kind:>12}: {estimate.value_mt:,.0f} MT CO2e "
+              f"(±{estimate.uncertainty_frac:.0%}, via {estimate.method.value})")
+        for note in estimate.assumptions:
+            print(f"               - assumed: {note}")
+
+
+def main() -> None:
+    easyc = EasyC()
+
+    # Step 1: just the ranking columns — rank, performance, country.
+    # Operational carbon is uncoverable (no power, no components) and
+    # embodied is uncoverable (nothing to count).
+    record = SystemRecord(
+        rank=42, name="Borealis", country="Germany",
+        rmax_tflops=25_000.0, rpeak_tflops=34_000.0)
+    show("Step 1: ranking columns only", easyc, record)
+
+    # Step 2: the Top500 power column appears -> operational unlocks.
+    record.power_kw = 3_200.0
+    show("Step 2: + measured power", easyc, record)
+
+    # Step 3: component counts from the site's page -> embodied unlocks
+    # (and operational has a second, independent path).
+    record.n_nodes = 760
+    record.processor = "AMD EPYC 7763 64C 2.45GHz"
+    record.accelerator = "NVIDIA A100"
+    record.n_gpus = 3_040
+    show("Step 3: + node/CPU/GPU counts", easyc, record)
+
+    # Step 4: the remaining key metrics -> defaults replaced by data,
+    # uncertainty narrows.
+    record.memory_gb = 760 * 512.0
+    record.memory_type = MemoryType.DDR4
+    record.ssd_gb = 4.0e6
+    record.year = 2022
+    record.region = "de-bavaria"
+    show("Step 4: + memory, SSD, operation year, grid region", easyc, record)
+
+    assessment = easyc.assess(record)
+    print("\nIn everyday terms, one year of operation is:")
+    print(" ", equivalences(assessment.operational.value_mt).describe())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""repro — reproduction of *Modeling the Carbon Footprint of HPC: The
+Top 500 and EasyC* (Rao & Chien, SC Workshops '25).
+
+Quick start::
+
+    from repro import EasyC, SystemRecord
+
+    easyc = EasyC()
+    record = SystemRecord(rank=1, rmax_tflops=1.7e6, rpeak_tflops=2.7e6,
+                          country="United States", power_kw=29_000)
+    assessment = easyc.assess(record)
+    print(assessment.operational.value_mt, "MT CO2e / year")
+
+Full study (the paper's workflow)::
+
+    from repro.study import run_default_study
+    result = run_default_study()
+    print(result.public_coverage.operational.n_covered)   # 490
+
+Reference results (the paper's appendix Table II)::
+
+    from repro.data import load_paper_table, totals_mt
+    print(totals_mt()["operational_interpolated"])        # ≈1.39e6 MT
+"""
+
+from repro._version import __version__
+from repro.core import (
+    EasyC,
+    SystemRecord,
+    CarbonEstimate,
+    CarbonKind,
+    EstimateMethod,
+    SystemAssessment,
+    OperationalModel,
+    EmbodiedModel,
+    equivalences,
+)
+from repro.study import Top500CarbonStudy, StudyResult, run_default_study
+
+__all__ = [
+    "__version__",
+    "EasyC", "SystemRecord", "CarbonEstimate", "CarbonKind",
+    "EstimateMethod", "SystemAssessment",
+    "OperationalModel", "EmbodiedModel", "equivalences",
+    "Top500CarbonStudy", "StudyResult", "run_default_study",
+]

@@ -1,0 +1,25 @@
+"""Analysis: aggregation, per-rank series, and sensitivity.
+
+Turns fleet assessments into the quantities the paper reports:
+
+* :mod:`repro.analysis.series` — rank-indexed carbon series
+  (Figures 3 and 8) and series algebra.
+* :mod:`repro.analysis.aggregate` — totals and averages over covered
+  vs interpolation-completed sets (Figure 7, headline numbers).
+* :mod:`repro.analysis.sensitivity` — Baseline vs Baseline+PublicInfo
+  per-system differences (Figure 9).
+"""
+
+from repro.analysis.series import (
+    CarbonSeries,
+    series_from_assessments,
+    diff_series,
+)
+from repro.analysis.aggregate import FleetTotals, totals_of, Fig7Row, fig7_rows
+from repro.analysis.sensitivity import SensitivityResult, compare_scenarios
+
+__all__ = [
+    "CarbonSeries", "series_from_assessments", "diff_series",
+    "FleetTotals", "totals_of", "Fig7Row", "fig7_rows",
+    "SensitivityResult", "compare_scenarios",
+]

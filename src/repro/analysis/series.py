@@ -1,0 +1,110 @@
+"""Rank-indexed carbon series and series algebra.
+
+A :class:`CarbonSeries` is the unit of data behind every
+carbon-versus-rank figure: a mapping ``rank → MT CO2e`` with ``None``
+holes for uncovered systems.  Figures 3 and 8 plot these directly;
+interpolation fills their holes; Figure 9 subtracts two of them.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.core.estimate import SystemAssessment
+from repro.interpolate.peers import PeerInterpolator, InterpolatedValue
+
+
+@dataclass(frozen=True)
+class CarbonSeries:
+    """A rank-indexed series of carbon values with optional holes."""
+
+    footprint: str                    # "operational" | "embodied"
+    scenario: str                     # provenance label
+    values: dict[int, float | None]
+
+    def __post_init__(self) -> None:
+        for rank, value in self.values.items():
+            if value is not None and value < 0:
+                raise ValueError(f"rank {rank}: negative carbon {value}")
+
+    # -- basic views -----------------------------------------------------
+
+    @property
+    def ranks(self) -> list[int]:
+        return sorted(self.values)
+
+    @property
+    def covered_ranks(self) -> list[int]:
+        return [r for r in self.ranks if self.values[r] is not None]
+
+    @property
+    def n_covered(self) -> int:
+        return len(self.covered_ranks)
+
+    def total_mt(self) -> float:
+        """Sum over covered ranks, MT CO2e."""
+        return sum(v for v in self.values.values() if v is not None)
+
+    def average_mt(self) -> float:
+        """Mean over covered ranks, MT CO2e."""
+        n = self.n_covered
+        if n == 0:
+            raise ValueError("series has no covered values")
+        return self.total_mt() / n
+
+    def points(self) -> list[tuple[int, float]]:
+        """(rank, value) pairs over covered ranks, rank order."""
+        return [(r, self.values[r]) for r in self.covered_ranks]  # type: ignore[misc]
+
+    # -- transforms --------------------------------------------------------
+
+    def interpolated(self, n_peers: int = 10,
+                     ) -> tuple["CarbonSeries", list[InterpolatedValue]]:
+        """Hole-free copy via nearest-peer interpolation."""
+        completed, fills = PeerInterpolator(n_peers=n_peers).fill(self.values)
+        return CarbonSeries(
+            footprint=self.footprint,
+            scenario=f"{self.scenario}+interpolated",
+            values=dict(completed),
+        ), fills
+
+
+def series_from_assessments(assessments: Sequence[SystemAssessment],
+                            footprint: str, scenario: str) -> CarbonSeries:
+    """Extract one footprint's series from fleet assessments."""
+    if footprint not in ("operational", "embodied"):
+        raise ValueError(f"unknown footprint {footprint!r}")
+    values: dict[int, float | None] = {}
+    for assessment in assessments:
+        estimate = getattr(assessment, footprint)
+        values[assessment.rank] = None if estimate is None else estimate.value_mt
+    return CarbonSeries(footprint=footprint, scenario=scenario, values=values)
+
+
+def diff_series(after: CarbonSeries, before: CarbonSeries) -> CarbonSeries:
+    """Per-rank difference ``after − before`` over ranks covered in both.
+
+    This is Figure 9's quantity (Baseline+PublicInfo − Baseline).  Ranks
+    covered in only one input are holes in the output: the figure plots
+    *changes to existing estimates*, not newly covered systems (the
+    paper notes the biggest embodied change — systems with no previous
+    estimate — is "not shown").
+
+    Differences may be negative, so the result is returned as raw
+    floats in a plain dict rather than a CarbonSeries-validated one.
+    """
+    if after.footprint != before.footprint:
+        raise ValueError("cannot diff series of different footprints")
+    out: dict[int, float | None] = {}
+    for rank in sorted(set(after.values) | set(before.values)):
+        a = after.values.get(rank)
+        b = before.values.get(rank)
+        out[rank] = (a - b) if (a is not None and b is not None) else None
+    # Bypass the non-negativity check: a diff is signed by nature.
+    result = object.__new__(CarbonSeries)
+    object.__setattr__(result, "footprint", after.footprint)
+    object.__setattr__(result, "scenario",
+                       f"{after.scenario}-minus-{before.scenario}")
+    object.__setattr__(result, "values", out)
+    return result

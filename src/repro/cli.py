@@ -1,0 +1,150 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``report``  — regenerate every table/figure (both paths) to stdout.
+* ``assess``  — assess one system from command-line metrics.
+* ``fleet``   — assess a built-in named fleet (access-like, doe-like,
+  eurohpc-like).
+* ``project`` — print the 2024-2030 projection table.
+
+The CLI is a thin veneer over the library; everything it prints comes
+from the same functions the benchmarks assert against.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import __version__
+from repro.core.easyc import EasyC
+from repro.core.record import SystemRecord
+from repro.hardware.memory import MemoryType
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Carbon footprint of HPC: Top 500 + EasyC reproduction")
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("report", help="regenerate every table and figure")
+
+    assess = sub.add_parser("assess", help="assess one system with EasyC")
+    assess.add_argument("--name", default="system")
+    assess.add_argument("--country", required=True)
+    assess.add_argument("--region", default=None)
+    assess.add_argument("--rmax-tflops", type=float, required=True)
+    assess.add_argument("--rpeak-tflops", type=float, default=None)
+    assess.add_argument("--power-kw", type=float, default=None)
+    assess.add_argument("--nodes", type=int, default=None)
+    assess.add_argument("--processor", default=None)
+    assess.add_argument("--accelerator", default=None)
+    assess.add_argument("--gpus", type=int, default=None)
+    assess.add_argument("--memory-gb", type=float, default=None)
+    assess.add_argument("--memory-type", default=None,
+                        help="ddr3|ddr4|ddr5|hbm2|hbm2e|hbm3")
+    assess.add_argument("--ssd-gb", type=float, default=None)
+    assess.add_argument("--utilization", type=float, default=None)
+
+    fleet = sub.add_parser("fleet", help="assess a built-in named fleet")
+    fleet.add_argument("name", choices=["access-like", "doe-like",
+                                        "eurohpc-like"])
+
+    project = sub.add_parser("project", help="2024-2030 projection table")
+    project.add_argument("--op-rate", type=float, default=0.103,
+                         help="annual operational growth (default 0.103)")
+    project.add_argument("--emb-rate", type=float, default=0.02,
+                         help="annual embodied growth (default 0.02)")
+    return parser
+
+
+def cmd_report() -> int:
+    from repro.reporting import figures
+    from repro.study import run_default_study
+    study = run_default_study()
+    for text in (figures.headline(), figures.figure2(study),
+                 figures.table1(study), figures.figure3(),
+                 figures.figure4(study), figures.figure5(study),
+                 figures.figure6(study), figures.figure7(),
+                 figures.figure8(), figures.figure9(), figures.figure10(),
+                 figures.figure11(), figures.table2_excerpt()):
+        print(text)
+        print()
+    return 0
+
+
+def cmd_assess(args: argparse.Namespace) -> int:
+    mem_type = MemoryType.parse(args.memory_type) if args.memory_type else None
+    record = SystemRecord(
+        rank=1, name=args.name, country=args.country, region=args.region,
+        rmax_tflops=args.rmax_tflops,
+        rpeak_tflops=args.rpeak_tflops or args.rmax_tflops / 0.7,
+        power_kw=args.power_kw, n_nodes=args.nodes,
+        processor=args.processor, accelerator=args.accelerator,
+        n_gpus=args.gpus, memory_gb=args.memory_gb, memory_type=mem_type,
+        ssd_gb=args.ssd_gb, utilization=args.utilization)
+    assessment = EasyC().assess(record)
+    print(f"System: {args.name}")
+    for kind in ("operational", "embodied"):
+        estimate = getattr(assessment, kind)
+        if estimate is None:
+            print(f"  {kind}: NOT COVERED (add more of the 7 key metrics)")
+            continue
+        print(f"  {kind}: {estimate.value_mt:,.0f} MT CO2e "
+              f"[{estimate.low_mt:,.0f} - {estimate.high_mt:,.0f}] "
+              f"via {estimate.method.value}")
+        for note in estimate.assumptions:
+            print(f"    - {note}")
+    return 0 if assessment.covered_operational else 1
+
+
+def cmd_fleet(name: str) -> int:
+    from repro.fleets import BUILTIN_FLEETS, assess_fleet
+    report = assess_fleet(BUILTIN_FLEETS[name])
+    print(f"Fleet: {report.fleet} ({report.n_systems} systems)")
+    print(f"  operational: {report.operational_total_mt:,.0f} MT CO2e/yr "
+          f"({report.n_operational_covered}/{report.n_systems} covered)")
+    if report.operational_band:
+        band = report.operational_band
+        print(f"    90% band: {band.p5_mt:,.0f} - {band.p95_mt:,.0f} MT")
+    print(f"  embodied   : {report.embodied_total_mt:,.0f} MT CO2e "
+          f"({report.n_embodied_covered}/{report.n_systems} covered)")
+    print(f"  {report.operational_equivalence.describe()}")
+    return 0
+
+
+def cmd_project(op_rate: float, emb_rate: float) -> int:
+    from repro.data.paper_table import totals_mt
+    from repro.projection.growth import CarbonProjection
+    from repro.reporting.tables import render_table
+    totals = totals_mt()
+    projection = CarbonProjection(
+        base_year=2024,
+        base_operational_mt=totals["operational_interpolated"],
+        base_embodied_mt=totals["embodied_interpolated"],
+        operational_rate=op_rate, embodied_rate=emb_rate)
+    rows = [(str(p.year), round(p.operational_mt / 1e3, 1),
+             round(p.embodied_mt / 1e3, 1)) for p in projection.series()]
+    print(render_table(("Year", "Operational (kMT)", "Embodied (kMT)"),
+                       rows, title="Top 500 carbon projection"))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "report":
+        return cmd_report()
+    if args.command == "assess":
+        return cmd_assess(args)
+    if args.command == "fleet":
+        return cmd_fleet(args.name)
+    if args.command == "project":
+        return cmd_project(args.op_rate, args.emb_rate)
+    raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,46 @@
+"""EasyC core: the paper's primary contribution.
+
+Public surface:
+
+* :class:`~repro.core.record.SystemRecord` — a system as visible under
+  a data scenario.
+* :class:`~repro.core.easyc.EasyC` — the assessment facade.
+* :class:`~repro.core.operational.OperationalModel` /
+  :class:`~repro.core.embodied.EmbodiedModel` — the two footprint models.
+* :class:`~repro.core.estimate.CarbonEstimate` /
+  :class:`~repro.core.estimate.SystemAssessment` — results.
+* :mod:`~repro.core.metrics` — the 7 key data metrics and coverage rules.
+* :func:`~repro.core.equivalences.equivalences` — everyday restatements.
+"""
+
+from repro.core.record import SystemRecord, TOP500_DATA_ITEMS
+from repro.core.metrics import (
+    KeyMetric,
+    REQUIRED_METRICS,
+    OPTIONAL_METRICS,
+    RequirementCheck,
+    check_operational,
+    check_embodied,
+    missing_metrics,
+    metric_present,
+)
+from repro.core.estimate import (
+    CarbonEstimate,
+    CarbonKind,
+    EstimateMethod,
+    SystemAssessment,
+)
+from repro.core.operational import OperationalModel
+from repro.core.embodied import EmbodiedModel, fab_carbon_per_cm2, die_embodied_kg
+from repro.core.easyc import EasyC
+from repro.core.equivalences import Equivalence, equivalences
+
+__all__ = [
+    "SystemRecord", "TOP500_DATA_ITEMS",
+    "KeyMetric", "REQUIRED_METRICS", "OPTIONAL_METRICS",
+    "RequirementCheck", "check_operational", "check_embodied",
+    "missing_metrics", "metric_present",
+    "CarbonEstimate", "CarbonKind", "EstimateMethod", "SystemAssessment",
+    "OperationalModel", "EmbodiedModel", "fab_carbon_per_cm2", "die_embodied_kg",
+    "EasyC", "Equivalence", "equivalences",
+]

@@ -1,0 +1,198 @@
+"""Embodied carbon model (one-time, cradle-to-gate).
+
+ACT-style component model (Gupta et al., ISCA'22): logic silicon is
+charged per cm² at a fab carbon intensity that grows with process-node
+advancement (EUV steps, more masks); memory and storage are charged per
+GB; packaging and node/rack hardware as per-unit constants.
+
+    embodied = Σ_cpu (die_cm² × CPS(node) / yield + package)
+             + Σ_gpu (die_cm² × CPS(node) / yield + HBM_GB × k_hbm + package)
+             + DRAM_GB × k_dram(type) + SSD_GB × k_ssd
+             + n_nodes × (mainboard + PSU/chassis + rack share)
+
+Coverage rule (mirrors the paper's findings): CPU-only systems need
+only a core count; accelerated systems additionally need the GPU count
+and an accelerator identity.  Unknown accelerator *models* fall back to
+the mainstream-GPU proxy — preserving the paper's documented systematic
+underestimate for exotic silicon (MI300A, A64FX-class parts).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+from repro import units
+from repro.core.estimate import CarbonEstimate, CarbonKind, EstimateMethod
+from repro.core.operational import (
+    DEFAULT_MEMORY_GB_PER_NODE,
+    DEFAULT_SSD_GB_PER_NODE,
+    DEFAULT_SOCKETS_PER_NODE,
+    resolve_cpu_count,
+)
+from repro.core.record import SystemRecord
+from repro.errors import InsufficientDataError
+from repro.hardware.catalog import HardwareCatalog, DEFAULT_CATALOG
+
+#: Fab carbon-per-silicon-area (kgCO2e per cm²) keyed by process node
+#: (nm), cradle-to-gate including upstream wafer. Denser nodes burn more
+#: energy per wafer (EUV, mask count), hence higher kg/cm².  Points are
+#: interpolated piecewise-linearly; out-of-range clamps to the ends.
+FAB_CARBON_PER_CM2: tuple[tuple[float, float], ...] = (
+    (3.0, 2.80),
+    (4.0, 2.40),
+    (5.0, 2.20),
+    (6.0, 1.90),
+    (7.0, 1.80),
+    (10.0, 1.50),
+    (12.0, 1.35),
+    (14.0, 1.30),
+    (16.0, 1.20),
+    (22.0, 1.05),
+    (28.0, 1.00),
+)
+
+#: Manufacturing yield applied to logic dies (scrap is still carbon).
+DEFAULT_YIELD: float = 0.875
+
+#: Per-package substrate/assembly/test carbon, kgCO2e.
+PACKAGE_KG: float = 5.0
+
+#: HBM embodied factor, kgCO2e/GB (stacked DRAM + TSV + interposer).
+HBM_KG_PER_GB: float = 0.85
+
+
+def fab_carbon_per_cm2(process_nm: float) -> float:
+    """Interpolated fab carbon intensity (kgCO2e/cm²) for a node."""
+    if process_nm <= 0:
+        raise ValueError(f"process_nm must be positive, got {process_nm}")
+    nodes = [p for p, _ in FAB_CARBON_PER_CM2]
+    values = [v for _, v in FAB_CARBON_PER_CM2]
+    if process_nm <= nodes[0]:
+        return values[0]
+    if process_nm >= nodes[-1]:
+        return values[-1]
+    idx = bisect.bisect_left(nodes, process_nm)
+    x0, x1 = nodes[idx - 1], nodes[idx]
+    y0, y1 = values[idx - 1], values[idx]
+    return y0 + (y1 - y0) * (process_nm - x0) / (x1 - x0)
+
+
+def die_embodied_kg(die_area_mm2: float, process_nm: float,
+                    fab_yield: float = DEFAULT_YIELD) -> float:
+    """Embodied carbon of one logic die, kgCO2e (yield-adjusted)."""
+    if die_area_mm2 <= 0:
+        raise ValueError(f"die_area_mm2 must be positive, got {die_area_mm2}")
+    if not 0.0 < fab_yield <= 1.0:
+        raise ValueError(f"yield must be in (0, 1], got {fab_yield}")
+    area_cm2 = die_area_mm2 / 100.0
+    return area_cm2 * fab_carbon_per_cm2(process_nm) / fab_yield
+
+
+@dataclass(frozen=True)
+class EmbodiedModel:
+    """EasyC embodied-carbon model.
+
+    Attributes:
+        catalog: hardware catalog (devices, node overheads, policy for
+            unknown accelerators).
+        fab_yield: logic-die manufacturing yield.
+    """
+
+    catalog: HardwareCatalog = DEFAULT_CATALOG
+    fab_yield: float = DEFAULT_YIELD
+
+    def estimate(self, record: SystemRecord) -> CarbonEstimate:
+        """Estimate one-time embodied carbon for a record.
+
+        Raises:
+            InsufficientDataError: if silicon cannot be counted (see
+                module docstring for the coverage rule).
+        """
+        assumptions: list[str] = []
+        breakdown_kg: dict[str, float] = {}
+
+        # --- CPUs ---------------------------------------------------------
+        n_cpus, cpu_note = self._require_cpu_count(record)
+        if cpu_note:
+            assumptions.append(cpu_note)
+        cpu_spec = self.catalog.cpu(record.processor or "generic")
+        if record.processor is None:
+            assumptions.append("processor unknown; generic server CPU assumed")
+        elif not self.catalog.knows_cpu(record.processor):
+            assumptions.append("processor not in catalog; generic server CPU assumed")
+        breakdown_kg["cpu"] = n_cpus * (
+            die_embodied_kg(cpu_spec.die_area_mm2, cpu_spec.process_nm, self.fab_yield)
+            + PACKAGE_KG)
+
+        # --- GPUs ---------------------------------------------------------
+        if record.has_accelerator:
+            if record.n_gpus is None:
+                raise InsufficientDataError(
+                    ("n_gpus",), "accelerated system without GPU count")
+            if record.accelerator is None:
+                raise InsufficientDataError(
+                    ("accelerator",), "accelerated system without device identity")
+            gpu_spec = self.catalog.gpu(record.accelerator)
+            if not self.catalog.knows_gpu(record.accelerator):
+                assumptions.append(
+                    "novel accelerator approximated by mainstream GPU "
+                    "(systematic silicon underestimate)")
+            breakdown_kg["gpu"] = record.n_gpus * (
+                die_embodied_kg(gpu_spec.die_area_mm2, gpu_spec.process_nm, self.fab_yield)
+                + gpu_spec.hbm_gb * HBM_KG_PER_GB
+                + PACKAGE_KG)
+
+        # --- node count for defaults + overheads ----------------------------
+        n_nodes = record.n_nodes
+        if n_nodes is None:
+            n_nodes = max(n_cpus // DEFAULT_SOCKETS_PER_NODE, 1)
+            assumptions.append(
+                f"node count derived from CPU count / {DEFAULT_SOCKETS_PER_NODE}")
+
+        # --- memory ---------------------------------------------------------
+        memory_gb = record.memory_gb
+        if memory_gb is None:
+            memory_gb = n_nodes * DEFAULT_MEMORY_GB_PER_NODE
+            assumptions.append(
+                f"memory capacity defaulted to {DEFAULT_MEMORY_GB_PER_NODE:.0f} GB/node")
+        mem_type = record.memory_type
+        if mem_type is None and record.memory_gb is not None:
+            assumptions.append("memory type defaulted to DDR4-class blend")
+        if memory_gb < 0:
+            raise ValueError(f"memory capacity cannot be negative: {memory_gb}")
+        mem_spec = self.catalog.memory_spec(mem_type)
+        breakdown_kg["memory"] = memory_gb * mem_spec.embodied_kg_per_gb
+
+        # --- storage ---------------------------------------------------------
+        ssd_gb = record.ssd_gb
+        if ssd_gb is None:
+            ssd_gb = n_nodes * DEFAULT_SSD_GB_PER_NODE
+            assumptions.append(
+                f"SSD capacity defaulted to {DEFAULT_SSD_GB_PER_NODE:.0f} GB/node")
+        if ssd_gb < 0:
+            raise ValueError(f"SSD capacity cannot be negative: {ssd_gb}")
+        storage_spec = self.catalog.storage_spec()
+        breakdown_kg["storage"] = ssd_gb * storage_spec.embodied_kg_per_gb
+
+        # --- node / rack hardware -------------------------------------------
+        breakdown_kg["node_hardware"] = (
+            n_nodes * self.catalog.node_overheads.embodied_kg_per_node)
+
+        total_mt = units.kg_to_mt(sum(breakdown_kg.values()))
+        uncertainty = 0.25 + 0.03 * len(assumptions)
+        return CarbonEstimate(
+            kind=CarbonKind.EMBODIED,
+            value_mt=total_mt,
+            method=EstimateMethod.COMPONENT_INVENTORY,
+            breakdown_mt={k: units.kg_to_mt(v) for k, v in breakdown_kg.items()},
+            assumptions=tuple(assumptions),
+            uncertainty_frac=min(uncertainty, 2.0),
+        )
+
+    def _require_cpu_count(self, record: SystemRecord) -> tuple[int, str | None]:
+        try:
+            return resolve_cpu_count(record)
+        except InsufficientDataError as exc:
+            raise InsufficientDataError(
+                exc.missing, "embodied model cannot count CPU packages") from exc

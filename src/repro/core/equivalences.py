@@ -1,0 +1,66 @@
+"""Everyday equivalences for carbon quantities.
+
+The paper communicates its headline totals as "one year's emissions for
+325,000 gasoline-powered vehicles or 3.5 billion vehicle miles".  The
+factors below are the US EPA greenhouse-gas-equivalencies values the
+paper's arithmetic implies:
+
+* 1.39 M MT / 325 k vehicles  → ≈ 4.28 MT CO2e per vehicle-year
+* 1.39 M MT / 3.5 B miles     → ≈ 398 gCO2e per mile
+* 1.88 M MT / 439 k vehicles  → ≈ 4.28 MT per vehicle-year (consistent)
+* per-system "thousands of MT, comparable to thousands of homes"
+  → ≈ 1 MT per home-year of electricity... the EPA home-electricity
+  figure is ≈ 4.7 MT/home-year for a *full* home; we expose both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: EPA: typical passenger-vehicle annual emissions, MT CO2e/vehicle-year.
+VEHICLE_MT_PER_YEAR: float = 4.28
+
+#: EPA: per-mile passenger-vehicle emissions, MT CO2e per mile.
+#: (1.39 M MT ↔ 3.5 B miles and 1.88 M MT ↔ 4.8 B miles both round
+#: correctly at this value.)
+MT_PER_VEHICLE_MILE: float = 3.93e-4
+
+#: EPA: average home electricity use, MT CO2e per home-year.
+HOME_ELECTRICITY_MT_PER_YEAR: float = 4.7
+
+
+@dataclass(frozen=True, slots=True)
+class Equivalence:
+    """Everyday-terms restatement of a carbon quantity."""
+
+    carbon_mt: float
+    vehicles_per_year: float
+    vehicle_miles: float
+    home_electricity_years: float
+
+    def describe(self) -> str:
+        """One-line summary in the paper's style."""
+        if self.vehicle_miles >= 1e9:
+            miles = f"{self.vehicle_miles / 1e9:.1f} B vehicle-miles"
+        else:
+            miles = f"{self.vehicle_miles / 1e6:,.0f} M vehicle-miles"
+        return (f"{self.carbon_mt:,.0f} MT CO2e "
+                f"≈ {self.vehicles_per_year:,.0f} gasoline vehicles/yr "
+                f"≈ {miles} "
+                f"≈ {self.home_electricity_years:,.0f} home-years of electricity")
+
+
+def equivalences(carbon_mt: float) -> Equivalence:
+    """Everyday equivalences for ``carbon_mt`` MT CO2e.
+
+    Raises:
+        ValueError: for negative input.
+    """
+    if carbon_mt < 0:
+        raise ValueError(f"carbon must be non-negative, got {carbon_mt}")
+    return Equivalence(
+        carbon_mt=carbon_mt,
+        vehicles_per_year=carbon_mt / VEHICLE_MT_PER_YEAR,
+        vehicle_miles=carbon_mt / MT_PER_VEHICLE_MILE,
+        home_electricity_years=carbon_mt / HOME_ELECTRICITY_MT_PER_YEAR,
+    )

@@ -1,0 +1,101 @@
+"""Estimate result types shared by the operational and embodied models."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class EstimateMethod(enum.Enum):
+    """How an estimate's energy / inventory was obtained."""
+
+    #: Operational: site-reported annual energy (the rare gold path).
+    REPORTED_ENERGY = "reported_energy"
+    #: Operational: Top500 measured power × hours.
+    MEASURED_POWER = "measured_power"
+    #: Operational: power rebuilt from component counts.
+    COMPONENT_POWER = "component_power"
+    #: Embodied: component inventory with catalog devices.
+    COMPONENT_INVENTORY = "component_inventory"
+    #: Either: filled in by rank-peer interpolation.
+    INTERPOLATED = "interpolated"
+
+
+class CarbonKind(enum.Enum):
+    """Which footprint a value describes."""
+
+    OPERATIONAL = "operational"   # 1 year of operation
+    EMBODIED = "embodied"         # one-time, manufacture + build
+
+
+@dataclass(frozen=True, slots=True)
+class CarbonEstimate:
+    """One carbon-footprint estimate for one system.
+
+    Attributes:
+        kind: operational (1 year) or embodied (one-time).
+        value_mt: the estimate in MT CO2e.
+        method: which evaluation path produced it.
+        breakdown_mt: named additive components (e.g. ``{"cpu": …,
+            "gpu": …, "memory": …}``); sums to ``value_mt`` within
+            floating-point tolerance whenever non-empty.
+        assumptions: human-readable notes on defaults that were used
+            (e.g. "memory capacity defaulted from node count") — the
+            audit trail that distinguishes a modeled value from a
+            measured one.
+        uncertainty_frac: symmetric relative uncertainty band
+            (0.25 = ±25 %), grown as more defaults are assumed.
+    """
+
+    kind: CarbonKind
+    value_mt: float
+    method: EstimateMethod
+    breakdown_mt: dict[str, float] = field(default_factory=dict)
+    assumptions: tuple[str, ...] = ()
+    uncertainty_frac: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.value_mt < 0:
+            raise ValueError(f"carbon estimate cannot be negative: {self.value_mt}")
+        if not 0.0 <= self.uncertainty_frac <= 2.0:
+            raise ValueError(f"uncertainty_frac out of range: {self.uncertainty_frac}")
+
+    @property
+    def low_mt(self) -> float:
+        """Lower bound of the uncertainty band (clamped at zero)."""
+        return max(self.value_mt * (1.0 - self.uncertainty_frac), 0.0)
+
+    @property
+    def high_mt(self) -> float:
+        """Upper bound of the uncertainty band."""
+        return self.value_mt * (1.0 + self.uncertainty_frac)
+
+    def with_assumption(self, note: str, extra_uncertainty: float = 0.0) -> "CarbonEstimate":
+        """Copy with one more recorded assumption (and widened band)."""
+        return CarbonEstimate(
+            kind=self.kind,
+            value_mt=self.value_mt,
+            method=self.method,
+            breakdown_mt=dict(self.breakdown_mt),
+            assumptions=(*self.assumptions, note),
+            uncertainty_frac=min(self.uncertainty_frac + extra_uncertainty, 2.0),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class SystemAssessment:
+    """Operational + embodied estimates for one system (either may be
+    absent if the scenario could not cover it)."""
+
+    rank: int
+    name: str | None
+    operational: CarbonEstimate | None
+    embodied: CarbonEstimate | None
+
+    @property
+    def covered_operational(self) -> bool:
+        return self.operational is not None
+
+    @property
+    def covered_embodied(self) -> bool:
+        return self.embodied is not None

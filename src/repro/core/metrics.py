@@ -1,0 +1,171 @@
+"""The EasyC key data metrics and per-model requirement rules.
+
+The paper (Fig. 1, Table I): "EasyC needs just 7 key data metrics",
+with two further *optional* refinements.  Table I names them:
+
+    operation year, # of compute nodes, # of GPUs, # of CPUs,
+    memory capacity, memory type, SSD capacity,
+    [optional] system utilization, [optional] annual power consumed.
+
+Not every metric is required for every estimate — that is the "gentle
+slope".  This module encodes the satisfiability rules that decide, for
+a record under a data scenario, whether the operational and embodied
+models can run.  These rules, applied to missingness calibrated from
+Table I, reproduce the coverage counts (391/283 baseline, 490/404 with
+public info).
+
+Requirement logic
+-----------------
+Operational needs an energy path AND a grid location:
+    energy: annual_energy_kwh  OR  power_kw  OR
+            (n_nodes AND processor AND (n_gpus if accelerated))
+    location: country (region refines it)
+
+Embodied needs countable silicon:
+    CPUs: n_cpus OR (total_cores AND processor) OR n_nodes
+    plus, if accelerated: n_gpus AND an accelerator identity
+    (memory/SSD capacities refine the estimate but have node-count
+    based defaults, so they do not gate coverage).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.record import SystemRecord
+
+
+class KeyMetric(enum.Enum):
+    """The EasyC input metrics (Table I rows)."""
+
+    OPERATION_YEAR = "operation_year"
+    N_COMPUTE_NODES = "n_compute_nodes"
+    N_GPUS = "n_gpus"
+    N_CPUS = "n_cpus"
+    MEMORY_CAPACITY = "memory_capacity"
+    MEMORY_TYPE = "memory_type"
+    SSD_CAPACITY = "ssd_capacity"
+    SYSTEM_UTILIZATION = "system_utilization"   # optional
+    ANNUAL_POWER_CONSUMED = "annual_power_consumed"  # optional
+
+
+#: The seven *required* metrics (the paper's headline number).
+REQUIRED_METRICS: tuple[KeyMetric, ...] = (
+    KeyMetric.OPERATION_YEAR,
+    KeyMetric.N_COMPUTE_NODES,
+    KeyMetric.N_GPUS,
+    KeyMetric.N_CPUS,
+    KeyMetric.MEMORY_CAPACITY,
+    KeyMetric.MEMORY_TYPE,
+    KeyMetric.SSD_CAPACITY,
+)
+
+#: The two optional refinement metrics.
+OPTIONAL_METRICS: tuple[KeyMetric, ...] = (
+    KeyMetric.SYSTEM_UTILIZATION,
+    KeyMetric.ANNUAL_POWER_CONSUMED,
+)
+
+
+def metric_present(record: SystemRecord, metric: KeyMetric) -> bool:
+    """Whether one key metric is visible on a record."""
+    match metric:
+        case KeyMetric.OPERATION_YEAR:
+            return record.year is not None
+        case KeyMetric.N_COMPUTE_NODES:
+            return record.n_nodes is not None
+        case KeyMetric.N_GPUS:
+            # For CPU-only systems the metric is trivially satisfied
+            # (the count is zero by construction).
+            return record.n_gpus is not None or not record.has_accelerator
+        case KeyMetric.N_CPUS:
+            return (record.n_cpus is not None
+                    or (record.total_cores is not None and record.processor is not None)
+                    or record.n_nodes is not None)
+        case KeyMetric.MEMORY_CAPACITY:
+            return record.memory_gb is not None
+        case KeyMetric.MEMORY_TYPE:
+            return record.memory_type is not None
+        case KeyMetric.SSD_CAPACITY:
+            return record.ssd_gb is not None
+        case KeyMetric.SYSTEM_UTILIZATION:
+            return record.utilization is not None
+        case KeyMetric.ANNUAL_POWER_CONSUMED:
+            return record.annual_energy_kwh is not None
+    raise AssertionError(f"unhandled metric {metric}")  # pragma: no cover
+
+
+def missing_metrics(record: SystemRecord) -> tuple[KeyMetric, ...]:
+    """The key metrics (required + optional) not visible on a record."""
+    return tuple(m for m in (*REQUIRED_METRICS, *OPTIONAL_METRICS)
+                 if not metric_present(record, m))
+
+
+@dataclass(frozen=True, slots=True)
+class RequirementCheck:
+    """Outcome of a model-requirement evaluation for one record."""
+
+    satisfied: bool
+    missing: tuple[str, ...]
+
+    def __bool__(self) -> bool:
+        return self.satisfied
+
+
+def check_operational(record: SystemRecord) -> RequirementCheck:
+    """Can the operational model produce an estimate for this record?"""
+    missing: list[str] = []
+
+    has_energy = (
+        record.annual_energy_kwh is not None
+        or record.power_kw is not None
+        or _component_power_possible(record)
+    )
+    if not has_energy:
+        missing.append("power_kw|annual_energy_kwh|component-counts")
+        # Name the specific component gaps so callers can see what a
+        # targeted public-info search should look for.
+        if record.n_nodes is None:
+            missing.append("n_nodes")
+        if record.processor is None and record.n_cpus is None:
+            missing.append("n_cpus")
+        if record.has_accelerator and record.n_gpus is None:
+            missing.append("n_gpus")
+
+    if record.country is None:
+        missing.append("country")
+
+    return RequirementCheck(satisfied=not missing, missing=tuple(missing))
+
+
+def _component_power_possible(record: SystemRecord) -> bool:
+    """Whether power can be rebuilt from component counts."""
+    if record.n_nodes is None:
+        return False
+    if record.processor is None and record.n_cpus is None:
+        return False
+    if record.has_accelerator and record.n_gpus is None:
+        return False
+    return True
+
+
+def check_embodied(record: SystemRecord) -> RequirementCheck:
+    """Can the embodied model produce an estimate for this record?"""
+    missing: list[str] = []
+
+    cpus_countable = (
+        record.n_cpus is not None
+        or (record.total_cores is not None and record.processor is not None)
+        or record.n_nodes is not None
+    )
+    if not cpus_countable:
+        missing.append("n_cpus|total_cores+processor|n_nodes")
+
+    if record.has_accelerator:
+        if record.n_gpus is None:
+            missing.append("n_gpus")
+        if record.accelerator is None:
+            missing.append("accelerator")
+
+    return RequirementCheck(satisfied=not missing, missing=tuple(missing))

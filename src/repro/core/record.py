@@ -1,0 +1,201 @@
+"""The system record: what we know about one Top500 machine.
+
+A :class:`SystemRecord` is a *view* of a system under some data
+scenario: fields that the scenario cannot see are ``None``.  The same
+physical machine therefore appears as different records under the
+Baseline (top500.org only) and Baseline+PublicInfo scenarios, and the
+whole coverage analysis is a statement about which fields are ``None``
+where.
+
+:data:`TOP500_DATA_ITEMS` enumerates the 19 structural data items the
+paper's Figure 2 counts missingness over.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.hardware.memory import MemoryType
+
+#: The 19 structural data items of a Top500 entry (Figure 2's x-axis).
+#: Order matters only for presentation; names match SystemRecord fields
+#: where a direct mapping exists.
+TOP500_DATA_ITEMS: tuple[str, ...] = (
+    "name",
+    "country",
+    "year",
+    "segment",
+    "vendor",
+    "processor",
+    "processor_speed",
+    "total_cores",
+    "accelerator",
+    "accelerator_cores",
+    "rmax_tflops",
+    "rpeak_tflops",
+    "nmax",
+    "power_kw",
+    "energy_efficiency",
+    "n_nodes",
+    "interconnect",
+    "os",
+    "memory_gb",
+)
+
+
+@dataclass(slots=True)
+class SystemRecord:
+    """One Top500 system as visible under a particular data scenario.
+
+    ``rank``, ``rmax_tflops`` and ``rpeak_tflops`` are never ``None``:
+    they are required for inclusion in the list at all (the paper calls
+    the performance data "high quality for all 500 systems").
+    Everything else is optional.
+
+    Attributes grouped by provenance:
+
+    Identity / context:
+        rank, name, country, region (sub-national grid hint — public
+        info only), year (operation year), segment, vendor.
+
+    Structure (top500.org columns, with gaps):
+        processor, processor_speed_mhz, total_cores, accelerator,
+        accelerator_cores, n_nodes, interconnect, os, nmax.
+
+    Performance / power (top500.org columns):
+        rmax_tflops, rpeak_tflops, power_kw, energy_efficiency.
+
+    EasyC key metrics typically filled by public info:
+        n_cpus, n_gpus, memory_gb, memory_type, ssd_gb,
+        utilization, annual_energy_kwh, cooling.
+    """
+
+    rank: int
+    rmax_tflops: float
+    rpeak_tflops: float
+
+    name: str | None = None
+    country: str | None = None
+    region: str | None = None
+    year: int | None = None
+    segment: str | None = None
+    vendor: str | None = None
+
+    processor: str | None = None
+    processor_speed_mhz: float | None = None
+    total_cores: int | None = None
+    accelerator: str | None = None
+    accelerator_cores: int | None = None
+    n_nodes: int | None = None
+    interconnect: str | None = None
+    os: str | None = None
+    nmax: int | None = None
+
+    power_kw: float | None = None
+    energy_efficiency: float | None = None
+
+    n_cpus: int | None = None
+    n_gpus: int | None = None
+    memory_gb: float | None = None
+    memory_type: MemoryType | None = None
+    ssd_gb: float | None = None
+    utilization: float | None = None
+    annual_energy_kwh: float | None = None
+    cooling: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.rank < 1:
+            raise ValueError(f"rank must be >= 1, got {self.rank}")
+        if self.rmax_tflops <= 0:
+            raise ValueError(f"rmax_tflops must be positive, got {self.rmax_tflops}")
+        if self.rpeak_tflops <= 0:
+            raise ValueError(f"rpeak_tflops must be positive, got {self.rpeak_tflops}")
+        if self.rmax_tflops > self.rpeak_tflops * 1.0000001:
+            raise ValueError(
+                f"rank {self.rank}: Rmax ({self.rmax_tflops}) cannot exceed "
+                f"Rpeak ({self.rpeak_tflops})")
+        if self.power_kw is not None and self.power_kw <= 0:
+            raise ValueError(f"power_kw must be positive when present, got {self.power_kw}")
+        if self.utilization is not None and not 0.0 < self.utilization <= 1.5:
+            raise ValueError(f"utilization out of range (0, 1.5]: {self.utilization}")
+
+    # -- derived views -----------------------------------------------------
+
+    @property
+    def has_accelerator(self) -> bool:
+        """Whether the system is accelerated, from any visible signal."""
+        if self.accelerator is not None and self.accelerator.strip().lower() not in ("", "none"):
+            return True
+        if self.accelerator_cores is not None and self.accelerator_cores > 0:
+            return True
+        if self.n_gpus is not None and self.n_gpus > 0:
+            return True
+        return False
+
+    @property
+    def cpu_cores(self) -> int | None:
+        """CPU-only core count (total minus accelerator cores) if derivable."""
+        if self.total_cores is None:
+            return None
+        accel = self.accelerator_cores or 0
+        return max(self.total_cores - accel, 0)
+
+    def missing_data_items(self) -> tuple[str, ...]:
+        """Names of the :data:`TOP500_DATA_ITEMS` this record is missing.
+
+        The ``accelerator``/``accelerator_cores`` items count as present
+        for CPU-only systems (there is nothing to report).
+        """
+        missing = []
+        mapping = {
+            "name": self.name,
+            "country": self.country,
+            "year": self.year,
+            "segment": self.segment,
+            "vendor": self.vendor,
+            "processor": self.processor,
+            "processor_speed": self.processor_speed_mhz,
+            "total_cores": self.total_cores,
+            "accelerator": self.accelerator,
+            "accelerator_cores": self.accelerator_cores,
+            "rmax_tflops": self.rmax_tflops,
+            "rpeak_tflops": self.rpeak_tflops,
+            "nmax": self.nmax,
+            "power_kw": self.power_kw,
+            "energy_efficiency": self.energy_efficiency,
+            "n_nodes": self.n_nodes,
+            "interconnect": self.interconnect,
+            "os": self.os,
+            "memory_gb": self.memory_gb,
+        }
+        for item in TOP500_DATA_ITEMS:
+            value = mapping[item]
+            if value is None:
+                if item in ("accelerator", "accelerator_cores") and not self.has_accelerator:
+                    continue
+                missing.append(item)
+        return tuple(missing)
+
+    def merged_with(self, **updates: object) -> "SystemRecord":
+        """Copy of this record with ``None`` fields filled from ``updates``.
+
+        Only fills gaps — a field already visible is never overwritten,
+        mirroring how public info *augments* rather than replaces
+        top500.org data.  (``region`` is the one exception handled by
+        the enrichment pipeline directly, since top500.org never carries
+        it.)
+        """
+        changes = {}
+        for key, value in updates.items():
+            if value is None:
+                continue
+            if getattr(self, key) is None:
+                changes[key] = value
+        if not changes:
+            return dataclasses.replace(self)
+        return dataclasses.replace(self, **changes)
+
+    def copy(self) -> "SystemRecord":
+        """Shallow copy (records are mutable dataclasses)."""
+        return dataclasses.replace(self)

@@ -1,0 +1,24 @@
+"""Coverage analysis: who can be assessed, under which data scenario.
+
+Produces the paper's Figure 4 (coverage per method), Figures 5/6
+(coverage by rank range, per footprint and scenario) and the Figure 2
+missing-data-items histogram.
+"""
+
+from repro.coverage.analyzer import (
+    CoverageResult,
+    ScenarioCoverage,
+    coverage_of,
+    missing_items_histogram,
+)
+from repro.coverage.rank_ranges import (
+    RANK_RANGES,
+    RankRangeCoverage,
+    coverage_by_rank_range,
+)
+
+__all__ = [
+    "CoverageResult", "ScenarioCoverage", "coverage_of",
+    "missing_items_histogram",
+    "RANK_RANGES", "RankRangeCoverage", "coverage_by_rank_range",
+]

@@ -1,0 +1,86 @@
+"""Scenario coverage accounting.
+
+Coverage is defined operationally: a system is covered for a footprint
+under a scenario iff the corresponding model produces an estimate from
+the scenario's visible fields.  :func:`coverage_of` therefore runs the
+actual models (via :class:`~repro.core.easyc.EasyC`), not just the
+requirement predicates — the two are asserted equal in tests, but the
+models are the ground truth.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.core.easyc import EasyC
+from repro.core.estimate import SystemAssessment
+from repro.core.record import SystemRecord
+
+
+@dataclass(frozen=True, slots=True)
+class ScenarioCoverage:
+    """Coverage of one footprint under one scenario."""
+
+    scenario: str
+    footprint: str               # "operational" | "embodied"
+    covered_ranks: tuple[int, ...]
+    uncovered_ranks: tuple[int, ...]
+
+    @property
+    def n_covered(self) -> int:
+        return len(self.covered_ranks)
+
+    @property
+    def n_total(self) -> int:
+        return len(self.covered_ranks) + len(self.uncovered_ranks)
+
+    @property
+    def fraction(self) -> float:
+        return self.n_covered / self.n_total if self.n_total else 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class CoverageResult:
+    """Operational + embodied coverage for one scenario's fleet."""
+
+    scenario: str
+    operational: ScenarioCoverage
+    embodied: ScenarioCoverage
+    assessments: tuple[SystemAssessment, ...]
+
+
+def coverage_of(records: Sequence[SystemRecord], scenario: str,
+                easyc: EasyC | None = None) -> CoverageResult:
+    """Assess a fleet and tabulate coverage.
+
+    Args:
+        records: the fleet under one data scenario.
+        scenario: label carried through to reports (e.g. ``"baseline"``).
+        easyc: model bundle; default configuration if omitted.
+    """
+    ez = easyc or EasyC()
+    assessments = ez.assess_fleet(records)
+    op_cov, op_unc, em_cov, em_unc = [], [], [], []
+    for assessment in assessments:
+        (op_cov if assessment.covered_operational else op_unc).append(assessment.rank)
+        (em_cov if assessment.covered_embodied else em_unc).append(assessment.rank)
+    return CoverageResult(
+        scenario=scenario,
+        operational=ScenarioCoverage(scenario, "operational",
+                                     tuple(op_cov), tuple(op_unc)),
+        embodied=ScenarioCoverage(scenario, "embodied",
+                                  tuple(em_cov), tuple(em_unc)),
+        assessments=tuple(assessments),
+    )
+
+
+def missing_items_histogram(records: Sequence[SystemRecord]) -> dict[int, int]:
+    """Figure 2: number of systems missing exactly *k* data items.
+
+    Returns a dict ``{k: n_systems}``; ``k = 0`` corresponds to the
+    figure's "None" bucket (all information reported).
+    """
+    counts = Counter(len(r.missing_data_items()) for r in records)
+    return dict(sorted(counts.items()))

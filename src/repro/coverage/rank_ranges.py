@@ -1,0 +1,62 @@
+"""Coverage by Top500 rank range (Figures 5 and 6).
+
+The paper buckets the list into thirteen rank ranges plus the full
+1-500, and reports the percentage of each bucket a scenario can cover.
+The interesting findings live here: operational gaps "surprisingly high
+in the rankings 26-50, 51-75, and 76-100", and embodied gaps
+concentrated in the accelerator-heavy top 150.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.coverage.analyzer import ScenarioCoverage
+
+#: The paper's rank buckets (inclusive bounds), Figures 5/6 x-axis.
+RANK_RANGES: tuple[tuple[int, int], ...] = (
+    (1, 10), (11, 25), (26, 50), (51, 75), (76, 100),
+    (101, 150), (151, 200), (201, 250), (251, 300),
+    (301, 350), (351, 400), (401, 450), (451, 500),
+    (1, 500),
+)
+
+
+@dataclass(frozen=True, slots=True)
+class RankRangeCoverage:
+    """Coverage percentage within one rank bucket."""
+
+    lo: int
+    hi: int
+    n_covered: int
+    n_total: int
+
+    @property
+    def label(self) -> str:
+        return f"{self.lo}-{self.hi}"
+
+    @property
+    def percent_covered(self) -> float:
+        return 100.0 * self.n_covered / self.n_total if self.n_total else 0.0
+
+    @property
+    def percent_uncovered(self) -> float:
+        return 100.0 - self.percent_covered
+
+
+def coverage_by_rank_range(
+        coverage: ScenarioCoverage,
+        ranges: tuple[tuple[int, int], ...] = RANK_RANGES,
+) -> list[RankRangeCoverage]:
+    """Bucket a scenario's coverage into the paper's rank ranges."""
+    covered = set(coverage.covered_ranks)
+    all_ranks = sorted((*coverage.covered_ranks, *coverage.uncovered_ranks))
+    buckets = []
+    for lo, hi in ranges:
+        in_range = [r for r in all_ranks if lo <= r <= hi]
+        buckets.append(RankRangeCoverage(
+            lo=lo, hi=hi,
+            n_covered=sum(1 for r in in_range if r in covered),
+            n_total=len(in_range),
+        ))
+    return buckets

@@ -1,0 +1,32 @@
+"""Data layer: the paper's reference results + the synthetic Top500.
+
+Two sources:
+
+* :mod:`repro.data.paper_table` — the paper's appendix Table II
+  (per-system carbon for all 500 systems under three scenarios),
+  transcribed and parsed.  The *reference path*: exact reproduction of
+  the paper's totals, series, and sensitivity numbers.
+* :mod:`repro.data.top500` + :mod:`repro.data.truth` +
+  :mod:`repro.data.missingness` — the synthetic list the *model path*
+  runs EasyC on end-to-end, with missingness calibrated to Table I /
+  Figure 2 and coverage calibrated to the paper's counts.
+"""
+
+from repro.data.paper_table import (
+    PaperSystem,
+    ScenarioValues,
+    load_paper_table,
+    coverage_counts,
+    totals_mt,
+)
+from repro.data.top500 import Top500Dataset, generate_top500, default_dataset, DEFAULT_SEED
+from repro.data.truth import TrueSystem, rmax_for_rank, accel_probability
+from repro.data.missingness import MissingnessPlan, build_plan
+
+__all__ = [
+    "PaperSystem", "ScenarioValues", "load_paper_table",
+    "coverage_counts", "totals_mt",
+    "Top500Dataset", "generate_top500", "default_dataset", "DEFAULT_SEED",
+    "TrueSystem", "rmax_for_rank", "accel_probability",
+    "MissingnessPlan", "build_plan",
+]

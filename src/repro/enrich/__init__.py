@@ -1,0 +1,20 @@
+"""Public-information enrichment: the Baseline → Baseline+PublicInfo step.
+
+The paper's coverage jump (78 %→98 % operational, 1.43× embodied) comes
+from augmenting top500.org with "publicly available information on other
+web sites" — site pages, press releases, procurement announcements.  We
+model that hand-collection as a :class:`~repro.enrich.public_info.PublicInfoOracle`
+backed by the dataset's missingness plan: querying a system returns
+exactly the fields the public scenario can see, and the
+:class:`~repro.enrich.pipeline.EnrichmentPipeline` merges them into
+baseline records *without overwriting* anything top500.org already
+reported.
+"""
+
+from repro.enrich.public_info import PublicInfoOracle, PublicDisclosure
+from repro.enrich.pipeline import EnrichmentPipeline, EnrichmentReport
+
+__all__ = [
+    "PublicInfoOracle", "PublicDisclosure",
+    "EnrichmentPipeline", "EnrichmentReport",
+]

@@ -1,0 +1,70 @@
+"""The public-information oracle.
+
+Stands in for the paper's manual web research: given a system, it
+returns a :class:`PublicDisclosure` holding the fields that *other
+public sources* reveal beyond top500.org.  Backed by a
+:class:`~repro.data.top500.Top500Dataset` (truth + missingness plan),
+it discloses exactly ``hidden_baseline − hidden_public`` per system —
+so the enrichment pipeline's output provably equals the dataset's
+public-scenario view (asserted in integration tests).
+
+The oracle also reports an *effort* figure (person-minutes per lookup),
+supporting the paper's practicability argument (< 1 person-hour per
+system per year).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.data.top500 import Top500Dataset
+
+#: Person-minutes of web research a single disclosed field represents.
+MINUTES_PER_FIELD: float = 4.0
+
+
+@dataclass(frozen=True, slots=True)
+class PublicDisclosure:
+    """Fields a public-information search turned up for one system."""
+
+    rank: int
+    fields: dict[str, object]
+    effort_minutes: float
+
+    @property
+    def n_fields(self) -> int:
+        return len(self.fields)
+
+
+@dataclass(frozen=True)
+class PublicInfoOracle:
+    """Simulated public-web research over a synthetic Top500 dataset."""
+
+    dataset: Top500Dataset
+
+    def disclose(self, rank: int) -> PublicDisclosure:
+        """Everything public sources add for the system at ``rank``."""
+        plan = self.dataset.plan
+        truth = self.dataset.truth(rank)
+        revealed = plan.hidden_baseline[rank] - plan.hidden_public[rank]
+        fields: dict[str, object] = {}
+        for name in sorted(revealed):
+            value = getattr(truth, name)
+            if value is None:
+                continue
+            if name in ("n_gpus", "accelerator_cores") and truth.accelerator is None:
+                continue
+            fields[name] = value
+        return PublicDisclosure(
+            rank=rank,
+            fields=fields,
+            effort_minutes=MINUTES_PER_FIELD * len(fields),
+        )
+
+    def disclose_all(self) -> list[PublicDisclosure]:
+        """Disclosures for the full list, rank order."""
+        return [self.disclose(rank) for rank in range(1, 501)]
+
+    def total_effort_hours(self) -> float:
+        """Total research effort over the 500 systems, person-hours."""
+        return sum(d.effort_minutes for d in self.disclose_all()) / 60.0

@@ -1,0 +1,69 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch the whole family with a single ``except`` clause.  The
+subclasses distinguish the three failure domains that matter to users:
+
+* bad input data (:class:`DataError` and friends),
+* a model that cannot produce an estimate from the visible fields
+  (:class:`InsufficientDataError` — this one is *expected* in normal
+  operation: it is how EasyC and the GHG-protocol calculator signal
+  "no coverage" for a system), and
+* misconfiguration of the models themselves (:class:`ConfigError`).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class DataError(ReproError):
+    """Raised when input data is malformed or internally inconsistent."""
+
+
+class UnknownDeviceError(DataError):
+    """Raised when a hardware catalog lookup finds no matching device."""
+
+    def __init__(self, kind: str, name: str):
+        self.kind = kind
+        self.name = name
+        super().__init__(f"unknown {kind}: {name!r}")
+
+
+class UnknownRegionError(DataError):
+    """Raised when a grid-intensity lookup finds no matching region."""
+
+    def __init__(self, region: str):
+        self.region = region
+        super().__init__(f"unknown grid region: {region!r}")
+
+
+class InsufficientDataError(ReproError):
+    """A carbon model could not be evaluated from the visible fields.
+
+    This is the *coverage* signal: catching it is how the pipeline
+    decides a system is "not covered" under a given data scenario.
+    ``missing`` lists the metric names whose absence blocked the
+    estimate.
+    """
+
+    def __init__(self, missing: tuple[str, ...], detail: str = ""):
+        self.missing = tuple(missing)
+        msg = f"insufficient data; missing metrics: {', '.join(missing) or '(unspecified)'}"
+        if detail:
+            msg = f"{msg} ({detail})"
+        super().__init__(msg)
+
+
+class InterpolationError(ReproError):
+    """Raised when peer interpolation cannot find enough complete peers."""
+
+
+class ConfigError(ReproError):
+    """Raised when a model is constructed with invalid parameters."""
+
+
+class ParseError(DataError):
+    """Raised when embedded paper data cannot be parsed."""

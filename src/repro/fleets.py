@@ -1,0 +1,140 @@
+"""Named-fleet assessment: the paper's future-work direction.
+
+The summary section: "we would like to model carbon footprint for all
+of the US National Science Foundation ACCESS scientific computing
+sites, those of the US Department of Energy, or of similar such systems
+in Europe or China."  This module generalizes the Top500 pipeline to
+*any* named collection of systems: define a :class:`Fleet`, assess it,
+get coverage + totals + uncertainty in one report.
+
+Three illustrative built-in fleets (ACCESS-like, DOE-like, EuroHPC-like)
+are constructed from public configuration knowledge of representative
+systems; they exercise the exact code path an operator would use for a
+real portfolio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.easyc import EasyC
+from repro.core.equivalences import Equivalence, equivalences
+from repro.core.estimate import SystemAssessment
+from repro.core.record import SystemRecord
+from repro.core.uncertainty import UncertaintyBand, total_with_uncertainty
+from repro.hardware.memory import MemoryType
+
+
+@dataclass(frozen=True)
+class Fleet:
+    """A named collection of systems to assess together."""
+
+    name: str
+    systems: tuple[SystemRecord, ...]
+
+    def __post_init__(self) -> None:
+        if not self.systems:
+            raise ValueError(f"fleet {self.name!r} has no systems")
+
+
+@dataclass(frozen=True)
+class FleetReport:
+    """Assessment outcome for one fleet."""
+
+    fleet: str
+    assessments: tuple[SystemAssessment, ...]
+    operational_total_mt: float
+    embodied_total_mt: float
+    n_operational_covered: int
+    n_embodied_covered: int
+    operational_band: UncertaintyBand | None
+    operational_equivalence: Equivalence
+
+    @property
+    def n_systems(self) -> int:
+        return len(self.assessments)
+
+
+def assess_fleet(fleet: Fleet, easyc: EasyC | None = None,
+                 mc_samples: int = 2000) -> FleetReport:
+    """Assess a named fleet: coverage, totals, uncertainty, equivalences."""
+    ez = easyc or EasyC()
+    assessments = tuple(ez.assess_fleet(list(fleet.systems)))
+    op_estimates = [a.operational for a in assessments if a.operational]
+    emb_estimates = [a.embodied for a in assessments if a.embodied]
+    op_total = sum(e.value_mt for e in op_estimates)
+    band = (total_with_uncertainty(op_estimates, n_samples=mc_samples)
+            if op_estimates else None)
+    return FleetReport(
+        fleet=fleet.name,
+        assessments=assessments,
+        operational_total_mt=op_total,
+        embodied_total_mt=sum(e.value_mt for e in emb_estimates),
+        n_operational_covered=len(op_estimates),
+        n_embodied_covered=len(emb_estimates),
+        operational_band=band,
+        operational_equivalence=equivalences(op_total),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Illustrative built-in fleets (representative public configurations)
+# ---------------------------------------------------------------------------
+
+def _sys(rank: int, name: str, country: str, region: str | None,
+         rmax: float, power: float | None, nodes: int, cpu: str,
+         gpu: str | None = None, gpus: int = 0, mem_per_node: float = 512.0,
+         ssd_gb: float | None = None, year: int = 2022) -> SystemRecord:
+    return SystemRecord(
+        rank=rank, name=name, country=country, region=region,
+        rmax_tflops=rmax, rpeak_tflops=rmax / 0.7, power_kw=power,
+        n_nodes=nodes, processor=cpu, accelerator=gpu,
+        n_gpus=gpus or None, memory_gb=nodes * mem_per_node,
+        memory_type=MemoryType.DDR4, ssd_gb=ssd_gb, year=year)
+
+
+#: An ACCESS-like portfolio of US academic systems.
+ACCESS_LIKE_FLEET = Fleet(name="access-like", systems=(
+    _sys(1, "Frontera-like", "United States", "us-texas", 23_500.0, 6_000.0,
+         8_008, "Xeon Platinum 8280 28C 2.7GHz", year=2019),
+    _sys(2, "Expanse-like", "United States", "us-california", 5_000.0, 1_300.0,
+         728, "AMD EPYC 7742 64C 2.25GHz", year=2020),
+    _sys(3, "Anvil-like", "United States", None, 5_300.0, 1_600.0,
+         1_000, "AMD EPYC 7763 64C 2.45GHz", year=2021),
+    _sys(4, "Delta-like", "United States", "us-illinois", 6_200.0, None,
+         124, "AMD EPYC 7763 64C 2.45GHz", "NVIDIA A100", 496, year=2022),
+    _sys(5, "Stampede3-like", "United States", "us-texas", 9_800.0, 4_000.0,
+         1_858, "Xeon CPU Max 9480", year=2024),
+))
+
+#: A DOE-like portfolio of leadership systems.
+DOE_LIKE_FLEET = Fleet(name="doe-like", systems=(
+    _sys(1, "Frontier-like", "United States", "us-tva", 1_353_000.0, 22_786.0,
+         9_408, "AMD Optimized 3rd Generation EPYC 64C 2GHz",
+         "AMD Instinct MI250X", 37_632, ssd_gb=716e6, year=2022),
+    _sys(2, "Aurora-like", "United States", "us-illinois", 1_012_000.0, 38_698.0,
+         10_624, "Xeon CPU Max 9470", "Intel Data Center GPU Max", 63_744,
+         ssd_gb=230e6, year=2023),
+    _sys(3, "Perlmutter-like", "United States", "us-california", 79_200.0,
+         2_590.0, 3_072, "AMD EPYC 7763 64C 2.45GHz", "NVIDIA A100",
+         7_168, ssd_gb=35e6, year=2021),
+))
+
+#: A EuroHPC-like portfolio.
+EUROHPC_LIKE_FLEET = Fleet(name="eurohpc-like", systems=(
+    _sys(1, "LUMI-like", "Finland", "fi-hydro-contract", 380_000.0, 7_107.0,
+         2_978, "AMD Optimized 3rd Generation EPYC 64C 2GHz",
+         "AMD Instinct MI250X", 11_912, ssd_gb=117e6, year=2022),
+    _sys(2, "Leonardo-like", "Italy", "it-cineca", 241_000.0, 7_494.0,
+         3_456, "Xeon Platinum 8358 32C 2.6GHz", "NVIDIA A100",
+         13_824, ssd_gb=106e6, year=2022),
+    _sys(3, "MareNostrum5-like", "Spain", "es-bsc", 138_000.0, 2_560.0,
+         1_120, "Xeon Platinum 8480+", "NVIDIA H100", 4_480, year=2023),
+    _sys(4, "JUWELS-like", "Germany", None, 44_100.0, 1_764.0,
+         936, "AMD EPYC 7402 24C 2.8GHz", "NVIDIA A100", 3_744, year=2020),
+))
+
+BUILTIN_FLEETS: dict[str, Fleet] = {
+    fleet.name: fleet
+    for fleet in (ACCESS_LIKE_FLEET, DOE_LIKE_FLEET, EUROHPC_LIKE_FLEET)
+}

@@ -1,0 +1,34 @@
+"""GHG-protocol baseline substrate.
+
+The paper's Figure 4 compares EasyC's coverage against "the GHG
+detailed carbon accounting method", under which "few of the Top 500
+systems report operational and NONE report embodied".  To reproduce
+that comparison we implement the comparator: an inventory-based
+calculator in the GHG-protocol style that
+
+* enumerates a *full* inventory of required data items (dozens per
+  scope — :mod:`repro.ghg.inventory`),
+* computes scope-2 (purchased electricity) and scope-3 (embodied /
+  upstream) emissions when, and only when, every required item is
+  present (:mod:`repro.ghg.protocol`), and
+* **abstains** (raises :class:`~repro.errors.InsufficientDataError`)
+  otherwise — no defaults, no interpolation; that refusal to guess is
+  the methodological difference the paper is about.
+"""
+
+from repro.ghg.inventory import (
+    InventoryItem,
+    SCOPE2_INVENTORY,
+    SCOPE3_INVENTORY,
+    GhgInventory,
+)
+from repro.ghg.protocol import GhgProtocolCalculator, GhgReport
+
+__all__ = [
+    "InventoryItem",
+    "SCOPE2_INVENTORY",
+    "SCOPE3_INVENTORY",
+    "GhgInventory",
+    "GhgProtocolCalculator",
+    "GhgReport",
+]

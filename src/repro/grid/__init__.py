@@ -1,0 +1,29 @@
+"""Electric-grid substrate: carbon intensity and facility efficiency.
+
+Operational carbon is energy × average carbon intensity (ACI) of the
+power feeding the machine.  The paper's sensitivity study (Fig. 9)
+shows refining ACI with public information moves individual systems by
+up to ±77.5 % — the LUMI (Finnish hydro) vs Leonardo (Italian mix)
+4.3× contrast in Table II is entirely an ACI story.
+
+* :mod:`repro.grid.intensity` — country/region ACI database with
+  sub-national refinements (the "public info" layer).
+* :mod:`repro.grid.pue` — facility power-usage-effectiveness models.
+"""
+
+from repro.grid.intensity import (
+    GridIntensityDB,
+    DEFAULT_GRID_DB,
+    aci_kg_per_kwh,
+    WORLD_AVERAGE_ACI,
+)
+from repro.grid.pue import PueModel, DEFAULT_PUE_MODEL
+
+__all__ = [
+    "GridIntensityDB",
+    "DEFAULT_GRID_DB",
+    "aci_kg_per_kwh",
+    "WORLD_AVERAGE_ACI",
+    "PueModel",
+    "DEFAULT_PUE_MODEL",
+]

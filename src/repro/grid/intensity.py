@@ -1,0 +1,162 @@
+"""Average carbon intensity (ACI) of electricity by country / region.
+
+Values are annual-average grid intensities in kgCO2e/kWh, in line with
+public datasets (Ember, IEA, electricityMap annual aggregates, 2023-24
+vintage).  Two layers:
+
+* country-level baseline — what you can infer from the Top500 "Country"
+  column alone (the *Baseline* scenario), and
+* sub-national / contract refinements — what public information adds
+  (e.g. "LUMI runs on certified hydro", "ORNL sits on the TVA mix"),
+  keyed by region strings; this layer produces the ±77.5 % per-system
+  ACI shifts in the paper's Fig. 9 sensitivity study.
+
+The database is deliberately plain data + a tiny lookup class so tests
+and ablations can construct alternates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import UnknownRegionError
+
+#: Global average grid intensity, used when even the country is unknown.
+WORLD_AVERAGE_ACI: float = 0.436
+
+#: Country-level annual-average ACI in kgCO2e/kWh.
+COUNTRY_ACI: dict[str, float] = {
+    "united states": 0.380,
+    "china": 0.560,
+    "japan": 0.460,
+    "germany": 0.350,
+    "france": 0.056,
+    "finland": 0.079,
+    "italy": 0.310,
+    "switzerland": 0.042,
+    "spain": 0.170,
+    "netherlands": 0.330,
+    "united kingdom": 0.230,
+    "south korea": 0.430,
+    "saudi arabia": 0.610,
+    "brazil": 0.100,
+    "canada": 0.130,
+    "australia": 0.550,
+    "sweden": 0.041,
+    "norway": 0.028,
+    "denmark": 0.150,
+    "poland": 0.660,
+    "czechia": 0.410,
+    "russia": 0.360,
+    "india": 0.710,
+    "taiwan": 0.560,
+    "singapore": 0.470,
+    "ireland": 0.290,
+    "luxembourg": 0.160,
+    "belgium": 0.160,
+    "austria": 0.110,
+    "portugal": 0.180,
+    "slovenia": 0.230,
+    "bulgaria": 0.400,
+    "hungary": 0.220,
+    "morocco": 0.630,
+    "united arab emirates": 0.490,
+    "thailand": 0.500,
+    "israel": 0.530,
+    "iceland": 0.028,
+    "8": 0.436,  # unnamed-country placeholder rows in some lists
+}
+
+#: Sub-national / site-contract refinements (the "public info" layer).
+#: Keys are lower-case region identifiers attached by enrichment.
+REGION_ACI: dict[str, float] = {
+    # United States balancing authorities / state mixes
+    "us-tva": 0.300,          # Tennessee Valley Authority (Frontier, Summit)
+    "us-california": 0.210,   # CAISO (LLNL, NERSC)
+    "us-illinois": 0.270,     # nuclear-heavy PJM/MISO corner (Argonne/Aurora)
+    "us-new-mexico": 0.430,   # LANL
+    "us-texas": 0.400,        # ERCOT (TACC)
+    "us-washington": 0.090,   # hydro (PNNL)
+    "us-virginia": 0.330,     # PJM data-center alley (cloud regions)
+    "us-iowa": 0.240,         # wind-heavy MISO (cloud regions)
+    # Europe
+    "fi-hydro-contract": 0.020,   # LUMI's certified renewable supply
+    "de-bavaria": 0.320,          # LRZ
+    "ch-cscs": 0.035,             # CSCS hydro contract (Alps)
+    "it-cineca": 0.310,           # Leonardo (Bologna)
+    "es-bsc": 0.160,              # MareNostrum
+    "fr-nuclear": 0.052,          # CEA/GENCI sites
+    "uk-edinburgh": 0.190,        # ARCHER2 (Scottish wind share)
+    # Asia-Pacific
+    "jp-kobe": 0.350,             # Fugaku (Kansai mix)
+    "jp-tokyo": 0.470,
+    "cn-wuxi": 0.580,             # Sunway TaihuLight
+    "cn-guangzhou": 0.520,        # Tianhe-2A
+    "kr-sejong": 0.420,
+    "au-pawsey": 0.250,           # Setonix (solar+storage contract)
+    "sa-kaust": 0.590,
+}
+
+
+@dataclass(frozen=True)
+class GridIntensityDB:
+    """Lookup of annual-average carbon intensity with refinement layers.
+
+    ``lookup`` resolves, in order: explicit region key → country →
+    world average (or raises with ``strict=True``).
+    """
+
+    country_aci: dict[str, float] = field(default_factory=lambda: dict(COUNTRY_ACI))
+    region_aci: dict[str, float] = field(default_factory=lambda: dict(REGION_ACI))
+    world_average: float = WORLD_AVERAGE_ACI
+
+    def lookup(self, country: str | None = None, region: str | None = None,
+               *, strict: bool = False) -> float:
+        """Resolve ACI in kgCO2e/kWh.
+
+        Args:
+            country: Top500-style country name (case-insensitive).
+            region: optional sub-national refinement key; wins over
+                country when present.
+            strict: if True, raise
+                :class:`~repro.errors.UnknownRegionError` instead of
+                falling back to the world average.
+        """
+        if region:
+            key = region.strip().lower()
+            if key in self.region_aci:
+                return self.region_aci[key]
+            if strict:
+                raise UnknownRegionError(region)
+        if country:
+            key = country.strip().lower()
+            if key in self.country_aci:
+                return self.country_aci[key]
+            if strict:
+                raise UnknownRegionError(country)
+        if strict:
+            raise UnknownRegionError("(none provided)")
+        return self.world_average
+
+    def knows_region(self, region: str) -> bool:
+        """True if the refinement layer has an entry for ``region``."""
+        return region.strip().lower() in self.region_aci
+
+    def with_region(self, region: str, aci: float) -> "GridIntensityDB":
+        """Copy of this DB with one refinement added (for tests/ablation)."""
+        if aci <= 0:
+            raise ValueError(f"ACI must be positive, got {aci}")
+        updated = dict(self.region_aci)
+        updated[region.strip().lower()] = aci
+        return GridIntensityDB(country_aci=self.country_aci,
+                               region_aci=updated,
+                               world_average=self.world_average)
+
+
+#: Shared default database instance.
+DEFAULT_GRID_DB = GridIntensityDB()
+
+
+def aci_kg_per_kwh(country: str | None = None, region: str | None = None) -> float:
+    """Module-level convenience wrapper over :data:`DEFAULT_GRID_DB`."""
+    return DEFAULT_GRID_DB.lookup(country, region)

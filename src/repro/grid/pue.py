@@ -1,0 +1,69 @@
+"""Facility power-usage-effectiveness (PUE) models.
+
+PUE multiplies IT power into facility power (cooling, distribution
+losses).  Two subtleties the model encodes:
+
+1. Top500's measured power column is taken during the LINPACK run and
+   by submission rules generally *includes* the directly-attached
+   cooling of the machine but not the whole building, so measured power
+   is used with a PUE of 1.0 by default (calibrated against the
+   Table II numbers: e.g. Frontier's 60 kMT/yr at ~22.7 MW on the TVA
+   mix implies no extra facility multiplier).
+2. When power is *rebuilt from components*, the component sum is raw IT
+   draw, so a facility PUE is applied — modern liquid-cooled HPC sites
+   run 1.03-1.2, air-cooled legacy rooms 1.3-1.6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True, slots=True)
+class PueModel:
+    """PUE assignment rules.
+
+    Attributes:
+        measured_power_pue: multiplier applied to Top500-reported power.
+        component_power_pue: multiplier applied to component-rebuilt
+            power.
+        liquid_cooled_pue: refinement used when public info reveals
+            direct liquid cooling.
+        air_cooled_pue: refinement used when public info reveals a
+            legacy air-cooled room.
+    """
+
+    measured_power_pue: float = 1.0
+    component_power_pue: float = 1.15
+    liquid_cooled_pue: float = 1.05
+    air_cooled_pue: float = 1.40
+
+    def __post_init__(self) -> None:
+        for name in ("measured_power_pue", "component_power_pue",
+                     "liquid_cooled_pue", "air_cooled_pue"):
+            value = getattr(self, name)
+            if not 1.0 <= value <= 3.0:
+                raise ConfigError(f"{name} must be in [1.0, 3.0], got {value}")
+
+    def for_measured_power(self) -> float:
+        """PUE applied on top of a Top500-measured power figure."""
+        return self.measured_power_pue
+
+    def for_component_power(self, cooling: str | None = None) -> float:
+        """PUE applied on top of component-rebuilt IT power.
+
+        Args:
+            cooling: optional public-info hint, one of ``"liquid"`` or
+                ``"air"``; anything else uses the generic component PUE.
+        """
+        if cooling == "liquid":
+            return self.liquid_cooled_pue
+        if cooling == "air":
+            return self.air_cooled_pue
+        return self.component_power_pue
+
+
+#: Shared default PUE model.
+DEFAULT_PUE_MODEL = PueModel()

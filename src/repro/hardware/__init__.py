@@ -1,0 +1,34 @@
+"""Hardware specification substrate.
+
+EasyC's embodied-carbon model needs per-device silicon and packaging
+data (die area, process node, TDP, attached memory) for the processors
+and accelerators that appear in the Top 500.  The paper leans on such a
+database implicitly ("the number of CPU cores per node and total CPU
+cores that are captured at top500.org are sufficient"); we make it an
+explicit, queryable substrate:
+
+* :mod:`repro.hardware.cpus` — CPU specs (EPYC, Xeon, A64FX, SW26010, …)
+* :mod:`repro.hardware.gpus` — GPU/accelerator specs (H100, MI250X, …)
+* :mod:`repro.hardware.memory` — DRAM/HBM embodied + power factors
+* :mod:`repro.hardware.storage` — SSD/HDD embodied + power factors
+* :mod:`repro.hardware.nodes` — node/chassis/PSU/rack composition
+* :mod:`repro.hardware.catalog` — name-normalizing lookup facade with
+  the paper's "approximate unknown accelerators with a mainstream GPU"
+  fallback behaviour
+"""
+
+from repro.hardware.cpus import CpuSpec, CPU_CATALOG, lookup_cpu
+from repro.hardware.gpus import GpuSpec, GPU_CATALOG, lookup_gpu, MAINSTREAM_GPU_PROXY
+from repro.hardware.memory import MemoryType, MemorySpec, MEMORY_SPECS
+from repro.hardware.storage import StorageClass, StorageSpec, STORAGE_SPECS
+from repro.hardware.nodes import NodeOverheads, DEFAULT_NODE_OVERHEADS
+from repro.hardware.catalog import HardwareCatalog, DEFAULT_CATALOG
+
+__all__ = [
+    "CpuSpec", "CPU_CATALOG", "lookup_cpu",
+    "GpuSpec", "GPU_CATALOG", "lookup_gpu", "MAINSTREAM_GPU_PROXY",
+    "MemoryType", "MemorySpec", "MEMORY_SPECS",
+    "StorageClass", "StorageSpec", "STORAGE_SPECS",
+    "NodeOverheads", "DEFAULT_NODE_OVERHEADS",
+    "HardwareCatalog", "DEFAULT_CATALOG",
+]

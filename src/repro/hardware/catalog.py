@@ -1,0 +1,96 @@
+"""Unified hardware-catalog facade.
+
+Bundles the CPU/GPU/memory/storage/node databases behind one object so
+model code takes a single ``catalog`` parameter, and tests can inject a
+small deterministic catalog.  Also central to the ablation the paper
+motivates: swapping the unknown-accelerator policy (mainstream proxy vs
+strict abstain) changes embodied coverage and totals, and
+``benchmarks/bench_ablation_proxy.py`` measures by how much.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import UnknownDeviceError
+from repro.hardware.cpus import CpuSpec, CPU_CATALOG, lookup_cpu
+from repro.hardware.gpus import GpuSpec, GPU_CATALOG, lookup_gpu
+from repro.hardware.memory import (
+    MemoryType,
+    MemorySpec,
+    MEMORY_SPECS,
+    DEFAULT_MEMORY_TYPE,
+)
+from repro.hardware.nodes import NodeOverheads, DEFAULT_NODE_OVERHEADS
+from repro.hardware.storage import StorageClass, StorageSpec, STORAGE_SPECS
+
+
+class UnknownDevicePolicy(enum.Enum):
+    """What to do when a device name is not in the catalog."""
+
+    #: Substitute the mainstream proxy device (the paper's behaviour;
+    #: systematically underestimates exotic silicon).
+    PROXY = "proxy"
+    #: Raise :class:`~repro.errors.UnknownDeviceError`, making the
+    #: system uncoverable for embodied carbon (ablation alternative).
+    STRICT = "strict"
+
+
+@dataclass(frozen=True)
+class HardwareCatalog:
+    """Queryable bundle of all hardware factor databases."""
+
+    cpus: dict[str, CpuSpec] = field(default_factory=lambda: dict(CPU_CATALOG))
+    gpus: dict[str, GpuSpec] = field(default_factory=lambda: dict(GPU_CATALOG))
+    memory: dict[MemoryType, MemorySpec] = field(default_factory=lambda: dict(MEMORY_SPECS))
+    storage: dict[StorageClass, StorageSpec] = field(default_factory=lambda: dict(STORAGE_SPECS))
+    node_overheads: NodeOverheads = DEFAULT_NODE_OVERHEADS
+    unknown_policy: UnknownDevicePolicy = UnknownDevicePolicy.PROXY
+
+    def cpu(self, name: str) -> CpuSpec:
+        """Resolve a CPU name under this catalog's unknown-device policy."""
+        return lookup_cpu(name, strict=self.unknown_policy is UnknownDevicePolicy.STRICT)
+
+    def gpu(self, name: str) -> GpuSpec:
+        """Resolve an accelerator name under this catalog's policy."""
+        return lookup_gpu(name, strict=self.unknown_policy is UnknownDevicePolicy.STRICT)
+
+    def memory_spec(self, mem_type: MemoryType | None) -> MemorySpec:
+        """Factor row for a memory type (default blend if ``None``)."""
+        return self.memory[mem_type or DEFAULT_MEMORY_TYPE]
+
+    def storage_spec(self, storage_class: StorageClass = StorageClass.SSD) -> StorageSpec:
+        """Factor row for a storage class."""
+        return self.storage[storage_class]
+
+    def knows_gpu(self, name: str) -> bool:
+        """True if ``name`` resolves without falling back to the proxy."""
+        try:
+            lookup_gpu(name, strict=True)
+            return True
+        except UnknownDeviceError:
+            return False
+
+    def knows_cpu(self, name: str) -> bool:
+        """True if ``name`` resolves without falling back to the proxy."""
+        try:
+            lookup_cpu(name, strict=True)
+            return True
+        except UnknownDeviceError:
+            return False
+
+    def with_policy(self, policy: UnknownDevicePolicy) -> "HardwareCatalog":
+        """Copy of this catalog with a different unknown-device policy."""
+        return HardwareCatalog(
+            cpus=self.cpus,
+            gpus=self.gpus,
+            memory=self.memory,
+            storage=self.storage,
+            node_overheads=self.node_overheads,
+            unknown_policy=policy,
+        )
+
+
+#: Shared default catalog instance used by :class:`repro.core.easyc.EasyC`.
+DEFAULT_CATALOG = HardwareCatalog()

@@ -1,0 +1,185 @@
+"""CPU specification database.
+
+Each entry records the fields the embodied and operational models need:
+
+* ``tdp_w`` — thermal design power, used when a system's measured power
+  is unavailable and draw must be rebuilt from component counts;
+* ``die_area_mm2`` — total compute-silicon area per package (for
+  chiplet parts, the sum of compute dies), the dominant driver of
+  per-package embodied carbon in ACT-style models;
+* ``process_nm`` — logic node, which selects the fab carbon-intensity
+  curve in :mod:`repro.core.embodied`.
+
+Values are public spec-sheet / die-shot figures rounded to the precision
+that matters for carbon modeling (±10 % die area moves embodied carbon
+by far less than the unknowns the paper highlights).  The catalog covers
+the processor families that dominate the November-2024 Top500: AMD EPYC
+(Rome through Turin), Intel Xeon (Skylake through Emerald Rapids +
+Xeon Max), and the bespoke HPC parts (A64FX, SW26010, Grace, POWER9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import UnknownDeviceError
+
+
+@dataclass(frozen=True, slots=True)
+class CpuSpec:
+    """Specification of one CPU package.
+
+    Attributes:
+        name: canonical catalog key.
+        vendor: manufacturer.
+        cores: physical cores per package.
+        tdp_w: thermal design power in watts.
+        die_area_mm2: total logic die area per package, mm^2.
+        process_nm: logic process node in nanometres.
+        year: first-availability year (used for fab-vintage curves).
+    """
+
+    name: str
+    vendor: str
+    cores: int
+    tdp_w: float
+    die_area_mm2: float
+    process_nm: float
+    year: int
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise ValueError(f"{self.name}: cores must be positive")
+        if self.tdp_w <= 0:
+            raise ValueError(f"{self.name}: tdp_w must be positive")
+        if self.die_area_mm2 <= 0:
+            raise ValueError(f"{self.name}: die_area_mm2 must be positive")
+
+
+def _c(name: str, vendor: str, cores: int, tdp: float, area: float,
+       nm: float, year: int) -> CpuSpec:
+    return CpuSpec(name=name, vendor=vendor, cores=cores, tdp_w=tdp,
+                   die_area_mm2=area, process_nm=nm, year=year)
+
+
+#: Canonical CPU catalog, keyed by normalized name.
+CPU_CATALOG: dict[str, CpuSpec] = {
+    spec.name: spec
+    for spec in [
+        # --- AMD EPYC -----------------------------------------------------
+        _c("epyc-7742", "AMD", 64, 225.0, 8 * 74.0 + 416.0, 7.0, 2019),
+        _c("epyc-7763", "AMD", 64, 280.0, 8 * 81.0 + 416.0, 7.0, 2021),
+        _c("epyc-7h12", "AMD", 64, 280.0, 8 * 74.0 + 416.0, 7.0, 2019),
+        _c("epyc-7a53", "AMD", 64, 280.0, 8 * 81.0 + 416.0, 7.0, 2021),  # Trento
+        _c("epyc-9654", "AMD", 96, 360.0, 12 * 72.0 + 397.0, 5.0, 2022),
+        _c("epyc-9754", "AMD", 128, 360.0, 8 * 73.0 + 397.0, 5.0, 2023),
+        _c("epyc-9684x", "AMD", 96, 400.0, 12 * 72.0 + 397.0, 5.0, 2023),
+        _c("epyc-9965", "AMD", 192, 500.0, 12 * 73.0 + 397.0, 3.0, 2024),
+        # --- Intel Xeon ---------------------------------------------------
+        _c("xeon-8160", "Intel", 24, 150.0, 694.0, 14.0, 2017),
+        _c("xeon-8280", "Intel", 28, 205.0, 694.0, 14.0, 2019),
+        _c("xeon-8358", "Intel", 32, 250.0, 660.0, 10.0, 2021),
+        _c("xeon-8480", "Intel", 56, 350.0, 4 * 400.0, 7.0, 2023),  # Sapphire Rapids XCC
+        _c("xeon-8592", "Intel", 64, 350.0, 2 * 763.0, 7.0, 2023),  # Emerald Rapids
+        _c("xeon-max-9480", "Intel", 56, 350.0, 4 * 400.0, 7.0, 2023),  # + HBM handled as memory
+        _c("xeon-6980p", "Intel", 128, 500.0, 3 * 580.0, 3.0, 2024),  # Granite Rapids
+        # --- Bespoke HPC parts ---------------------------------------------
+        _c("a64fx", "Fujitsu", 48, 160.0, 400.0, 7.0, 2019),
+        _c("sw26010", "NRCPC", 260, 280.0, 550.0, 28.0, 2016),
+        _c("sw26010-pro", "NRCPC", 390, 350.0, 600.0, 14.0, 2021),
+        _c("grace", "NVIDIA", 72, 250.0, 480.0, 5.0, 2023),
+        _c("power9", "IBM", 22, 250.0, 695.0, 14.0, 2017),
+        _c("mi300a-cpu", "AMD", 24, 0.0 + 180.0, 3 * 115.0, 5.0, 2023),  # CPU chiplets of the APU
+        # --- Older / long-tail parts still on the list ---------------------
+        _c("xeon-e5-2690v3", "Intel", 12, 135.0, 662.0, 22.0, 2014),
+        _c("xeon-e5-2698v3", "Intel", 16, 135.0, 662.0, 22.0, 2014),
+        _c("xeon-6148", "Intel", 20, 150.0, 694.0, 14.0, 2017),
+        _c("epyc-7601", "AMD", 32, 180.0, 4 * 213.0, 14.0, 2017),
+        _c("thunderx2", "Marvell", 32, 180.0, 640.0, 16.0, 2018),
+    ]
+}
+
+
+#: Aliases mapping Top500-style processor strings to catalog keys.
+_CPU_ALIASES: dict[str, str] = {
+    "amd epyc 7742": "epyc-7742",
+    "amd epyc 7763": "epyc-7763",
+    "amd epyc 7h12": "epyc-7h12",
+    "amd optimized 3rd generation epyc": "epyc-7a53",
+    "amd epyc 9654": "epyc-9654",
+    "amd epyc 9754": "epyc-9754",
+    "amd epyc 9684x": "epyc-9684x",
+    "amd epyc 9965": "epyc-9965",
+    "xeon platinum 8160": "xeon-8160",
+    "xeon platinum 8280": "xeon-8280",
+    "xeon platinum 8358": "xeon-8358",
+    "xeon platinum 8480": "xeon-8480",
+    "xeon platinum 8480+": "xeon-8480",
+    "xeon platinum 8592+": "xeon-8592",
+    "xeon cpu max 9480": "xeon-max-9480",
+    "xeon 6980p": "xeon-6980p",
+    "fujitsu a64fx": "a64fx",
+    "a64fx": "a64fx",
+    "sunway sw26010": "sw26010",
+    "sw26010": "sw26010",
+    "sw26010 pro": "sw26010-pro",
+    "nvidia grace": "grace",
+    "grace": "grace",
+    "ibm power9": "power9",
+    "power9": "power9",
+    "amd instinct mi300a (cpu)": "mi300a-cpu",
+    "xeon e5-2690v3": "xeon-e5-2690v3",
+    "xeon e5-2698v3": "xeon-e5-2698v3",
+    "xeon gold 6148": "xeon-6148",
+    "amd epyc 7601": "epyc-7601",
+    "marvell thunderx2": "thunderx2",
+}
+
+
+#: Proxy used for processors the catalog does not know: a mainstream
+#: 64-core server part.  Mirrors the paper's proxy behaviour for unknown
+#: devices (which it notes produces systematic underestimates for exotic
+#: silicon).
+GENERIC_SERVER_CPU: CpuSpec = CPU_CATALOG["epyc-7763"]
+
+
+def normalize_device_name(name: str) -> str:
+    """Lower-case, collapse whitespace, strip frequency/core suffixes.
+
+    Top500 processor strings look like ``"AMD EPYC 7763 64C 2.45GHz"``;
+    the trailing core-count and clock tokens are noise for catalog
+    lookup.
+    """
+    tokens = name.lower().replace(",", " ").split()
+    kept = []
+    for tok in tokens:
+        if tok.endswith("ghz") or tok.endswith("mhz"):
+            continue
+        if tok.endswith("c") and tok[:-1].isdigit():
+            continue
+        kept.append(tok)
+    return " ".join(kept)
+
+
+def lookup_cpu(name: str, *, strict: bool = False) -> CpuSpec:
+    """Resolve a processor name (catalog key, alias, or Top500 string).
+
+    With ``strict=False`` (the default, matching the paper's modeling
+    stance) unknown parts resolve to :data:`GENERIC_SERVER_CPU`; with
+    ``strict=True`` they raise :class:`~repro.errors.UnknownDeviceError`.
+    """
+    key = name.strip().lower()
+    if key in CPU_CATALOG:
+        return CPU_CATALOG[key]
+    norm = normalize_device_name(name)
+    if norm in CPU_CATALOG:
+        return CPU_CATALOG[norm]
+    if norm in _CPU_ALIASES:
+        return CPU_CATALOG[_CPU_ALIASES[norm]]
+    # Substring match: "amd epyc 7763 64c 2.45ghz" contains alias "amd epyc 7763".
+    for alias, catalog_key in _CPU_ALIASES.items():
+        if alias in norm:
+            return CPU_CATALOG[catalog_key]
+    if strict:
+        raise UnknownDeviceError("cpu", name)
+    return GENERIC_SERVER_CPU

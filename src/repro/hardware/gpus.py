@@ -1,0 +1,163 @@
+"""GPU / accelerator specification database.
+
+The paper identifies accelerator diversity as the dominant obstacle to
+embodied-carbon coverage: "top systems today make heavy use of an
+increasingly diverse set of accelerators (e.g., Nvidia, AMD, many
+versions)" and "the use of novel accelerators, not documented in public
+information, is the largest problem. Approximating these accelerators
+with mainstream GPUs produces systematic underestimates of silicon
+size."
+
+This module therefore carries two things:
+
+1. a catalog of the accelerators actually present on the Nov-2024 list,
+   with die area, attached HBM, and TDP; and
+2. :data:`MAINSTREAM_GPU_PROXY` — the deliberately *mainstream* fallback
+   device used for unknown accelerators, preserving the paper's
+   documented underestimation behaviour (tested in
+   ``tests/hardware/test_gpus.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import UnknownDeviceError
+from repro.hardware.cpus import normalize_device_name
+
+
+@dataclass(frozen=True, slots=True)
+class GpuSpec:
+    """Specification of one accelerator package.
+
+    Attributes:
+        name: canonical catalog key.
+        vendor: manufacturer.
+        tdp_w: board/package power in watts.
+        die_area_mm2: compute-silicon area per package (sum of compute
+            dies for chiplet parts), mm^2.
+        hbm_gb: on-package high-bandwidth memory in GB (adds embodied
+            carbon via the HBM factor, not counted in system DRAM).
+        process_nm: logic node in nanometres.
+        year: first-availability year.
+    """
+
+    name: str
+    vendor: str
+    tdp_w: float
+    die_area_mm2: float
+    hbm_gb: float
+    process_nm: float
+    year: int
+
+    def __post_init__(self) -> None:
+        if self.tdp_w <= 0:
+            raise ValueError(f"{self.name}: tdp_w must be positive")
+        if self.die_area_mm2 <= 0:
+            raise ValueError(f"{self.name}: die_area_mm2 must be positive")
+        if self.hbm_gb < 0:
+            raise ValueError(f"{self.name}: hbm_gb must be non-negative")
+
+
+def _g(name: str, vendor: str, tdp: float, area: float, hbm: float,
+       nm: float, year: int) -> GpuSpec:
+    return GpuSpec(name=name, vendor=vendor, tdp_w=tdp, die_area_mm2=area,
+                   hbm_gb=hbm, process_nm=nm, year=year)
+
+
+#: Canonical accelerator catalog, keyed by normalized name.
+GPU_CATALOG: dict[str, GpuSpec] = {
+    spec.name: spec
+    for spec in [
+        # --- NVIDIA ---------------------------------------------------
+        _g("v100", "NVIDIA", 300.0, 815.0, 32.0, 12.0, 2017),
+        _g("a100", "NVIDIA", 400.0, 826.0, 80.0, 7.0, 2020),
+        _g("a100-40", "NVIDIA", 400.0, 826.0, 40.0, 7.0, 2020),
+        _g("h100", "NVIDIA", 700.0, 814.0, 80.0, 5.0, 2022),
+        _g("h200", "NVIDIA", 700.0, 814.0, 141.0, 5.0, 2024),
+        _g("gh200", "NVIDIA", 900.0, 814.0 + 480.0, 96.0, 5.0, 2023),  # Hopper + Grace dies
+        _g("b200", "NVIDIA", 1000.0, 2 * 800.0, 192.0, 4.0, 2024),
+        _g("p100", "NVIDIA", 300.0, 610.0, 16.0, 16.0, 2016),
+        # --- AMD ------------------------------------------------------
+        _g("mi100", "AMD", 300.0, 750.0, 32.0, 7.0, 2020),
+        _g("mi250x", "AMD", 560.0, 2 * 724.0, 128.0, 6.0, 2021),
+        _g("mi300a", "AMD", 760.0, 6 * 115.0 + 3 * 115.0 + 4 * 371.0, 128.0, 5.0, 2023),
+        _g("mi300x", "AMD", 750.0, 8 * 115.0 + 4 * 371.0, 192.0, 5.0, 2023),
+        # --- Intel ----------------------------------------------------
+        _g("pvc", "Intel", 600.0, 2 * 640.0, 128.0, 7.0, 2023),  # Ponte Vecchio (Max 1550)
+        # --- Long-tail / bespoke ----------------------------------------
+        _g("sx-aurora", "NEC", 300.0, 545.0, 48.0, 16.0, 2018),
+        _g("matrix-2000", "NUDT", 240.0, 500.0, 0.0, 16.0, 2017),
+        _g("k20x", "NVIDIA", 235.0, 561.0, 0.0, 28.0, 2012),
+    ]
+}
+
+
+#: Aliases mapping Top500-style accelerator strings to catalog keys.
+_GPU_ALIASES: dict[str, str] = {
+    "nvidia tesla v100": "v100",
+    "tesla v100": "v100",
+    "v100": "v100",
+    "nvidia a100": "a100",
+    "nvidia a100 sxm4 80 gb": "a100",
+    "nvidia a100 sxm4 40 gb": "a100-40",
+    "nvidia a100 40gb": "a100-40",
+    "a100": "a100",
+    "nvidia h100": "h100",
+    "nvidia h100 sxm5": "h100",
+    "h100": "h100",
+    "nvidia h200": "h200",
+    "h200": "h200",
+    "nvidia gh200 superchip": "gh200",
+    "gh200 superchip": "gh200",
+    "gh200": "gh200",
+    "nvidia b200": "b200",
+    "b200": "b200",
+    "nvidia tesla p100": "p100",
+    "p100": "p100",
+    "amd instinct mi100": "mi100",
+    "mi100": "mi100",
+    "amd instinct mi250x": "mi250x",
+    "mi250x": "mi250x",
+    "amd instinct mi300a": "mi300a",
+    "mi300a": "mi300a",
+    "amd instinct mi300x": "mi300x",
+    "mi300x": "mi300x",
+    "intel data center gpu max": "pvc",
+    "intel max 1550": "pvc",
+    "ponte vecchio": "pvc",
+    "nec vector engine": "sx-aurora",
+    "sx-aurora tsubasa": "sx-aurora",
+    "matrix-2000": "matrix-2000",
+    "nvidia tesla k20x": "k20x",
+}
+
+
+#: The mainstream fallback for unknown accelerators.  An A100-class
+#: device: large but not frontier silicon, so exotic parts (MI300A,
+#: trainium-style multi-die packages) are under-counted — exactly the
+#: systematic underestimate the paper reports for the Baseline scenario.
+MAINSTREAM_GPU_PROXY: GpuSpec = GPU_CATALOG["a100"]
+
+
+def lookup_gpu(name: str, *, strict: bool = False) -> GpuSpec:
+    """Resolve an accelerator name (catalog key, alias, Top500 string).
+
+    With ``strict=False`` unknown parts resolve to
+    :data:`MAINSTREAM_GPU_PROXY` (the paper's behaviour); with
+    ``strict=True`` they raise :class:`~repro.errors.UnknownDeviceError`.
+    """
+    key = name.strip().lower()
+    if key in GPU_CATALOG:
+        return GPU_CATALOG[key]
+    norm = normalize_device_name(name)
+    if norm in GPU_CATALOG:
+        return GPU_CATALOG[norm]
+    if norm in _GPU_ALIASES:
+        return GPU_CATALOG[_GPU_ALIASES[norm]]
+    for alias, catalog_key in _GPU_ALIASES.items():
+        if alias in norm:
+            return GPU_CATALOG[catalog_key]
+    if strict:
+        raise UnknownDeviceError("gpu", name)
+    return MAINSTREAM_GPU_PROXY

@@ -1,0 +1,99 @@
+"""Memory (DRAM / HBM) embodied-carbon and power factors.
+
+EasyC's key-metric list includes *memory capacity* and *memory type*
+(Table I).  Type matters because embodied carbon per GB differs by
+roughly 2-4x between commodity DDR4 and stacked HBM: HBM stacks more
+silicon per bit and adds TSV/interposer processing.
+
+Factor provenance: ACT (Gupta et al., ISCA'22) and vendor LCA reports
+put DRAM at roughly 0.2-0.6 kgCO2e/GB depending on fab vintage and
+energy mix; we adopt mid-range constants and expose them as data so
+sensitivity studies (``benchmarks/bench_ablation_factors.py``) can sweep
+them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class MemoryType(enum.Enum):
+    """Memory technology classes the model distinguishes."""
+
+    DDR3 = "ddr3"
+    DDR4 = "ddr4"
+    DDR5 = "ddr5"
+    HBM2 = "hbm2"
+    HBM2E = "hbm2e"
+    HBM3 = "hbm3"
+
+    @classmethod
+    def parse(cls, text: str) -> "MemoryType":
+        """Parse a free-form memory-type string (case-insensitive)."""
+        key = text.strip().lower().replace("-", "").replace(" ", "")
+        for member in cls:
+            if member.value == key:
+                return member
+        # Tolerate common long forms like "HBM2e (on package)".
+        for member in cls:
+            if key.startswith(member.value):
+                return member
+        raise ValueError(f"unknown memory type: {text!r}")
+
+
+@dataclass(frozen=True, slots=True)
+class MemorySpec:
+    """Per-GB factors for one memory technology.
+
+    Attributes:
+        mem_type: the technology class.
+        embodied_kg_per_gb: cradle-to-gate embodied carbon, kgCO2e/GB.
+        power_w_per_gb: average operating power, W/GB (refresh +
+            background + typical activity), used when rebuilding system
+            power from components.
+    """
+
+    mem_type: MemoryType
+    embodied_kg_per_gb: float
+    power_w_per_gb: float
+
+    def __post_init__(self) -> None:
+        if self.embodied_kg_per_gb <= 0:
+            raise ValueError(f"{self.mem_type}: embodied factor must be positive")
+        if self.power_w_per_gb < 0:
+            raise ValueError(f"{self.mem_type}: power factor must be non-negative")
+
+
+#: Factor table.  Older DDR generations have *higher* kg/GB because the
+#: bits were made on older, less dense processes.
+MEMORY_SPECS: dict[MemoryType, MemorySpec] = {
+    MemoryType.DDR3: MemorySpec(MemoryType.DDR3, embodied_kg_per_gb=0.85, power_w_per_gb=0.45),
+    MemoryType.DDR4: MemorySpec(MemoryType.DDR4, embodied_kg_per_gb=0.65, power_w_per_gb=0.35),
+    MemoryType.DDR5: MemorySpec(MemoryType.DDR5, embodied_kg_per_gb=0.50, power_w_per_gb=0.30),
+    MemoryType.HBM2: MemorySpec(MemoryType.HBM2, embodied_kg_per_gb=1.10, power_w_per_gb=0.25),
+    MemoryType.HBM2E: MemorySpec(MemoryType.HBM2E, embodied_kg_per_gb=1.05, power_w_per_gb=0.25),
+    MemoryType.HBM3: MemorySpec(MemoryType.HBM3, embodied_kg_per_gb=1.00, power_w_per_gb=0.22),
+}
+
+#: Used when memory *capacity* is known but *type* is not: a DDR4/DDR5
+#: blend representative of the 2024 install base.
+DEFAULT_MEMORY_TYPE: MemoryType = MemoryType.DDR4
+
+
+def memory_embodied_kg(capacity_gb: float,
+                       mem_type: MemoryType | None = None) -> float:
+    """Embodied carbon of ``capacity_gb`` of system memory, kgCO2e."""
+    if capacity_gb < 0:
+        raise ValueError(f"capacity must be non-negative, got {capacity_gb}")
+    spec = MEMORY_SPECS[mem_type or DEFAULT_MEMORY_TYPE]
+    return capacity_gb * spec.embodied_kg_per_gb
+
+
+def memory_power_w(capacity_gb: float,
+                   mem_type: MemoryType | None = None) -> float:
+    """Average operating power of ``capacity_gb`` of system memory, W."""
+    if capacity_gb < 0:
+        raise ValueError(f"capacity must be non-negative, got {capacity_gb}")
+    spec = MEMORY_SPECS[mem_type or DEFAULT_MEMORY_TYPE]
+    return capacity_gb * spec.power_w_per_gb

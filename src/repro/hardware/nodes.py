@@ -1,0 +1,59 @@
+"""Node-level composition: everything in the rack besides the silicon.
+
+A compute node carries a mainboard, power supplies, cooling hardware,
+NICs and a share of the rack/interconnect; these contribute both
+embodied carbon (sheet metal, PCBs, power electronics) and an
+operational power overhead on top of the component draw.  EasyC folds
+these into per-node constants rather than itemized inventory — that is
+precisely the simplification that lets it run on 7 metrics where the
+GHG protocol needs hundreds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class NodeOverheads:
+    """Per-node and per-system overhead constants.
+
+    Attributes:
+        mainboard_kg: embodied carbon of mainboard + NIC + misc PCBs
+            per node, kgCO2e.
+        psu_chassis_kg: embodied carbon of PSUs, sleds, sheet metal per
+            node, kgCO2e.
+        rack_share_kg: per-node share of rack, cabling and switch
+            embodied carbon, kgCO2e.
+        power_overhead_frac: fraction added to summed component power
+            for fans, VR losses, and interconnect when rebuilding
+            system power from components (distinct from facility PUE,
+            which multiplies at the datacenter level).
+        idle_node_w: floor power per node even if component data sums
+            lower (platform idle).
+    """
+
+    mainboard_kg: float = 110.0
+    psu_chassis_kg: float = 130.0
+    rack_share_kg: float = 60.0
+    power_overhead_frac: float = 0.12
+    idle_node_w: float = 120.0
+
+    def __post_init__(self) -> None:
+        for field_name in ("mainboard_kg", "psu_chassis_kg", "rack_share_kg",
+                           "idle_node_w"):
+            if getattr(self, field_name) < 0:
+                raise ValueError(f"{field_name} must be non-negative")
+        if not 0.0 <= self.power_overhead_frac <= 1.0:
+            raise ValueError("power_overhead_frac must be in [0, 1]")
+
+    @property
+    def embodied_kg_per_node(self) -> float:
+        """Total non-silicon embodied carbon per node, kgCO2e."""
+        return self.mainboard_kg + self.psu_chassis_kg + self.rack_share_kg
+
+
+#: Defaults representative of dense HPC sleds (shared PSUs, direct
+#: liquid cooling).  Air-cooled commodity racks would be slightly higher
+#: on power_overhead_frac.
+DEFAULT_NODE_OVERHEADS = NodeOverheads()

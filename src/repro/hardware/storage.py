@@ -1,0 +1,68 @@
+"""Storage (SSD / HDD) embodied-carbon and power factors.
+
+The paper's closing caution — "embodied carbon is heavily influenced by
+storage system" — is a direct consequence of these factors: NAND flash
+embodies on the order of 0.1-0.2 kgCO2e/GB (Tannu & Nair, ASPLOS'23
+place enterprise SSDs in this band), so a 100 PB parallel filesystem
+embodies tens of thousands of MT CO2e, rivalling all the compute
+silicon combined.  This is why Frontier's embodied footprint (with its
+~700 PB Orion file system) dwarfs El Capitan's in Table II.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class StorageClass(enum.Enum):
+    """Storage technology classes the model distinguishes."""
+
+    SSD = "ssd"
+    HDD = "hdd"
+
+
+@dataclass(frozen=True, slots=True)
+class StorageSpec:
+    """Per-GB factors for one storage technology.
+
+    Attributes:
+        storage_class: the technology class.
+        embodied_kg_per_gb: cradle-to-gate embodied carbon, kgCO2e/GB.
+        power_w_per_tb: average operating power, W/TB of deployed
+            capacity (drive + enclosure amortized).
+    """
+
+    storage_class: StorageClass
+    embodied_kg_per_gb: float
+    power_w_per_tb: float
+
+    def __post_init__(self) -> None:
+        if self.embodied_kg_per_gb <= 0:
+            raise ValueError(f"{self.storage_class}: embodied factor must be positive")
+        if self.power_w_per_tb < 0:
+            raise ValueError(f"{self.storage_class}: power factor must be non-negative")
+
+
+#: Factor table.  HDD bits are far cheaper to make (mechanical platters,
+#: little silicon) but burn more power per TB while spinning.
+STORAGE_SPECS: dict[StorageClass, StorageSpec] = {
+    StorageClass.SSD: StorageSpec(StorageClass.SSD, embodied_kg_per_gb=0.160, power_w_per_tb=1.3),
+    StorageClass.HDD: StorageSpec(StorageClass.HDD, embodied_kg_per_gb=0.004, power_w_per_tb=4.5),
+}
+
+
+def storage_embodied_kg(capacity_gb: float,
+                        storage_class: StorageClass = StorageClass.SSD) -> float:
+    """Embodied carbon of ``capacity_gb`` of storage, kgCO2e."""
+    if capacity_gb < 0:
+        raise ValueError(f"capacity must be non-negative, got {capacity_gb}")
+    return capacity_gb * STORAGE_SPECS[storage_class].embodied_kg_per_gb
+
+
+def storage_power_w(capacity_gb: float,
+                    storage_class: StorageClass = StorageClass.SSD) -> float:
+    """Average operating power of ``capacity_gb`` of storage, W."""
+    if capacity_gb < 0:
+        raise ValueError(f"capacity must be non-negative, got {capacity_gb}")
+    return (capacity_gb / 1e3) * STORAGE_SPECS[storage_class].power_w_per_tb

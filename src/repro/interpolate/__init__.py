@@ -1,0 +1,15 @@
+"""Rank-peer interpolation: completing the Top 500.
+
+The paper: "we interpolate the carbon footprint for the systems missing
+data using the average of the nearest 10 peers (5 lower and 5 higher)
+in the Top 500.  If the peers are also incomplete, we use the next
+closest peers."
+"""
+
+from repro.interpolate.peers import (
+    PeerInterpolator,
+    InterpolatedValue,
+    interpolate_series,
+)
+
+__all__ = ["PeerInterpolator", "InterpolatedValue", "interpolate_series"]

@@ -1,0 +1,121 @@
+"""Nearest-rank-peer interpolation.
+
+Given a rank-indexed series with holes, each hole is filled with the
+mean of the nearest ``k`` covered peers — ``k/2`` below and ``k/2``
+above in rank, walking outward past other holes ("if the peers are also
+incomplete, we use the next closest peers").  Near the ends of the
+list, or when one side runs out of covered systems, the walk continues
+on the other side so every hole still averages exactly ``k`` peers
+whenever at least ``k`` covered values exist at all.
+
+The estimator is intentionally simple — the paper's point is that with
+98 % coverage the interpolated remainder barely moves the total
+(+1.74 % operational), and with 80.8 % coverage it moves it more
+(+23.18 % embodied).  Properties (fill-completeness, bounds, exactness
+on constant series) are hypothesis-tested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import InterpolationError
+
+#: The paper's neighbourhood: 5 peers below + 5 above.
+DEFAULT_PEERS: int = 10
+
+
+@dataclass(frozen=True, slots=True)
+class InterpolatedValue:
+    """One filled hole: the value and the peers that produced it."""
+
+    rank: int
+    value: float
+    peer_ranks: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class PeerInterpolator:
+    """Configurable nearest-peer interpolator.
+
+    Attributes:
+        n_peers: total peer count (half below, half above; must be even
+            and positive).
+    """
+
+    n_peers: int = DEFAULT_PEERS
+
+    def __post_init__(self) -> None:
+        if self.n_peers <= 0 or self.n_peers % 2 != 0:
+            raise ValueError(f"n_peers must be positive and even, got {self.n_peers}")
+
+    def fill(self, series: dict[int, float | None],
+             ) -> tuple[dict[int, float], list[InterpolatedValue]]:
+        """Fill every hole in a rank-keyed series.
+
+        Args:
+            series: ``{rank: value-or-None}``; ranks need not be
+                contiguous but must be unique (dict guarantees that).
+
+        Returns:
+            ``(completed, fills)`` — the completed series (same keys,
+            no ``None``) and the per-hole interpolation records.
+
+        Raises:
+            InterpolationError: if fewer than ``n_peers`` covered
+                values exist in the whole series.
+        """
+        ranks = sorted(series)
+        covered = [r for r in ranks if series[r] is not None]
+        if len(covered) < self.n_peers:
+            raise InterpolationError(
+                f"need at least {self.n_peers} covered systems, "
+                f"have {len(covered)}")
+
+        completed: dict[int, float] = {}
+        fills: list[InterpolatedValue] = []
+        half = self.n_peers // 2
+        for rank in ranks:
+            value = series[rank]
+            if value is not None:
+                completed[rank] = value
+                continue
+            peers = self._nearest_covered(rank, covered, half)
+            fill_value = sum(series[p] for p in peers) / len(peers)  # type: ignore[misc]
+            completed[rank] = fill_value
+            fills.append(InterpolatedValue(rank=rank, value=fill_value,
+                                           peer_ranks=tuple(peers)))
+        return completed, fills
+
+    def _nearest_covered(self, rank: int, covered: list[int],
+                         half: int) -> list[int]:
+        """The ``2*half`` covered ranks nearest to ``rank``.
+
+        Takes ``half`` from each side first, then tops up from whichever
+        side still has candidates (end-of-list behaviour).
+        """
+        below = [r for r in covered if r < rank]
+        above = [r for r in covered if r > rank]
+        take_below = below[-half:]
+        take_above = above[:half]
+        need = 2 * half - len(take_below) - len(take_above)
+        if need > 0:
+            extra_above = above[half:half + max(0, need)]
+            take_above = [*take_above, *extra_above]
+            need = 2 * half - len(take_below) - len(take_above)
+        if need > 0:
+            cut = len(below) - len(take_below)
+            extra_below = below[max(0, cut - need):cut]
+            take_below = [*extra_below, *take_below]
+        peers = sorted((*take_below, *take_above))
+        if len(peers) < 2 * half:
+            raise InterpolationError(
+                f"rank {rank}: only {len(peers)} covered peers available")
+        return peers
+
+
+def interpolate_series(series: dict[int, float | None],
+                       n_peers: int = DEFAULT_PEERS) -> dict[int, float]:
+    """Convenience wrapper: fill a series with the paper's defaults."""
+    completed, _ = PeerInterpolator(n_peers=n_peers).fill(series)
+    return completed

@@ -1,0 +1,14 @@
+"""Parallel fleet-evaluation substrate.
+
+Assessing one 500-system list is cheap, but the benchmark harness runs
+parameter sweeps (ablation grids × scenarios × Monte-Carlo missingness
+draws) that evaluate many thousands of fleets; this package provides a
+small, dependency-free chunked ``parallel_map`` over processes, plus
+the chunking arithmetic it uses (tested separately, since off-by-ones
+in chunking silently drop work items).
+"""
+
+from repro.parallel.chunking import chunk_indices, chunked
+from repro.parallel.executor import parallel_map, ExecutionStats
+
+__all__ = ["chunk_indices", "chunked", "parallel_map", "ExecutionStats"]

@@ -1,0 +1,32 @@
+"""Projection of the Top 500 carbon footprint, 2025-2030.
+
+* :mod:`repro.projection.turnover` — the list-churn growth model: ~48
+  systems replaced per cycle, entering systems bigger/hungrier than the
+  ones they displace, yielding +5 % operational / +1 % embodied per
+  cycle (10.3 % / 2 % annualized).
+* :mod:`repro.projection.growth` — compound projection of the totals
+  (Figure 10).
+* :mod:`repro.projection.perf_carbon` — performance-per-carbon
+  trajectory against the ideal 2×/18-months line (Figure 11).
+"""
+
+from repro.projection.turnover import TurnoverModel, TurnoverObservation
+from repro.projection.growth import (
+    CarbonProjection,
+    ProjectionPoint,
+    OPERATIONAL_ANNUAL_GROWTH,
+    EMBODIED_ANNUAL_GROWTH,
+)
+from repro.projection.perf_carbon import (
+    PerfCarbonProjection,
+    perf_carbon_projection,
+    IDEAL_DOUBLING_MONTHS,
+)
+
+__all__ = [
+    "TurnoverModel", "TurnoverObservation",
+    "CarbonProjection", "ProjectionPoint",
+    "OPERATIONAL_ANNUAL_GROWTH", "EMBODIED_ANNUAL_GROWTH",
+    "PerfCarbonProjection", "perf_carbon_projection",
+    "IDEAL_DOUBLING_MONTHS",
+]

@@ -1,0 +1,92 @@
+"""Compound projection of Top 500 carbon totals (Figure 10).
+
+Starting from the 2024 assessment (interpolated full-500 totals), the
+operational footprint compounds at 10.3 %/year and the embodied at
+2 %/year — reaching ≈1.8× and ≈1.1× their 2024 levels by 2030.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import units
+from repro.projection.turnover import TurnoverModel
+
+#: The paper's annualized growth rates.
+OPERATIONAL_ANNUAL_GROWTH: float = 0.103
+EMBODIED_ANNUAL_GROWTH: float = 0.02
+
+#: Projection window.
+BASE_YEAR: int = 2024
+END_YEAR: int = 2030
+
+
+@dataclass(frozen=True, slots=True)
+class ProjectionPoint:
+    """One projected year."""
+
+    year: int
+    operational_mt: float
+    embodied_mt: float
+
+
+@dataclass(frozen=True)
+class CarbonProjection:
+    """A 2024-2030 projection of the Top 500 totals."""
+
+    base_year: int
+    base_operational_mt: float
+    base_embodied_mt: float
+    operational_rate: float
+    embodied_rate: float
+
+    def __post_init__(self) -> None:
+        if self.base_operational_mt <= 0 or self.base_embodied_mt <= 0:
+            raise ValueError("base totals must be positive")
+        if not -0.5 <= self.operational_rate <= 1.0:
+            raise ValueError(f"implausible operational rate {self.operational_rate}")
+        if not -0.5 <= self.embodied_rate <= 1.0:
+            raise ValueError(f"implausible embodied rate {self.embodied_rate}")
+
+    @classmethod
+    def paper_defaults(cls, base_operational_mt: float,
+                       base_embodied_mt: float) -> "CarbonProjection":
+        """Projection with the paper's growth rates."""
+        return cls(base_year=BASE_YEAR,
+                   base_operational_mt=base_operational_mt,
+                   base_embodied_mt=base_embodied_mt,
+                   operational_rate=OPERATIONAL_ANNUAL_GROWTH,
+                   embodied_rate=EMBODIED_ANNUAL_GROWTH)
+
+    @classmethod
+    def from_turnover(cls, model: TurnoverModel, base_operational_mt: float,
+                      base_embodied_mt: float) -> "CarbonProjection":
+        """Projection with rates derived from a turnover model."""
+        return cls(base_year=BASE_YEAR,
+                   base_operational_mt=base_operational_mt,
+                   base_embodied_mt=base_embodied_mt,
+                   operational_rate=model.operational_annual,
+                   embodied_rate=model.embodied_annual)
+
+    def at(self, year: int) -> ProjectionPoint:
+        """Projected totals for one year (>= base year)."""
+        if year < self.base_year:
+            raise ValueError(f"year {year} precedes base year {self.base_year}")
+        dt = year - self.base_year
+        return ProjectionPoint(
+            year=year,
+            operational_mt=units.compound(self.base_operational_mt,
+                                          self.operational_rate, dt),
+            embodied_mt=units.compound(self.base_embodied_mt,
+                                       self.embodied_rate, dt),
+        )
+
+    def series(self, end_year: int = END_YEAR) -> list[ProjectionPoint]:
+        """Yearly points from the base year through ``end_year``."""
+        return [self.at(y) for y in range(self.base_year, end_year + 1)]
+
+    def multiplier_at(self, year: int) -> tuple[float, float]:
+        """(operational, embodied) growth multiples relative to base."""
+        point = self.at(year)
+        return (point.operational_mt / self.base_operational_mt,
+                point.embodied_mt / self.base_embodied_mt)

@@ -1,0 +1,86 @@
+"""Performance-per-carbon trajectory (Figure 11).
+
+The sustainability lens on Moore's-law slowdown: PFlop/s delivered per
+thousand MT CO2e.  The paper projects the achieved ratio rising at
+≈0.2 PFlop/s per kMT CO2e per year — glacial next to the Dennard-era
+ideal of 2× performance per unit power every 18 months, which is drawn
+alongside for contrast (hence the log axis reaching 10^18).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import units
+from repro.projection.growth import BASE_YEAR, END_YEAR
+
+#: The ideal line's doubling period (months): Dennard-era scaling.
+IDEAL_DOUBLING_MONTHS: float = 18.0
+
+#: The paper's observed improvement rate, PFlop/s per kMT CO2e per year.
+PROJECTED_RATIO_SLOPE: float = 0.2
+
+
+@dataclass(frozen=True, slots=True)
+class PerfCarbonPoint:
+    """One year of the ratio trajectory."""
+
+    year: int
+    projected_pflops_per_kmt: float
+    ideal_pflops_per_kmt: float
+
+
+@dataclass(frozen=True)
+class PerfCarbonProjection:
+    """Projected vs ideal performance-per-carbon, per footprint."""
+
+    footprint: str
+    base_year: int
+    base_ratio: float            # PFlop/s per thousand MT CO2e in base year
+    slope: float                 # PFlop/s per kMT per year (projected line)
+
+    def __post_init__(self) -> None:
+        if self.base_ratio <= 0:
+            raise ValueError("base ratio must be positive")
+
+    def at(self, year: int) -> PerfCarbonPoint:
+        """Ratio point for one year."""
+        if year < self.base_year:
+            raise ValueError(f"year {year} precedes base year {self.base_year}")
+        dt_years = year - self.base_year
+        return PerfCarbonPoint(
+            year=year,
+            projected_pflops_per_kmt=self.base_ratio + self.slope * dt_years,
+            ideal_pflops_per_kmt=units.doubling_growth(
+                self.base_ratio, months=12.0 * dt_years,
+                doubling_months=IDEAL_DOUBLING_MONTHS),
+        )
+
+    def series(self, end_year: int = END_YEAR) -> list[PerfCarbonPoint]:
+        """Yearly points through ``end_year``."""
+        return [self.at(y) for y in range(self.base_year, end_year + 1)]
+
+    def gap_at(self, year: int) -> float:
+        """Ideal ÷ projected: how far reality trails Dennard scaling."""
+        point = self.at(year)
+        return point.ideal_pflops_per_kmt / point.projected_pflops_per_kmt
+
+
+def perf_carbon_projection(total_rmax_tflops: float, total_carbon_mt: float,
+                           footprint: str,
+                           base_year: int = BASE_YEAR,
+                           slope: float = PROJECTED_RATIO_SLOPE,
+                           ) -> PerfCarbonProjection:
+    """Build the Figure 11 projection from 2024 list totals.
+
+    Args:
+        total_rmax_tflops: summed Rmax of the list, TFlop/s.
+        total_carbon_mt: the footprint's full-500 total, MT CO2e.
+        footprint: ``"operational"`` or ``"embodied"`` (label only).
+    """
+    if total_rmax_tflops <= 0 or total_carbon_mt <= 0:
+        raise ValueError("totals must be positive")
+    base_ratio = units.tflops_to_pflops(total_rmax_tflops) \
+        / units.mt_to_thousand_mt(total_carbon_mt)
+    return PerfCarbonProjection(footprint=footprint, base_year=base_year,
+                                base_ratio=base_ratio, slope=slope)

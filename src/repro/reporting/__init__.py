@@ -1,0 +1,13 @@
+"""Reporting: text renderings of every table and figure.
+
+matplotlib is unavailable offline, so each figure is regenerated as the
+exact numeric series the paper plots, rendered as aligned text tables
+and ASCII bar charts.  Benchmarks print these; EXPERIMENTS.md quotes
+them.
+"""
+
+from repro.reporting.tables import render_table
+from repro.reporting.charts import bar_chart, series_summary
+from repro.reporting import figures
+
+__all__ = ["render_table", "bar_chart", "series_summary", "figures"]

@@ -1,0 +1,53 @@
+"""ASCII charts: horizontal bars and compact series summaries."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def bar_chart(labels: Sequence[str], values: Sequence[float],
+              width: int = 50, unit: str = "", title: str | None = None) -> str:
+    """Horizontal bar chart scaled to the maximum value."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    if any(v < 0 for v in values):
+        raise ValueError("bar_chart takes non-negative values")
+    peak = max(values, default=0.0)
+    label_w = max((len(l) for l in labels), default=0)
+    out = []
+    if title:
+        out.append(title)
+    for label, value in zip(labels, values):
+        n = 0 if peak == 0 else round(width * value / peak)
+        out.append(f"{label.ljust(label_w)} |{'#' * n}{' ' * (width - n)}| "
+                   f"{value:,.1f}{unit}")
+    return "\n".join(out)
+
+
+def series_summary(points: Sequence[tuple[int, float]],
+                   n_buckets: int = 10, title: str | None = None,
+                   unit: str = "") -> str:
+    """Summarize a long (rank, value) series as bucket means.
+
+    The carbon-vs-rank figures have 500 points; printing bucket means
+    preserves the shape (steep head, long tail) legibly.
+    """
+    if not points:
+        return title or "(empty series)"
+    out = []
+    if title:
+        out.append(title)
+    size = max(len(points) // n_buckets, 1)
+    rows = []
+    for i in range(0, len(points), size):
+        bucket = points[i:i + size]
+        lo, hi = bucket[0][0], bucket[-1][0]
+        mean = sum(v for _, v in bucket) / len(bucket)
+        rows.append((f"ranks {lo}-{hi}", mean))
+    peak = max(v for _, v in rows)
+    label_w = max(len(l) for l, _ in rows)
+    for label, mean in rows:
+        n = 0 if peak == 0 else round(40 * mean / peak)
+        out.append(f"{label.ljust(label_w)} |{'#' * n}{' ' * (40 - n)}| "
+                   f"{mean:,.1f}{unit}")
+    return "\n".join(out)

@@ -1,0 +1,50 @@
+"""Minimal aligned-text table renderer (no third-party dependencies)."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: str | None = None) -> str:
+    """Render rows as an aligned text table.
+
+    Numbers are right-aligned and formatted with thousands separators;
+    everything else is left-aligned ``str()``.
+    """
+    def fmt(cell: object) -> str:
+        if isinstance(cell, bool):
+            return str(cell)
+        if isinstance(cell, int):
+            return f"{cell:,}"
+        if isinstance(cell, float):
+            return f"{cell:,.1f}"
+        return str(cell)
+
+    def is_numeric(cell: object) -> bool:
+        return isinstance(cell, (int, float)) and not isinstance(cell, bool)
+
+    formatted = [[fmt(c) for c in row] for row in rows]
+    n_cols = len(headers)
+    for row in formatted:
+        if len(row) != n_cols:
+            raise ValueError(f"row has {len(row)} cells, expected {n_cols}")
+    widths = [max(len(headers[i]), *(len(r[i]) for r in formatted)) if formatted
+              else len(headers[i]) for i in range(n_cols)]
+    numeric_col = [bool(rows) and all(is_numeric(r[i]) for r in rows)
+                   for i in range(n_cols)]
+
+    def line(cells: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            parts.append(cell.rjust(widths[i]) if numeric_col[i]
+                         else cell.ljust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(list(headers)))
+    out.append("  ".join("-" * w for w in widths))
+    out.extend(line(r) for r in formatted)
+    return "\n".join(out)

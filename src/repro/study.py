@@ -1,0 +1,148 @@
+"""End-to-end study orchestration: the paper's whole workflow in one call.
+
+:class:`Top500CarbonStudy` runs the model path over a synthetic list:
+
+1. take the Baseline (top500.org) records and assess them with EasyC;
+2. enrich through the public-info oracle and assess again;
+3. interpolate the remaining holes (nearest-10-peers);
+4. aggregate totals/averages, sensitivity, coverage by rank range;
+5. derive turnover growth and project 2025-2030.
+
+Every intermediate product is kept on the :class:`StudyResult` so
+figures, benchmarks, and tests can reach in without re-deriving
+anything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+from repro.analysis.aggregate import Fig7Row, fig7_rows
+from repro.analysis.sensitivity import SensitivityResult, compare_scenarios
+from repro.analysis.series import CarbonSeries, series_from_assessments
+from repro.core.easyc import EasyC
+from repro.core.record import SystemRecord
+from repro.coverage.analyzer import CoverageResult, coverage_of
+from repro.data.top500 import Top500Dataset, default_dataset
+from repro.enrich.pipeline import EnrichmentPipeline, EnrichmentReport
+from repro.enrich.public_info import PublicInfoOracle
+from repro.interpolate.peers import InterpolatedValue
+from repro.projection.growth import CarbonProjection
+from repro.projection.perf_carbon import PerfCarbonProjection, perf_carbon_projection
+from repro.projection.turnover import TurnoverModel
+
+
+@dataclass(frozen=True)
+class StudyResult:
+    """Everything the study produced, lazily derived where cheap."""
+
+    dataset: Top500Dataset
+    easyc: EasyC
+    baseline_records: tuple[SystemRecord, ...]
+    public_records: tuple[SystemRecord, ...]
+    baseline_coverage: CoverageResult
+    public_coverage: CoverageResult
+    enrichment_report: EnrichmentReport
+
+    # -- series ---------------------------------------------------------------
+
+    @cached_property
+    def op_baseline(self) -> CarbonSeries:
+        return series_from_assessments(
+            self.baseline_coverage.assessments, "operational", "baseline")
+
+    @cached_property
+    def emb_baseline(self) -> CarbonSeries:
+        return series_from_assessments(
+            self.baseline_coverage.assessments, "embodied", "baseline")
+
+    @cached_property
+    def op_public(self) -> CarbonSeries:
+        return series_from_assessments(
+            self.public_coverage.assessments, "operational", "public")
+
+    @cached_property
+    def emb_public(self) -> CarbonSeries:
+        return series_from_assessments(
+            self.public_coverage.assessments, "embodied", "public")
+
+    @cached_property
+    def op_full(self) -> tuple[CarbonSeries, list[InterpolatedValue]]:
+        """Operational series completed to all 500 by interpolation."""
+        return self.op_public.interpolated()
+
+    @cached_property
+    def emb_full(self) -> tuple[CarbonSeries, list[InterpolatedValue]]:
+        """Embodied series completed to all 500 by interpolation."""
+        return self.emb_public.interpolated()
+
+    # -- aggregates --------------------------------------------------------------
+
+    @cached_property
+    def fig7(self) -> tuple[Fig7Row, Fig7Row]:
+        return fig7_rows(self.op_public, self.emb_public)
+
+    @cached_property
+    def op_sensitivity(self) -> SensitivityResult:
+        return compare_scenarios(self.op_baseline, self.op_public)
+
+    @cached_property
+    def emb_sensitivity(self) -> SensitivityResult:
+        return compare_scenarios(self.emb_baseline, self.emb_public)
+
+    # -- projection ----------------------------------------------------------------
+
+    @cached_property
+    def turnover(self) -> TurnoverModel:
+        op_series, _ = self.op_full
+        emb_series, _ = self.emb_full
+        op_obs, emb_obs = TurnoverModel.observe(
+            {r: v for r, v in op_series.values.items() if v is not None},
+            {r: v for r, v in emb_series.values.items() if v is not None})
+        return TurnoverModel.from_observations(op_obs, emb_obs)
+
+    @cached_property
+    def projection(self) -> CarbonProjection:
+        op_series, _ = self.op_full
+        emb_series, _ = self.emb_full
+        return CarbonProjection.paper_defaults(
+            base_operational_mt=op_series.total_mt(),
+            base_embodied_mt=emb_series.total_mt())
+
+    @cached_property
+    def total_rmax_tflops(self) -> float:
+        return sum(t.rmax_tflops for t in self.dataset.truths)
+
+    def perf_carbon(self, footprint: str) -> PerfCarbonProjection:
+        series = self.op_full[0] if footprint == "operational" else self.emb_full[0]
+        return perf_carbon_projection(self.total_rmax_tflops,
+                                      series.total_mt(), footprint)
+
+
+@dataclass(frozen=True)
+class Top500CarbonStudy:
+    """The runnable study: dataset + models → :class:`StudyResult`."""
+
+    easyc: EasyC = EasyC()
+
+    def run(self, dataset: Top500Dataset | None = None) -> StudyResult:
+        """Execute the full workflow (≈1 s for 500 systems)."""
+        ds = dataset or default_dataset()
+        baseline = ds.baseline_records()
+        pipeline = EnrichmentPipeline(oracle=PublicInfoOracle(dataset=ds))
+        public, report = pipeline.enrich(baseline)
+        return StudyResult(
+            dataset=ds,
+            easyc=self.easyc,
+            baseline_records=tuple(baseline),
+            public_records=tuple(public),
+            baseline_coverage=coverage_of(baseline, "baseline", self.easyc),
+            public_coverage=coverage_of(public, "public", self.easyc),
+            enrichment_report=report,
+        )
+
+
+def run_default_study() -> StudyResult:
+    """Module-level convenience: run the study on the default dataset."""
+    return Top500CarbonStudy().run()

@@ -1,0 +1,199 @@
+"""Units and conversions used throughout the carbon models.
+
+The paper mixes several unit systems: Top500 reports power in kW and
+performance in TFlop/s; grid carbon intensity is conventionally quoted
+in gCO2e/kWh; the headline results are in metric tons (MT) and thousands
+of MT of CO2-equivalent.  Mixing these up is the classic failure mode of
+carbon calculators, so every conversion lives here, is named, and is
+tested — model code never multiplies by a bare ``1000``.
+
+Conventions
+-----------
+* energy: kilowatt-hours (kWh) internally
+* power: kilowatts (kW) internally (Top500's native unit)
+* carbon mass: kilograms CO2e internally; reported as MT CO2e
+  (1 MT = 1 metric ton = 1000 kg)
+* grid intensity: kgCO2e per kWh internally (divide published
+  gCO2e/kWh by 1000)
+* performance: TFlop/s internally (Top500's native unit); PFlop/s in
+  the perf/carbon projections
+"""
+
+from __future__ import annotations
+
+import math
+
+# ---------------------------------------------------------------------------
+# Time
+# ---------------------------------------------------------------------------
+
+HOURS_PER_YEAR: float = 8760.0
+"""Hours in a (non-leap) year — the paper's '1 Year' operational window."""
+
+MONTHS_PER_TOP500_CYCLE: int = 6
+"""The Top500 list is published twice a year (June and November)."""
+
+
+# ---------------------------------------------------------------------------
+# Energy
+# ---------------------------------------------------------------------------
+
+def kw_to_w(kw: float) -> float:
+    """Kilowatts to watts."""
+    return kw * 1e3
+
+
+def w_to_kw(w: float) -> float:
+    """Watts to kilowatts."""
+    return w / 1e3
+
+
+def mw_to_kw(mw: float) -> float:
+    """Megawatts to kilowatts."""
+    return mw * 1e3
+
+
+def kwh_to_mwh(kwh: float) -> float:
+    """Kilowatt-hours to megawatt-hours."""
+    return kwh / 1e3
+
+
+def mwh_to_kwh(mwh: float) -> float:
+    """Megawatt-hours to kilowatt-hours."""
+    return mwh * 1e3
+
+
+def kwh_to_joules(kwh: float) -> float:
+    """Kilowatt-hours to joules."""
+    return kwh * 3.6e6
+
+
+def joules_to_kwh(j: float) -> float:
+    """Joules to kilowatt-hours."""
+    return j / 3.6e6
+
+
+def annual_energy_kwh(power_kw: float, utilization: float = 1.0) -> float:
+    """Energy of a load running a full year at ``power_kw × utilization``.
+
+    ``utilization`` scales average draw relative to the quoted power
+    (e.g. Top500 power is measured under LINPACK, close to peak draw).
+    """
+    if power_kw < 0:
+        raise ValueError(f"power must be non-negative, got {power_kw}")
+    if not 0.0 <= utilization <= 1.5:
+        raise ValueError(f"utilization out of plausible range [0, 1.5]: {utilization}")
+    return power_kw * utilization * HOURS_PER_YEAR
+
+
+# ---------------------------------------------------------------------------
+# Carbon mass
+# ---------------------------------------------------------------------------
+
+KG_PER_MT: float = 1000.0
+"""Kilograms per metric ton."""
+
+
+def kg_to_mt(kg: float) -> float:
+    """Kilograms CO2e to metric tons CO2e."""
+    return kg / KG_PER_MT
+
+
+def mt_to_kg(mt: float) -> float:
+    """Metric tons CO2e to kilograms CO2e."""
+    return mt * KG_PER_MT
+
+
+def mt_to_thousand_mt(mt: float) -> float:
+    """MT CO2e to thousand MT CO2e (the unit of the paper's figures)."""
+    return mt / 1e3
+
+
+def g_per_kwh_to_kg_per_kwh(g: float) -> float:
+    """Grid intensity published as gCO2e/kWh to internal kgCO2e/kWh."""
+    return g / 1e3
+
+
+# ---------------------------------------------------------------------------
+# Performance
+# ---------------------------------------------------------------------------
+
+def tflops_to_pflops(tf: float) -> float:
+    """TFlop/s to PFlop/s."""
+    return tf / 1e3
+
+
+def pflops_to_tflops(pf: float) -> float:
+    """PFlop/s to TFlop/s."""
+    return pf * 1e3
+
+
+def gflops_per_watt(rmax_tflops: float, power_kw: float) -> float:
+    """Energy efficiency in GFlops/W — the Green500 metric.
+
+    Top500 quotes Rmax in TFlop/s and power in kW; the ratio of those is
+    numerically GFlops/W already (1 TFlop/s / 1 kW = 1 GFlop/s/W).
+    """
+    if power_kw <= 0:
+        raise ValueError(f"power must be positive, got {power_kw}")
+    return rmax_tflops / power_kw
+
+
+# ---------------------------------------------------------------------------
+# Memory / storage
+# ---------------------------------------------------------------------------
+
+def tb_to_gb(tb: float) -> float:
+    """Terabytes to gigabytes (decimal, as vendors quote capacity)."""
+    return tb * 1e3
+
+
+def pb_to_gb(pb: float) -> float:
+    """Petabytes to gigabytes."""
+    return pb * 1e6
+
+
+def gb_to_tb(gb: float) -> float:
+    """Gigabytes to terabytes."""
+    return gb / 1e3
+
+
+# ---------------------------------------------------------------------------
+# Growth / scaling helpers
+# ---------------------------------------------------------------------------
+
+def annualize_per_cycle_growth(per_cycle_rate: float,
+                               cycles_per_year: float = 2.0) -> float:
+    """Convert a per-Top500-cycle growth rate into an annual rate.
+
+    The paper observes +5 % operational carbon per list cycle (two
+    cycles a year) and reports this as 10.3 %/year — i.e. compounded:
+    ``(1 + r)**cycles - 1``.
+    """
+    return (1.0 + per_cycle_rate) ** cycles_per_year - 1.0
+
+
+def compound(value: float, annual_rate: float, years: float) -> float:
+    """Compound ``value`` at ``annual_rate`` for ``years`` years."""
+    return value * (1.0 + annual_rate) ** years
+
+
+def doubling_growth(value: float, months: float,
+                    doubling_months: float = 18.0) -> float:
+    """Ideal scaling: 2× every ``doubling_months`` (Dennard-era baseline).
+
+    Used for the 'Ideal' line in Figure 11.
+    """
+    return value * 2.0 ** (months / doubling_months)
+
+
+def cagr(initial: float, final: float, years: float) -> float:
+    """Compound annual growth rate between two values."""
+    if initial <= 0 or final <= 0 or years <= 0:
+        raise ValueError("cagr requires positive values and positive duration")
+    return (final / initial) ** (1.0 / years) - 1.0
+
+
+def is_close(a: float, b: float, rel: float = 1e-9, abs_: float = 0.0) -> bool:
+    """Tolerant float comparison (wrapper so call sites read uniformly)."""
+    return math.isclose(a, b, rel_tol=rel, abs_tol=abs_)

@@ -1,0 +1,133 @@
+"""Series / aggregate / sensitivity tests."""
+
+import pytest
+
+from repro.analysis.aggregate import fig7_rows, totals_of
+from repro.analysis.sensitivity import compare_scenarios
+from repro.analysis.series import (
+    CarbonSeries,
+    diff_series,
+    series_from_assessments,
+)
+
+
+def make_series(values, footprint="operational", scenario="test"):
+    return CarbonSeries(footprint=footprint, scenario=scenario,
+                        values=dict(values))
+
+
+class TestCarbonSeries:
+    def test_rejects_negative_values(self):
+        with pytest.raises(ValueError):
+            make_series({1: -5.0})
+
+    def test_totals_and_average(self):
+        series = make_series({1: 10.0, 2: None, 3: 20.0})
+        assert series.total_mt() == pytest.approx(30.0)
+        assert series.average_mt() == pytest.approx(15.0)
+        assert series.n_covered == 2
+
+    def test_average_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            make_series({1: None}).average_mt()
+
+    def test_points_skip_holes(self):
+        series = make_series({1: 10.0, 2: None, 3: 20.0})
+        assert series.points() == [(1, 10.0), (3, 20.0)]
+
+    def test_interpolated_completes(self):
+        values = {r: float(r) for r in range(1, 21)}
+        values[7] = None
+        completed, fills = make_series(values).interpolated()
+        assert completed.n_covered == 20
+        assert len(fills) == 1
+        assert "interpolated" in completed.scenario
+
+
+class TestSeriesFromAssessments:
+    def test_extracts_both_footprints(self, study):
+        op = series_from_assessments(
+            study.public_coverage.assessments, "operational", "public")
+        emb = series_from_assessments(
+            study.public_coverage.assessments, "embodied", "public")
+        assert op.n_covered == 490
+        assert emb.n_covered == 404
+
+    def test_unknown_footprint_rejected(self, study):
+        with pytest.raises(ValueError):
+            series_from_assessments(
+                study.public_coverage.assessments, "scope4", "x")
+
+
+class TestDiffSeries:
+    def test_diff_only_where_both_covered(self):
+        after = make_series({1: 12.0, 2: 20.0, 3: None})
+        before = make_series({1: 10.0, 2: None, 3: 5.0})
+        diffs = diff_series(after, before)
+        assert diffs.values[1] == pytest.approx(2.0)
+        assert diffs.values[2] is None
+        assert diffs.values[3] is None
+
+    def test_negative_diffs_allowed(self):
+        after = make_series({1: 5.0})
+        before = make_series({1: 10.0})
+        assert diff_series(after, before).values[1] == pytest.approx(-5.0)
+
+    def test_footprint_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            diff_series(make_series({1: 1.0}, footprint="operational"),
+                        make_series({1: 1.0}, footprint="embodied"))
+
+
+class TestAggregate:
+    def test_totals_of(self):
+        series = make_series({1: 10.0, 2: 30.0})
+        totals = totals_of(series, label="pair")
+        assert totals.total_mt == pytest.approx(40.0)
+        assert totals.average_mt == pytest.approx(20.0)
+        assert totals.label == "pair"
+
+    def test_fig7_interpolation_increase_positive(self, study):
+        op_row, emb_row = study.fig7
+        assert op_row.completed.n_systems == 500
+        assert emb_row.completed.n_systems == 500
+        assert op_row.interpolation_increase_percent > 0
+        assert emb_row.interpolation_increase_percent > 0
+
+    def test_fig7_embodied_gap_larger(self, study):
+        # Fewer embodied-covered systems -> interpolation adds more.
+        op_row, emb_row = study.fig7
+        assert emb_row.interpolation_increase_percent > \
+            op_row.interpolation_increase_percent
+
+
+class TestSensitivity:
+    def test_newly_covered_counts(self, study):
+        assert study.op_sensitivity.n_newly_covered == 490 - 391
+        assert study.emb_sensitivity.n_newly_covered == 404 - 283
+
+    def test_total_change_includes_new_systems(self, study):
+        sens = study.op_sensitivity
+        assert sens.total_change_mt == pytest.approx(
+            sens.total_public_mt - sens.total_baseline_mt)
+
+    def test_operational_regional_swings_present(self, study):
+        # Public info refines ACI both ways: increases and decreases.
+        sens = study.op_sensitivity
+        assert sens.max_increase_mt > 0
+        assert sens.max_decrease_mt < 0
+
+    def test_relative_swing_magnitude(self, study):
+        # Paper: per-system operational swings of up to ±77.5%.
+        assert 0.3 < study.op_sensitivity.max_relative_change < 1.0
+
+    def test_embodied_change_mostly_increases(self, study):
+        # Fig 9: embodied changes are "mostly increasing".
+        diffs = [d for d in study.emb_sensitivity.diffs.values.values()
+                 if d is not None and d != 0.0]
+        increases = sum(1 for d in diffs if d > 0)
+        assert increases > len(diffs) / 2
+
+    def test_footprint_mismatch_rejected(self, study):
+        with pytest.raises(ValueError):
+            compare_scenarios(study.op_baseline, study.emb_public)

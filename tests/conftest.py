@@ -1,0 +1,66 @@
+"""Shared fixtures.
+
+The synthetic dataset and the full study are session-scoped: they are
+deterministic for the default seed, and re-running them per test would
+dominate suite runtime.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import EasyC, SystemRecord
+from repro.data.top500 import Top500Dataset, generate_top500
+from repro.hardware.memory import MemoryType
+from repro.study import StudyResult, Top500CarbonStudy
+
+
+@pytest.fixture(scope="session")
+def dataset() -> Top500Dataset:
+    """The default synthetic Top500 list."""
+    return generate_top500()
+
+
+@pytest.fixture(scope="session")
+def study(dataset: Top500Dataset) -> StudyResult:
+    """The full model-path study, run once."""
+    return Top500CarbonStudy().run(dataset)
+
+
+@pytest.fixture()
+def easyc() -> EasyC:
+    return EasyC()
+
+
+@pytest.fixture()
+def frontier_like() -> SystemRecord:
+    """A fully specified accelerated system (Frontier-shaped)."""
+    return SystemRecord(
+        rank=2, name="Frontier", country="United States", region="us-tva",
+        rmax_tflops=1.353e6, rpeak_tflops=2.056e6, power_kw=22_786.0,
+        processor="AMD Optimized 3rd Generation EPYC 64C 2GHz",
+        accelerator="AMD Instinct MI250X",
+        total_cores=9408 * 64 + 37632 * 220,
+        accelerator_cores=37632 * 220,
+        n_nodes=9408, n_cpus=9408, n_gpus=37632,
+        memory_gb=9408 * 512.0, memory_type=MemoryType.DDR4,
+        ssd_gb=716e6, year=2022,
+    )
+
+
+@pytest.fixture()
+def cpu_only_record() -> SystemRecord:
+    """A CPU-only mid-list system with component data but no power."""
+    return SystemRecord(
+        rank=250, name="MidCluster", country="Germany",
+        rmax_tflops=5_000.0, rpeak_tflops=6_500.0,
+        processor="epyc-7763", total_cores=2000 * 64,
+        n_nodes=1000, year=2021,
+    )
+
+
+@pytest.fixture()
+def bare_record() -> SystemRecord:
+    """A system with only the always-present fields (dark system)."""
+    return SystemRecord(rank=400, rmax_tflops=3_000.0, rpeak_tflops=4_000.0,
+                        country="United States")

@@ -1,0 +1,171 @@
+"""Embodied-carbon model tests: fab curve, component sums, proxy effects."""
+
+import pytest
+
+from repro.core.embodied import (
+    EmbodiedModel,
+    FAB_CARBON_PER_CM2,
+    die_embodied_kg,
+    fab_carbon_per_cm2,
+)
+from repro.core.estimate import CarbonKind, EstimateMethod
+from repro.core.record import SystemRecord
+from repro.errors import InsufficientDataError
+from repro.hardware.catalog import DEFAULT_CATALOG, UnknownDevicePolicy
+
+
+def make(**kw):
+    base = dict(rank=10, rmax_tflops=1000.0, rpeak_tflops=1500.0,
+                country="United States")
+    base.update(kw)
+    return SystemRecord(**base)
+
+
+@pytest.fixture()
+def model():
+    return EmbodiedModel()
+
+
+class TestFabCurve:
+    def test_anchor_points_exact(self):
+        for node, value in FAB_CARBON_PER_CM2:
+            assert fab_carbon_per_cm2(node) == pytest.approx(value)
+
+    def test_interpolation_between_points(self):
+        mid = fab_carbon_per_cm2(8.5)
+        assert fab_carbon_per_cm2(10.0) < mid < fab_carbon_per_cm2(7.0)
+
+    def test_clamps_out_of_range(self):
+        assert fab_carbon_per_cm2(2.0) == fab_carbon_per_cm2(3.0)
+        assert fab_carbon_per_cm2(90.0) == fab_carbon_per_cm2(28.0)
+
+    def test_monotone_decreasing_with_node_size(self):
+        values = [fab_carbon_per_cm2(nm) for nm in (3, 5, 7, 10, 16, 28)]
+        assert values == sorted(values, reverse=True)
+
+    def test_rejects_nonpositive_node(self):
+        with pytest.raises(ValueError):
+            fab_carbon_per_cm2(0.0)
+
+
+class TestDieEmbodied:
+    def test_scales_with_area(self):
+        small = die_embodied_kg(400.0, 7.0)
+        large = die_embodied_kg(800.0, 7.0)
+        assert large == pytest.approx(2 * small)
+
+    def test_yield_increases_carbon(self):
+        good = die_embodied_kg(800.0, 7.0, fab_yield=0.95)
+        poor = die_embodied_kg(800.0, 7.0, fab_yield=0.60)
+        assert poor > good
+
+    def test_rejects_bad_yield(self):
+        with pytest.raises(ValueError):
+            die_embodied_kg(800.0, 7.0, fab_yield=0.0)
+
+    def test_rejects_bad_area(self):
+        with pytest.raises(ValueError):
+            die_embodied_kg(0.0, 7.0)
+
+    def test_magnitude_plausible(self):
+        # An 800 mm2 7nm die: tens of kg CO2e, not grams or tons.
+        kg = die_embodied_kg(800.0, 7.0)
+        assert 5.0 < kg < 50.0
+
+
+class TestCoverageRules:
+    def test_cpu_only_with_cores(self, model):
+        record = make(total_cores=64_000, processor="epyc-7763")
+        assert model.estimate(record).value_mt > 0
+
+    def test_cpu_only_with_nodes(self, model):
+        assert model.estimate(make(n_nodes=100)).value_mt > 0
+
+    def test_nothing_countable_raises(self, model):
+        with pytest.raises(InsufficientDataError):
+            model.estimate(make())
+
+    def test_accelerated_without_count_raises(self, model):
+        record = make(n_nodes=100, accelerator="NVIDIA H100")
+        with pytest.raises(InsufficientDataError) as exc:
+            model.estimate(record)
+        assert "n_gpus" in exc.value.missing
+
+    def test_accelerated_without_identity_raises(self, model):
+        record = make(n_nodes=100, n_gpus=400)
+        with pytest.raises(InsufficientDataError) as exc:
+            model.estimate(record)
+        assert "accelerator" in exc.value.missing
+
+
+class TestBreakdown:
+    def test_breakdown_sums_to_total(self, model, frontier_like):
+        estimate = model.estimate(frontier_like)
+        assert sum(estimate.breakdown_mt.values()) == \
+            pytest.approx(estimate.value_mt, rel=1e-9)
+
+    def test_kind_and_method(self, model, frontier_like):
+        estimate = model.estimate(frontier_like)
+        assert estimate.kind is CarbonKind.EMBODIED
+        assert estimate.method is EstimateMethod.COMPONENT_INVENTORY
+
+    def test_frontier_storage_dominates(self, model, frontier_like):
+        # Table II discussion: Frontier's embodied is storage-heavy.
+        estimate = model.estimate(frontier_like)
+        assert estimate.breakdown_mt["storage"] > \
+            0.5 * estimate.value_mt
+
+    def test_frontier_magnitude(self, model, frontier_like):
+        # Paper: 133,225 MT. Accept the right order of magnitude.
+        estimate = model.estimate(frontier_like)
+        assert 60_000 < estimate.value_mt < 250_000
+
+    def test_gpu_component_present_only_when_accelerated(self, model):
+        cpu_only = model.estimate(make(n_nodes=100))
+        assert "gpu" not in cpu_only.breakdown_mt
+        accel = model.estimate(make(n_nodes=100, n_gpus=400,
+                                    accelerator="NVIDIA H100"))
+        assert accel.breakdown_mt["gpu"] > 0
+
+
+class TestProxyBehaviour:
+    def test_unknown_accelerator_estimated_with_proxy(self, model):
+        record = make(n_nodes=100, n_gpus=400, accelerator="Custom NPU 9")
+        estimate = model.estimate(record)
+        assert any("mainstream GPU" in a for a in estimate.assumptions)
+
+    def test_proxy_underestimates_mi300a(self, model):
+        known = model.estimate(make(n_nodes=100, n_gpus=400,
+                                    accelerator="mi300a"))
+        # Same machine but with the accelerator string unrecognized.
+        proxied = model.estimate(make(n_nodes=100, n_gpus=400,
+                                      accelerator="Novel APU"))
+        assert proxied.breakdown_mt["gpu"] < known.breakdown_mt["gpu"]
+
+    def test_strict_catalog_turns_proxy_into_abstention(self):
+        strict = EmbodiedModel(
+            catalog=DEFAULT_CATALOG.with_policy(UnknownDevicePolicy.STRICT))
+        record = make(n_nodes=100, n_gpus=400, accelerator="Novel APU")
+        with pytest.raises(Exception):
+            strict.estimate(record)
+
+
+class TestDefaults:
+    def test_memory_default_scales_with_nodes(self, model):
+        small = model.estimate(make(n_nodes=100))
+        large = model.estimate(make(n_nodes=1000))
+        assert large.breakdown_mt["memory"] == \
+            pytest.approx(10 * small.breakdown_mt["memory"], rel=0.01)
+
+    def test_explicit_ssd_overrides_default(self, model):
+        defaulted = model.estimate(make(n_nodes=100))
+        explicit = model.estimate(make(n_nodes=100, ssd_gb=50e6))
+        assert explicit.breakdown_mt["storage"] > \
+            10 * defaulted.breakdown_mt["storage"]
+
+    def test_assumptions_accumulate_uncertainty(self, model):
+        bare = model.estimate(make(n_nodes=100))
+        full = model.estimate(make(
+            n_nodes=100, n_cpus=200, processor="epyc-7763",
+            memory_gb=51_200.0, ssd_gb=400_000.0))
+        assert bare.uncertainty_frac > full.uncertainty_frac

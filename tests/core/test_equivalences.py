@@ -1,0 +1,50 @@
+"""Everyday-equivalence tests: the abstract's restatements must hold."""
+
+import pytest
+
+from repro.core.equivalences import equivalences
+
+
+class TestPaperEquivalences:
+    def test_operational_vehicles(self):
+        # 1.39M MT -> ~325k vehicles.
+        eq = equivalences(1_393_725.0)
+        assert eq.vehicles_per_year == pytest.approx(325_000, rel=0.01)
+
+    def test_operational_miles(self):
+        # -> ~3.5 B vehicle miles.
+        eq = equivalences(1_393_725.0)
+        assert eq.vehicle_miles == pytest.approx(3.5e9, rel=0.02)
+
+    def test_embodied_vehicles(self):
+        # 1.88M MT -> ~439k vehicles.
+        eq = equivalences(1_881_797.0)
+        assert eq.vehicles_per_year == pytest.approx(439_000, rel=0.01)
+
+    def test_embodied_miles(self):
+        # -> ~4.8 B passenger miles.
+        eq = equivalences(1_881_797.0)
+        assert eq.vehicle_miles == pytest.approx(4.8e9, rel=0.02)
+
+
+class TestBehaviour:
+    def test_zero_carbon(self):
+        eq = equivalences(0.0)
+        assert eq.vehicles_per_year == 0.0
+        assert eq.vehicle_miles == 0.0
+        assert eq.home_electricity_years == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            equivalences(-1.0)
+
+    def test_linear_scaling(self):
+        one = equivalences(1_000.0)
+        ten = equivalences(10_000.0)
+        assert ten.vehicles_per_year == pytest.approx(10 * one.vehicles_per_year)
+
+    def test_describe_mentions_all_terms(self):
+        text = equivalences(1_000_000.0).describe()
+        assert "vehicles" in text
+        assert "vehicle-miles" in text
+        assert "home-years" in text

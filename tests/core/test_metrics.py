@@ -1,0 +1,118 @@
+"""Key-metric and requirement-rule tests (the coverage predicates)."""
+
+import pytest
+
+from repro.core.metrics import (
+    KeyMetric,
+    OPTIONAL_METRICS,
+    REQUIRED_METRICS,
+    check_embodied,
+    check_operational,
+    metric_present,
+    missing_metrics,
+)
+from repro.core.record import SystemRecord
+
+
+def make(**kw):
+    base = dict(rank=10, rmax_tflops=1000.0, rpeak_tflops=1500.0)
+    base.update(kw)
+    return SystemRecord(**base)
+
+
+class TestMetricEnumeration:
+    def test_seven_required_metrics(self):
+        # The paper's headline: "EasyC needs just 7 key data metrics".
+        assert len(REQUIRED_METRICS) == 7
+
+    def test_two_optional_metrics(self):
+        assert len(OPTIONAL_METRICS) == 2
+        assert KeyMetric.SYSTEM_UTILIZATION in OPTIONAL_METRICS
+        assert KeyMetric.ANNUAL_POWER_CONSUMED in OPTIONAL_METRICS
+
+    def test_no_overlap(self):
+        assert not set(REQUIRED_METRICS) & set(OPTIONAL_METRICS)
+
+
+class TestMetricPresence:
+    def test_year(self):
+        assert not metric_present(make(), KeyMetric.OPERATION_YEAR)
+        assert metric_present(make(year=2024), KeyMetric.OPERATION_YEAR)
+
+    def test_gpu_count_trivially_present_for_cpu_only(self):
+        assert metric_present(make(), KeyMetric.N_GPUS)
+
+    def test_gpu_count_missing_for_accelerated(self):
+        record = make(accelerator="NVIDIA H100")
+        assert not metric_present(record, KeyMetric.N_GPUS)
+        assert metric_present(make(accelerator="NVIDIA H100", n_gpus=100),
+                              KeyMetric.N_GPUS)
+
+    def test_cpu_count_derivable_from_cores(self):
+        record = make(total_cores=64_000, processor="epyc-7763")
+        assert metric_present(record, KeyMetric.N_CPUS)
+
+    def test_cpu_count_derivable_from_nodes(self):
+        assert metric_present(make(n_nodes=100), KeyMetric.N_CPUS)
+
+    def test_missing_metrics_lists_gaps(self):
+        gaps = missing_metrics(make())
+        assert KeyMetric.MEMORY_CAPACITY in gaps
+        assert KeyMetric.SSD_CAPACITY in gaps
+        assert KeyMetric.SYSTEM_UTILIZATION in gaps
+
+
+class TestOperationalRequirements:
+    def test_power_plus_country_suffices(self):
+        assert check_operational(make(country="Japan", power_kw=1000.0))
+
+    def test_reported_energy_suffices(self):
+        assert check_operational(make(country="Japan",
+                                      annual_energy_kwh=1e6))
+
+    def test_component_path_cpu_only(self):
+        record = make(country="Japan", n_nodes=100, processor="epyc-7763")
+        assert check_operational(record)
+
+    def test_component_path_needs_gpu_count_when_accelerated(self):
+        record = make(country="Japan", n_nodes=100, processor="epyc-7763",
+                      accelerator="NVIDIA H100")
+        check = check_operational(record)
+        assert not check
+        assert "n_gpus" in " ".join(check.missing)
+
+    def test_missing_country_blocks(self):
+        check = check_operational(make(power_kw=1000.0))
+        assert not check
+        assert "country" in check.missing
+
+    def test_no_energy_path_blocks(self):
+        check = check_operational(make(country="Japan"))
+        assert not check
+
+
+class TestEmbodiedRequirements:
+    def test_cpu_only_with_cores_and_processor(self):
+        assert check_embodied(make(total_cores=64_000, processor="epyc-7763"))
+
+    def test_cpu_only_with_nodes_only(self):
+        assert check_embodied(make(n_nodes=500))
+
+    def test_cpu_only_with_nothing_blocks(self):
+        assert not check_embodied(make())
+
+    def test_accelerated_needs_count_and_identity(self):
+        base = dict(total_cores=64_000, processor="epyc-7763")
+        with_both = make(**base, accelerator="NVIDIA H100", n_gpus=100)
+        assert check_embodied(with_both)
+
+        no_count = make(**base, accelerator="NVIDIA H100")
+        assert not check_embodied(no_count)
+
+        no_identity = make(**base, n_gpus=100)
+        assert not check_embodied(no_identity)
+
+    def test_requirement_check_is_truthy_protocol(self):
+        check = check_embodied(make(n_nodes=10))
+        assert bool(check) is True
+        assert check.missing == ()

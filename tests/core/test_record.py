@@ -1,0 +1,125 @@
+"""SystemRecord tests: validation, derived views, merging."""
+
+import pytest
+
+from repro.core.record import SystemRecord, TOP500_DATA_ITEMS
+
+
+def make(**kw):
+    base = dict(rank=10, rmax_tflops=1000.0, rpeak_tflops=1500.0)
+    base.update(kw)
+    return SystemRecord(**base)
+
+
+class TestValidation:
+    def test_minimal_record_constructs(self):
+        record = make()
+        assert record.rank == 10
+
+    def test_rejects_rank_below_one(self):
+        with pytest.raises(ValueError):
+            make(rank=0)
+
+    def test_rejects_nonpositive_rmax(self):
+        with pytest.raises(ValueError):
+            make(rmax_tflops=0.0)
+
+    def test_rejects_rmax_above_rpeak(self):
+        with pytest.raises(ValueError):
+            make(rmax_tflops=2000.0, rpeak_tflops=1500.0)
+
+    def test_rejects_nonpositive_power(self):
+        with pytest.raises(ValueError):
+            make(power_kw=0.0)
+
+    def test_rejects_absurd_utilization(self):
+        with pytest.raises(ValueError):
+            make(utilization=1.6)
+
+
+class TestHasAccelerator:
+    def test_cpu_only_by_default(self):
+        assert not make().has_accelerator
+
+    def test_accelerator_name_signals(self):
+        assert make(accelerator="NVIDIA H100").has_accelerator
+
+    def test_none_string_does_not_signal(self):
+        assert not make(accelerator="None").has_accelerator
+
+    def test_accelerator_cores_signal(self):
+        assert make(accelerator_cores=10_000).has_accelerator
+
+    def test_gpu_count_signals(self):
+        assert make(n_gpus=100).has_accelerator
+
+    def test_zero_gpu_count_does_not_signal(self):
+        assert not make(n_gpus=0).has_accelerator
+
+
+class TestCpuCores:
+    def test_none_without_total(self):
+        assert make().cpu_cores is None
+
+    def test_subtracts_accelerator_cores(self):
+        record = make(total_cores=100_000, accelerator_cores=60_000)
+        assert record.cpu_cores == 40_000
+
+    def test_clamps_at_zero(self):
+        record = make(total_cores=100, accelerator_cores=200)
+        assert record.cpu_cores == 0
+
+
+class TestMissingDataItems:
+    def test_all_items_enumerated(self):
+        assert len(TOP500_DATA_ITEMS) == 19
+
+    def test_fully_populated_record_missing_nothing(self):
+        record = make(
+            name="X", country="Y", year=2024, segment="Research",
+            vendor="HPE", processor="epyc-7763", processor_speed_mhz=2450.0,
+            total_cores=10_000, n_nodes=100, interconnect="IB", os="Linux",
+            nmax=1_000_000, power_kw=500.0, energy_efficiency=10.0,
+            memory_gb=1_000.0)
+        assert record.missing_data_items() == ()
+
+    def test_bare_record_missing_many(self):
+        missing = make().missing_data_items()
+        assert "name" in missing
+        assert "power_kw" in missing
+        # Performance columns are never missing.
+        assert "rmax_tflops" not in missing
+        assert "rpeak_tflops" not in missing
+
+    def test_cpu_only_system_not_charged_for_accelerator_items(self):
+        missing = make().missing_data_items()
+        assert "accelerator" not in missing
+        assert "accelerator_cores" not in missing
+
+    def test_accelerated_system_charged_for_missing_gpu_count(self):
+        record = make(accelerator="NVIDIA H100")
+        assert "accelerator_cores" in record.missing_data_items()
+
+
+class TestMerging:
+    def test_merge_fills_only_gaps(self):
+        record = make(power_kw=100.0)
+        merged = record.merged_with(power_kw=999.0, n_nodes=50)
+        assert merged.power_kw == 100.0     # existing value wins
+        assert merged.n_nodes == 50         # gap filled
+
+    def test_merge_ignores_none_updates(self):
+        merged = make().merged_with(n_nodes=None)
+        assert merged.n_nodes is None
+
+    def test_merge_returns_copy(self):
+        record = make()
+        merged = record.merged_with(n_nodes=10)
+        assert merged is not record
+        assert record.n_nodes is None
+
+    def test_copy_is_independent(self):
+        record = make()
+        clone = record.copy()
+        clone.n_nodes = 77
+        assert record.n_nodes is None

@@ -1,0 +1,123 @@
+"""Coverage analyzer + rank-range tests (Figures 2, 4, 5, 6)."""
+
+import pytest
+
+from repro.coverage.analyzer import (
+    ScenarioCoverage,
+    coverage_of,
+    missing_items_histogram,
+)
+from repro.coverage.rank_ranges import RANK_RANGES, coverage_by_rank_range
+
+
+class TestCoverageCounts:
+    """The paper's headline coverage numbers, from the model path."""
+
+    def test_baseline_operational_391(self, study):
+        assert study.baseline_coverage.operational.n_covered == 391
+
+    def test_baseline_embodied_283(self, study):
+        assert study.baseline_coverage.embodied.n_covered == 283
+
+    def test_public_operational_490(self, study):
+        assert study.public_coverage.operational.n_covered == 490
+
+    def test_public_embodied_404(self, study):
+        assert study.public_coverage.embodied.n_covered == 404
+
+    def test_fractions_match_paper(self, study):
+        assert study.public_coverage.operational.fraction == pytest.approx(0.98)
+        assert study.public_coverage.embodied.fraction == pytest.approx(0.808)
+
+    def test_public_coverage_supersets_baseline(self, study):
+        for footprint in ("operational", "embodied"):
+            base = set(getattr(study.baseline_coverage, footprint).covered_ranks)
+            pub = set(getattr(study.public_coverage, footprint).covered_ranks)
+            assert base <= pub
+
+    def test_partition_is_exact(self, study):
+        cov = study.baseline_coverage.operational
+        assert sorted((*cov.covered_ranks, *cov.uncovered_ranks)) == \
+            list(range(1, 501))
+
+
+class TestCoverageOf:
+    def test_labels_propagate(self, dataset):
+        result = coverage_of(dataset.baseline_records()[:64], "tiny")
+        assert result.scenario == "tiny"
+        assert result.operational.footprint == "operational"
+
+    def test_empty_fleet(self):
+        result = coverage_of([], "empty")
+        assert result.operational.n_total == 0
+        assert result.operational.fraction == 0.0
+
+
+class TestMissingItemsHistogram:
+    def test_counts_sum_to_fleet(self, study):
+        hist = missing_items_histogram(list(study.baseline_records))
+        assert sum(hist.values()) == 500
+
+    def test_nearly_all_systems_missing_something(self, study):
+        # Table I: memory capacity missing for 499/500 — so at most a
+        # handful of systems land in the "None" bucket.
+        hist = missing_items_histogram(list(study.baseline_records))
+        assert hist.get(0, 0) <= 5
+
+    def test_public_view_is_more_complete(self, study):
+        base = missing_items_histogram(list(study.baseline_records))
+        public = missing_items_histogram(list(study.public_records))
+        mean_base = sum(k * v for k, v in base.items()) / 500
+        mean_public = sum(k * v for k, v in public.items()) / 500
+        assert mean_public < mean_base
+
+
+class TestRankRanges:
+    def test_paper_bucket_layout(self):
+        assert RANK_RANGES[0] == (1, 10)
+        assert RANK_RANGES[-1] == (1, 500)
+        assert len(RANK_RANGES) == 14
+
+    def test_full_range_matches_totals(self, study):
+        buckets = coverage_by_rank_range(study.public_coverage.operational)
+        full = buckets[-1]
+        assert full.n_covered == 490
+        assert full.percent_covered == pytest.approx(98.0)
+
+    def test_operational_gaps_in_upper_middle(self, study):
+        # Fig 5a: gaps "surprisingly high in the rankings 26-50, 51-75,
+        # 76-100" with baseline data.
+        buckets = {b.label: b for b in coverage_by_rank_range(
+            study.baseline_coverage.operational)}
+        upper_middle = (buckets["26-50"].percent_covered
+                        + buckets["51-75"].percent_covered
+                        + buckets["76-100"].percent_covered) / 3
+        tail = (buckets["401-450"].percent_covered
+                + buckets["451-500"].percent_covered) / 2
+        assert upper_middle < tail
+
+    def test_embodied_gaps_at_top(self, study):
+        # Fig 6a: embodied coverage is much worse in the accelerator-
+        # heavy top 150 than in the CPU-based tail.
+        buckets = {b.label: b for b in coverage_by_rank_range(
+            study.baseline_coverage.embodied)}
+        top = buckets["1-10"].percent_covered
+        tail = buckets["451-500"].percent_covered
+        assert top < tail
+
+    def test_public_info_fills_operational_gaps(self, study):
+        # Fig 5b: near-full coverage everywhere with public info.
+        buckets = coverage_by_rank_range(study.public_coverage.operational)
+        for bucket in buckets[:-1]:
+            assert bucket.percent_covered >= 80.0, bucket.label
+
+    def test_percent_uncovered_complement(self, study):
+        for bucket in coverage_by_rank_range(study.baseline_coverage.embodied):
+            assert bucket.percent_covered + bucket.percent_uncovered == \
+                pytest.approx(100.0)
+
+    def test_empty_bucket_handled(self):
+        cov = ScenarioCoverage("s", "operational", (1, 2), ())
+        buckets = coverage_by_rank_range(cov, ranges=((5, 10),))
+        assert buckets[0].n_total == 0
+        assert buckets[0].percent_covered == 0.0

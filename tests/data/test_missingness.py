@@ -1,0 +1,124 @@
+"""Missingness-plan tests: the Table I calibration targets."""
+
+import numpy as np
+import pytest
+
+from repro.data.missingness import (
+    HIDEABLE_FIELDS,
+    MissingnessPlan,
+    build_plan,
+    choose_accelerated_ranks,
+)
+
+
+@pytest.fixture(scope="module")
+def plan():
+    return build_plan(np.random.default_rng(20241118))
+
+
+class TestStructure:
+    def test_covers_all_ranks(self, plan):
+        assert set(plan.hidden_baseline) == set(range(1, 501))
+        assert set(plan.hidden_public) == set(range(1, 501))
+
+    def test_public_reveals_never_redacts(self, plan):
+        for rank in range(1, 501):
+            assert plan.hidden_public[rank] <= plan.hidden_baseline[rank]
+
+    def test_redaction_violation_rejected(self):
+        with pytest.raises(ValueError):
+            MissingnessPlan(
+                hidden_baseline={1: frozenset()},
+                hidden_public={1: frozenset({"power_kw"})},
+                accelerated_ranks=frozenset(),
+                flagship_ranks=frozenset(),
+                dark_ranks=frozenset(),
+                component_opaque_ranks=frozenset())
+
+    def test_hidden_fields_are_hideable(self, plan):
+        for rank in range(1, 501):
+            assert plan.hidden_baseline[rank] <= set(HIDEABLE_FIELDS)
+
+
+class TestTableICalibration:
+    """Table I: '# Systems Incomplete' per field and source."""
+
+    def test_nodes_hidden_baseline_209(self, plan):
+        assert sum("n_nodes" in plan.hidden_baseline[r]
+                   for r in range(1, 501)) == 209
+
+    def test_nodes_hidden_public_86(self, plan):
+        assert sum("n_nodes" in plan.hidden_public[r]
+                   for r in range(1, 501)) == 86
+
+    def test_gpus_hidden_baseline_209(self, plan):
+        assert sum("n_gpus" in plan.hidden_baseline[r]
+                   for r in range(1, 501)) == 209
+
+    def test_memory_hidden_baseline_499(self, plan):
+        assert sum("memory_gb" in plan.hidden_baseline[r]
+                   for r in range(1, 501)) == 499
+
+    def test_memory_hidden_public_292(self, plan):
+        assert sum("memory_gb" in plan.hidden_public[r]
+                   for r in range(1, 501)) == 292
+
+    def test_ssd_hidden_baseline_500(self, plan):
+        assert sum("ssd_gb" in plan.hidden_baseline[r]
+                   for r in range(1, 501)) == 500
+
+    def test_ssd_hidden_public_450(self, plan):
+        assert sum("ssd_gb" in plan.hidden_public[r]
+                   for r in range(1, 501)) == 450
+
+    def test_utilization_hidden_public_497(self, plan):
+        assert sum("utilization" in plan.hidden_public[r]
+                   for r in range(1, 501)) == 497
+
+    def test_annual_energy_hidden_public_492(self, plan):
+        assert sum("annual_energy_kwh" in plan.hidden_public[r]
+                   for r in range(1, 501)) == 492
+
+
+class TestSpecialCohorts:
+    def test_cohort_sizes(self, plan):
+        assert len(plan.accelerated_ranks) == 225
+        assert len(plan.flagship_ranks) == 8
+        assert len(plan.dark_ranks) == 10
+        assert len(plan.component_opaque_ranks) == 86
+
+    def test_flagships_are_top30_accelerated(self, plan):
+        assert plan.flagship_ranks <= plan.accelerated_ranks
+        assert all(r <= 30 for r in plan.flagship_ranks)
+
+    def test_dark_systems_never_public(self, plan):
+        for rank in plan.dark_ranks:
+            public = plan.hidden_public[rank]
+            assert "power_kw" in public
+            assert "n_nodes" in public
+            assert "accelerator" in public
+
+    def test_flagships_fully_visible_at_baseline(self, plan):
+        for rank in plan.flagship_ranks:
+            base = plan.hidden_baseline[rank]
+            assert "n_gpus" not in base
+            assert "n_nodes" not in base
+            assert "accelerator" not in base
+
+    def test_component_opaque_have_power(self, plan):
+        for rank in plan.component_opaque_ranks:
+            assert "power_kw" not in plan.hidden_baseline[rank]
+            assert "n_gpus" in plan.hidden_public[rank]
+
+
+class TestAcceleratedChoice:
+    def test_exact_count(self):
+        ranks = choose_accelerated_ranks(np.random.default_rng(5))
+        assert len(ranks) == 225
+
+    def test_top_bias(self):
+        rng = np.random.default_rng(5)
+        ranks = choose_accelerated_ranks(rng)
+        top_density = len([r for r in ranks if r <= 100]) / 100
+        bottom_density = len([r for r in ranks if r > 400]) / 100
+        assert top_density > bottom_density

@@ -1,0 +1,191 @@
+"""Paper Table II tests: the reproduction's exactness anchors.
+
+Every number asserted here is printed in the paper (text or Table II);
+these tests failing would mean the transcription or parser drifted.
+"""
+
+import pytest
+
+from repro.data.paper_table import (
+    ScenarioValues,
+    by_name,
+    coverage_counts,
+    load_paper_table,
+    parse_row_values,
+    totals_mt,
+)
+from repro.errors import ParseError
+
+
+class TestLoad:
+    def test_exactly_500_rows(self):
+        assert len(load_paper_table()) == 500
+
+    def test_ranks_sequential(self):
+        assert [s.rank for s in load_paper_table()] == list(range(1, 501))
+
+    def test_cached(self):
+        assert load_paper_table() is load_paper_table()
+
+    def test_unnamed_systems_exist(self):
+        # The paper's table contains blank system names.
+        assert any(s.name is None for s in load_paper_table())
+
+
+class TestCoverageCounts:
+    """The paper: 391/500 operational and 283/500 embodied from
+    top500.org; 490 (98%) and 404 (80.8%) with public info."""
+
+    def test_operational_top500(self):
+        assert coverage_counts()["operational_top500"] == 391
+
+    def test_operational_public(self):
+        assert coverage_counts()["operational_public"] == 490
+
+    def test_embodied_top500(self):
+        assert coverage_counts()["embodied_top500"] == 283
+
+    def test_embodied_public(self):
+        assert coverage_counts()["embodied_public"] == 404
+
+    def test_interpolation_completes_both(self):
+        counts = coverage_counts()
+        assert counts["operational_interpolated"] == 500
+        assert counts["embodied_interpolated"] == 500
+
+    def test_percentages_match_paper(self):
+        counts = coverage_counts()
+        assert counts["operational_public"] / 500 == pytest.approx(0.98)
+        assert counts["embodied_public"] / 500 == pytest.approx(0.808)
+
+    def test_interpolated_only_counts(self):
+        # "adding the missing 10 systems" (op) / "the missing 96" (emb).
+        table = load_paper_table()
+        assert sum(s.operational.interpolation_only for s in table) == 10
+        assert sum(s.embodied.interpolation_only for s in table) == 96
+
+
+class TestTotals:
+    """Figure 7 / headline numbers."""
+
+    def test_operational_covered_total(self):
+        # 1.37 Million MT over 490 systems.
+        assert totals_mt()["operational_public"] == pytest.approx(1.37e6, rel=0.01)
+
+    def test_operational_full_total(self):
+        # 1.39 Million MT over all 500.
+        assert totals_mt()["operational_interpolated"] == \
+            pytest.approx(1.39e6, rel=0.01)
+
+    def test_embodied_covered_total(self):
+        # 1.53 Million MT over 404 systems.
+        assert totals_mt()["embodied_public"] == pytest.approx(1.53e6, rel=0.01)
+
+    def test_embodied_full_total(self):
+        # 1.88 Million MT over all 500.
+        assert totals_mt()["embodied_interpolated"] == \
+            pytest.approx(1.88e6, rel=0.01)
+
+    def test_operational_interpolation_increase(self):
+        # "+1.74%" from the 10 interpolated systems.
+        t = totals_mt()
+        increase = (t["operational_interpolated"] - t["operational_public"]) \
+            / t["operational_public"]
+        assert increase == pytest.approx(0.0174, abs=0.0005)
+
+    def test_embodied_interpolation_increase(self):
+        # "+23.18%" from the 96 interpolated systems.
+        t = totals_mt()
+        increase = (t["embodied_interpolated"] - t["embodied_public"]) \
+            / t["embodied_public"]
+        assert increase == pytest.approx(0.2318, abs=0.001)
+
+    def test_public_info_operational_change(self):
+        # Sensitivity: +2.85% (~38 thousand MT).
+        t = totals_mt()
+        change = t["operational_public"] - t["operational_top500"]
+        assert change == pytest.approx(38_000, rel=0.02)
+        assert change / t["operational_top500"] == pytest.approx(0.0285, abs=0.001)
+
+    def test_public_info_embodied_change(self):
+        # Sensitivity: +670.48 thousand MT (~78%).
+        t = totals_mt()
+        change = t["embodied_public"] - t["embodied_top500"]
+        assert change == pytest.approx(670_480, rel=0.01)
+        assert change / t["embodied_top500"] == pytest.approx(0.78, abs=0.01)
+
+
+class TestNamedSystems:
+    def test_el_capitan(self):
+        s = by_name("El Capitan")
+        assert s.rank == 1
+        assert s.operational.top500 == 71_590
+        assert s.operational.public == 55_360
+        assert s.embodied.top500 is None
+        assert s.embodied.public == 51_561
+
+    def test_frontier(self):
+        s = by_name("Frontier")
+        assert s.operational.public == 60_041
+        assert s.embodied.public == 133_225
+
+    def test_lumi_vs_leonardo_contrast(self):
+        # Appendix: "a difference of 4.3x in the operational carbon
+        # emissions between LUMI and Leonardo".
+        ratio = by_name("Leonardo").operational.interpolated \
+            / by_name("LUMI").operational.interpolated
+        assert ratio == pytest.approx(4.3, abs=0.1)
+
+    def test_frontier_vs_el_capitan_contrast(self):
+        # Appendix: "embodied carbon emissions of Frontier are 2.6x
+        # higher than those of El Capitan".
+        ratio = by_name("Frontier").embodied.interpolated \
+            / by_name("El Capitan").embodied.interpolated
+        assert ratio == pytest.approx(2.6, abs=0.1)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            by_name("Deep Thought")
+
+
+class TestParser:
+    def test_full_six_values(self):
+        op, emb = parse_row_values([100.0, 90.0, 90.0, 50.0, 60.0, 60.0])
+        assert op == ScenarioValues(100.0, 90.0, 90.0)
+        assert emb == ScenarioValues(50.0, 60.0, 60.0)
+
+    def test_five_values_op_heavy(self):
+        op, emb = parse_row_values([100.0, 90.0, 90.0, 60.0, 60.0])
+        assert op.top500 == 100.0
+        assert emb.top500 is None and emb.public == 60.0
+
+    def test_two_values_interp_only(self):
+        op, emb = parse_row_values([10.0, 20.0])
+        assert op.interpolation_only and emb.interpolation_only
+        assert op.interpolated == 10.0 and emb.interpolated == 20.0
+
+    def test_three_values_eagle_pattern(self):
+        # Eagle: "3049 3049 55495" -> op (-,P,I), emb (-,-,I).
+        op, emb = parse_row_values([3049.0, 3049.0, 55495.0])
+        assert op.public == 3049.0
+        assert emb.interpolation_only and emb.interpolated == 55495.0
+
+    def test_four_values_sunway_pattern(self):
+        # Sunway: "54944 54944 54944 7252" -> op full, emb interp-only.
+        op, emb = parse_row_values([54944.0, 54944.0, 54944.0, 7252.0])
+        assert op.top500 == 54944.0
+        assert emb.interpolation_only
+
+    def test_unparseable_raises(self):
+        with pytest.raises(ParseError):
+            parse_row_values([1.0, 2.0, 3.0])  # no split satisfies equality
+
+    def test_wrong_arity_raises(self):
+        with pytest.raises(ParseError):
+            parse_row_values([1.0])
+        with pytest.raises(ParseError):
+            parse_row_values([1.0] * 7)
+
+    def test_monotone_violation_rejected(self):
+        with pytest.raises(ParseError):
+            ScenarioValues(top500=1.0, public=None, interpolated=1.0)

@@ -1,0 +1,118 @@
+"""Synthetic-list tests: truth distributions and dataset structure."""
+
+import numpy as np
+import pytest
+
+from repro.data.top500 import DEFAULT_SEED, generate_top500
+from repro.data.truth import (
+    accel_probability,
+    generate_true_system,
+    rmax_for_rank,
+)
+
+
+class TestRmaxLaw:
+    def test_rank1_calibration(self):
+        assert rmax_for_rank(1) == pytest.approx(1.742e6)
+
+    def test_rank500_calibration(self):
+        assert rmax_for_rank(500) == pytest.approx(2.3e3, rel=0.01)
+
+    def test_monotone_decreasing(self):
+        values = [rmax_for_rank(r) for r in range(1, 501, 25)]
+        assert values == sorted(values, reverse=True)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            rmax_for_rank(0)
+        with pytest.raises(ValueError):
+            rmax_for_rank(501)
+
+
+class TestAccelProbability:
+    def test_top_heavy(self):
+        assert accel_probability(5) > accel_probability(400)
+
+    def test_valid_probabilities(self):
+        for rank in (1, 25, 26, 150, 151, 500):
+            assert 0.0 <= accel_probability(rank) <= 1.0
+
+
+class TestTrueSystem:
+    def test_accelerated_system_consistency(self):
+        rng = np.random.default_rng(7)
+        t = generate_true_system(10, rng, accelerated=True)
+        assert t.accelerator is not None
+        assert t.n_gpus > 0
+        assert t.n_gpus % t.n_nodes == 0      # whole GPUs per node
+        assert t.total_cores > t.accelerator_cores
+        assert t.rmax_tflops <= t.rpeak_tflops
+
+    def test_cpu_only_system_consistency(self):
+        rng = np.random.default_rng(7)
+        t = generate_true_system(300, rng, accelerated=False)
+        assert t.accelerator is None
+        assert t.n_gpus == 0
+        assert t.accelerator_cores == 0
+        assert t.n_cpus == 2 * t.n_nodes
+
+    def test_power_plausible(self):
+        rng = np.random.default_rng(3)
+        for rank in (1, 100, 500):
+            t = generate_true_system(rank, rng, accelerated=rank < 200)
+            # Between 40 kW (floor) and 60 MW (exascale-ish ceiling).
+            assert 40.0 <= t.power_kw <= 60_000.0
+
+    def test_energy_efficiency_consistent(self):
+        rng = np.random.default_rng(3)
+        t = generate_true_system(50, rng, accelerated=True)
+        assert t.energy_efficiency == pytest.approx(
+            t.rmax_tflops / t.power_kw)
+
+
+class TestDataset:
+    def test_deterministic_for_seed(self):
+        a = generate_top500(seed=99)
+        b = generate_top500(seed=99)
+        assert [t.name for t in a.truths] == [t.name for t in b.truths]
+        assert a.plan.dark_ranks == b.plan.dark_ranks
+
+    def test_different_seeds_differ(self):
+        a = generate_top500(seed=1)
+        b = generate_top500(seed=2)
+        assert [t.name for t in a.truths] != [t.name for t in b.truths]
+
+    def test_500_ranked_systems(self, dataset):
+        assert len(dataset.truths) == 500
+        assert dataset.truth(1).rank == 1
+        assert dataset.truth(500).rank == 500
+
+    def test_default_seed_constant(self):
+        assert DEFAULT_SEED == 20241118
+
+    def test_accelerated_count_exact(self, dataset):
+        accel = sum(t.is_accelerated for t in dataset.truths)
+        assert accel == 225
+
+    def test_accelerated_skew_to_top(self, dataset):
+        top = sum(dataset.truth(r).is_accelerated for r in range(1, 101))
+        bottom = sum(dataset.truth(r).is_accelerated for r in range(401, 501))
+        assert top > bottom
+
+    def test_true_records_fully_visible(self, dataset):
+        for record in dataset.true_records()[:50]:
+            assert record.country is not None
+            assert record.n_nodes is not None
+            assert record.memory_gb is not None
+
+    def test_scenario_views_are_subsets_of_truth(self, dataset):
+        """A scenario never shows a value the truth doesn't have, and
+        never shows a different value."""
+        for record in dataset.baseline_records()[:100]:
+            truth = dataset.truth(record.rank)
+            if record.power_kw is not None:
+                assert record.power_kw == truth.power_kw
+            if record.n_nodes is not None:
+                assert record.n_nodes == truth.n_nodes
+            if record.n_gpus is not None:
+                assert record.n_gpus == truth.n_gpus

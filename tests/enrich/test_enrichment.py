@@ -1,0 +1,79 @@
+"""Enrichment oracle + pipeline tests."""
+
+import pytest
+
+from repro.enrich.pipeline import EnrichmentPipeline
+from repro.enrich.public_info import PublicInfoOracle
+
+
+@pytest.fixture(scope="module")
+def oracle(dataset):
+    return PublicInfoOracle(dataset=dataset)
+
+
+class TestOracle:
+    def test_disclosure_reveals_only_baseline_hidden(self, dataset, oracle):
+        for rank in (1, 50, 250, 499):
+            disclosure = oracle.disclose(rank)
+            hidden = dataset.plan.hidden_baseline[rank]
+            for field in disclosure.fields:
+                assert field in hidden
+
+    def test_disclosed_values_match_truth(self, dataset, oracle):
+        for rank in (3, 77, 321):
+            truth = dataset.truth(rank)
+            for field, value in oracle.disclose(rank).fields.items():
+                assert value == getattr(truth, field)
+
+    def test_dark_systems_disclose_little(self, dataset, oracle):
+        # Dark systems keep node counts / accelerator identity hidden
+        # even publicly.
+        for rank in dataset.plan.dark_ranks:
+            fields = oracle.disclose(rank).fields
+            assert "n_nodes" not in fields
+            assert "accelerator" not in fields
+
+    def test_effort_scales_with_fields(self, oracle):
+        d = oracle.disclose(1)
+        assert d.effort_minutes == pytest.approx(4.0 * d.n_fields)
+
+    def test_total_effort_under_person_hour_per_system(self, oracle):
+        # The paper's practicability bar: < 1 person-hour per system.
+        assert oracle.total_effort_hours() < 500.0
+
+
+class TestPipeline:
+    def test_enriched_equals_public_view(self, dataset, oracle):
+        """The pipeline's output must equal the plan's public-scenario
+        records field-for-field — two constructions, one answer."""
+        pipeline = EnrichmentPipeline(oracle=oracle)
+        enriched, _ = pipeline.enrich(dataset.baseline_records())
+        expected = dataset.public_records()
+        for got, want in zip(enriched, expected):
+            for field in ("rank", "power_kw", "n_nodes", "n_gpus",
+                          "accelerator", "memory_gb", "ssd_gb", "region",
+                          "n_cpus", "utilization", "annual_energy_kwh"):
+                assert getattr(got, field) == getattr(want, field), \
+                    (got.rank, field)
+
+    def test_never_overwrites_baseline(self, dataset, oracle):
+        pipeline = EnrichmentPipeline(oracle=oracle)
+        baseline = dataset.baseline_records()
+        enriched, _ = pipeline.enrich(baseline)
+        for before, after in zip(baseline, enriched):
+            if before.power_kw is not None:
+                assert after.power_kw == before.power_kw
+
+    def test_report_tallies(self, dataset, oracle):
+        pipeline = EnrichmentPipeline(oracle=oracle)
+        _, report = pipeline.enrich(dataset.baseline_records())
+        assert report.n_systems == 500
+        assert 0 < report.n_systems_touched <= 500
+        assert report.total_fields_filled == sum(report.fields_filled.values())
+        assert report.effort_hours > 0
+
+    def test_report_counts_node_reveals(self, dataset, oracle):
+        # 209 hidden at baseline, 86 still hidden publicly -> 123 filled.
+        pipeline = EnrichmentPipeline(oracle=oracle)
+        _, report = pipeline.enrich(dataset.baseline_records())
+        assert report.fields_filled.get("n_nodes", 0) == 209 - 86

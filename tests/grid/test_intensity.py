@@ -1,0 +1,90 @@
+"""Grid carbon-intensity database tests."""
+
+import pytest
+
+from repro.errors import UnknownRegionError
+from repro.grid.intensity import (
+    COUNTRY_ACI,
+    DEFAULT_GRID_DB,
+    GridIntensityDB,
+    REGION_ACI,
+    WORLD_AVERAGE_ACI,
+    aci_kg_per_kwh,
+)
+
+
+class TestDatabaseIntegrity:
+    def test_all_country_values_plausible(self):
+        for country, aci in COUNTRY_ACI.items():
+            assert 0.01 <= aci <= 1.2, country
+
+    def test_all_region_values_plausible(self):
+        for region, aci in REGION_ACI.items():
+            assert 0.01 <= aci <= 1.2, region
+
+    def test_low_carbon_grids_are_low(self):
+        # Hydro/nuclear-heavy grids must sit far below coal-heavy ones —
+        # the LUMI-vs-Leonardo 4.3x contrast depends on it.
+        assert COUNTRY_ACI["norway"] < 0.05
+        assert COUNTRY_ACI["france"] < 0.10
+        assert COUNTRY_ACI["poland"] > 0.5
+        assert COUNTRY_ACI["india"] > 0.5
+
+
+class TestLookup:
+    def test_country_lookup_case_insensitive(self):
+        assert DEFAULT_GRID_DB.lookup("United States") == \
+            DEFAULT_GRID_DB.lookup("united states")
+
+    def test_region_wins_over_country(self):
+        us = DEFAULT_GRID_DB.lookup("United States")
+        tva = DEFAULT_GRID_DB.lookup("United States", "us-tva")
+        assert tva != us
+        assert tva == REGION_ACI["us-tva"]
+
+    def test_unknown_falls_back_to_world_average(self):
+        assert DEFAULT_GRID_DB.lookup("Atlantis") == WORLD_AVERAGE_ACI
+
+    def test_nothing_provided_returns_world_average(self):
+        assert DEFAULT_GRID_DB.lookup() == WORLD_AVERAGE_ACI
+
+    def test_strict_unknown_country_raises(self):
+        with pytest.raises(UnknownRegionError):
+            DEFAULT_GRID_DB.lookup("Atlantis", strict=True)
+
+    def test_strict_unknown_region_raises(self):
+        with pytest.raises(UnknownRegionError):
+            DEFAULT_GRID_DB.lookup("United States", "us-atlantis", strict=True)
+
+    def test_unknown_region_falls_back_to_country(self):
+        assert DEFAULT_GRID_DB.lookup("United States", "us-atlantis") == \
+            COUNTRY_ACI["united states"]
+
+    def test_module_level_wrapper(self):
+        assert aci_kg_per_kwh("Finland") == COUNTRY_ACI["finland"]
+
+
+class TestRefinementMagnitude:
+    def test_refinement_can_shift_by_the_papers_77_percent(self):
+        # Fig 9: ACI refinement changes operational carbon by up to
+        # ±77.5%. us-washington hydro vs the US average is such a swing.
+        us = DEFAULT_GRID_DB.lookup("United States")
+        wa = DEFAULT_GRID_DB.lookup("United States", "us-washington")
+        assert abs(wa - us) / us > 0.7
+
+
+class TestMutation:
+    def test_with_region_adds_entry(self):
+        db = DEFAULT_GRID_DB.with_region("test-region", 0.123)
+        assert db.lookup("United States", "test-region") == pytest.approx(0.123)
+        assert not DEFAULT_GRID_DB.knows_region("test-region")
+
+    def test_with_region_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            DEFAULT_GRID_DB.with_region("bad", 0.0)
+
+    def test_custom_db_construction(self):
+        db = GridIntensityDB(country_aci={"x": 0.5}, region_aci={},
+                             world_average=0.4)
+        assert db.lookup("X") == 0.5
+        assert db.lookup("Y") == 0.4

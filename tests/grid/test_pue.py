@@ -1,0 +1,39 @@
+"""PUE model tests."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.grid.pue import DEFAULT_PUE_MODEL, PueModel
+
+
+class TestDefaults:
+    def test_measured_power_pue_is_unity(self):
+        # Calibration: Top500-measured power already includes attached
+        # cooling; Table II numbers reproduce with no extra multiplier.
+        assert DEFAULT_PUE_MODEL.for_measured_power() == pytest.approx(1.0)
+
+    def test_component_pue_above_unity(self):
+        assert DEFAULT_PUE_MODEL.for_component_power() > 1.0
+
+    def test_liquid_below_air(self):
+        assert DEFAULT_PUE_MODEL.for_component_power("liquid") < \
+            DEFAULT_PUE_MODEL.for_component_power("air")
+
+    def test_unknown_cooling_uses_generic(self):
+        assert DEFAULT_PUE_MODEL.for_component_power("immersion") == \
+            DEFAULT_PUE_MODEL.component_power_pue
+
+
+class TestValidation:
+    def test_rejects_pue_below_one(self):
+        with pytest.raises(ConfigError):
+            PueModel(component_power_pue=0.9)
+
+    def test_rejects_absurd_pue(self):
+        with pytest.raises(ConfigError):
+            PueModel(air_cooled_pue=3.5)
+
+    def test_custom_model(self):
+        model = PueModel(measured_power_pue=1.1, component_power_pue=1.3)
+        assert model.for_measured_power() == pytest.approx(1.1)
+        assert model.for_component_power() == pytest.approx(1.3)

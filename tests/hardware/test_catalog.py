@@ -1,0 +1,63 @@
+"""HardwareCatalog facade tests: policies and lookups."""
+
+import pytest
+
+from repro.errors import UnknownDeviceError
+from repro.hardware.catalog import (
+    DEFAULT_CATALOG,
+    HardwareCatalog,
+    UnknownDevicePolicy,
+)
+from repro.hardware.gpus import MAINSTREAM_GPU_PROXY
+from repro.hardware.memory import MemoryType
+
+
+class TestDefaultCatalog:
+    def test_default_policy_is_proxy(self):
+        assert DEFAULT_CATALOG.unknown_policy is UnknownDevicePolicy.PROXY
+
+    def test_gpu_proxy_fallback(self):
+        assert DEFAULT_CATALOG.gpu("Mystery Accel") is MAINSTREAM_GPU_PROXY
+
+    def test_cpu_lookup(self):
+        assert DEFAULT_CATALOG.cpu("a64fx").cores == 48
+
+    def test_knows_gpu(self):
+        assert DEFAULT_CATALOG.knows_gpu("NVIDIA H100")
+        assert not DEFAULT_CATALOG.knows_gpu("Mystery Accel")
+
+    def test_knows_cpu(self):
+        assert DEFAULT_CATALOG.knows_cpu("epyc-7763")
+        assert not DEFAULT_CATALOG.knows_cpu("Mystery Chip")
+
+    def test_memory_spec_default(self):
+        spec = DEFAULT_CATALOG.memory_spec(None)
+        assert spec.mem_type is MemoryType.DDR4
+
+    def test_storage_spec(self):
+        assert DEFAULT_CATALOG.storage_spec().embodied_kg_per_gb > 0
+
+
+class TestStrictPolicy:
+    def test_with_policy_returns_new_catalog(self):
+        strict = DEFAULT_CATALOG.with_policy(UnknownDevicePolicy.STRICT)
+        assert strict is not DEFAULT_CATALOG
+        assert strict.unknown_policy is UnknownDevicePolicy.STRICT
+        # Shared factor tables, different policy.
+        assert strict.gpus is DEFAULT_CATALOG.gpus
+
+    def test_strict_gpu_raises(self):
+        strict = DEFAULT_CATALOG.with_policy(UnknownDevicePolicy.STRICT)
+        with pytest.raises(UnknownDeviceError):
+            strict.gpu("Mystery Accel")
+
+    def test_strict_known_device_still_resolves(self):
+        strict = DEFAULT_CATALOG.with_policy(UnknownDevicePolicy.STRICT)
+        assert strict.gpu("mi250x").name == "mi250x"
+
+
+class TestCustomCatalog:
+    def test_injectable_tables(self):
+        from repro.hardware.cpus import CPU_CATALOG
+        tiny = HardwareCatalog(cpus={"epyc-7763": CPU_CATALOG["epyc-7763"]})
+        assert tiny.cpu("epyc-7763").name == "epyc-7763"

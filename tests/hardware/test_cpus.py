@@ -1,0 +1,90 @@
+"""CPU catalog tests: integrity, lookup, and proxy behaviour."""
+
+import pytest
+
+from repro.errors import UnknownDeviceError
+from repro.hardware.cpus import (
+    CPU_CATALOG,
+    CpuSpec,
+    GENERIC_SERVER_CPU,
+    lookup_cpu,
+    normalize_device_name,
+)
+
+
+class TestCatalogIntegrity:
+    def test_catalog_nonempty(self):
+        assert len(CPU_CATALOG) >= 20
+
+    def test_all_specs_valid(self):
+        for spec in CPU_CATALOG.values():
+            assert spec.cores > 0
+            assert spec.tdp_w > 0
+            assert spec.die_area_mm2 > 0
+            assert 1.0 <= spec.process_nm <= 45.0
+            assert 2010 <= spec.year <= 2026
+
+    def test_keys_match_names(self):
+        for key, spec in CPU_CATALOG.items():
+            assert key == spec.name
+
+    def test_spec_rejects_nonpositive_cores(self):
+        with pytest.raises(ValueError):
+            CpuSpec(name="bad", vendor="x", cores=0, tdp_w=100.0,
+                    die_area_mm2=100.0, process_nm=7.0, year=2020)
+
+    def test_spec_rejects_nonpositive_tdp(self):
+        with pytest.raises(ValueError):
+            CpuSpec(name="bad", vendor="x", cores=8, tdp_w=0.0,
+                    die_area_mm2=100.0, process_nm=7.0, year=2020)
+
+    def test_known_flagship_parts_present(self):
+        for key in ("epyc-7763", "epyc-9654", "xeon-8480", "a64fx",
+                    "sw26010", "grace", "power9"):
+            assert key in CPU_CATALOG
+
+
+class TestNormalization:
+    def test_strips_core_count_and_clock(self):
+        assert normalize_device_name("AMD EPYC 7763 64C 2.45GHz") == "amd epyc 7763"
+
+    def test_strips_mhz(self):
+        assert normalize_device_name("Xeon Platinum 8280 28C 2700MHz") == \
+            "xeon platinum 8280"
+
+    def test_keeps_model_tokens(self):
+        assert "a64fx" in normalize_device_name("Fujitsu A64FX 48C 2.2GHz")
+
+
+class TestLookup:
+    def test_direct_key(self):
+        assert lookup_cpu("epyc-7763").cores == 64
+
+    def test_top500_style_string(self):
+        spec = lookup_cpu("AMD EPYC 7763 64C 2.45GHz")
+        assert spec.name == "epyc-7763"
+
+    def test_alias_substring(self):
+        spec = lookup_cpu("AMD Optimized 3rd Generation EPYC 64C 2GHz")
+        assert spec.name == "epyc-7a53"
+
+    def test_fugaku_processor(self):
+        assert lookup_cpu("Fujitsu A64FX 48C 2.2GHz").name == "a64fx"
+
+    def test_unknown_returns_generic_proxy(self):
+        assert lookup_cpu("Quantum FooChip 9000") is GENERIC_SERVER_CPU
+
+    def test_unknown_strict_raises(self):
+        with pytest.raises(UnknownDeviceError) as exc:
+            lookup_cpu("Quantum FooChip 9000", strict=True)
+        assert exc.value.kind == "cpu"
+
+    def test_case_insensitive(self):
+        assert lookup_cpu("EPYC-7763").name == "epyc-7763"
+
+    def test_proxy_is_mainstream_64_core(self):
+        # The proxy must be a plausible middle-of-the-road server part,
+        # not a frontier one — that's what produces the paper's
+        # systematic underestimate for exotic silicon.
+        assert GENERIC_SERVER_CPU.cores == 64
+        assert GENERIC_SERVER_CPU.tdp_w <= 300.0

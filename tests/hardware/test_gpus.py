@@ -1,0 +1,72 @@
+"""GPU catalog tests, including the paper's proxy-underestimate property."""
+
+import pytest
+
+from repro.errors import UnknownDeviceError
+from repro.hardware.gpus import (
+    GPU_CATALOG,
+    GpuSpec,
+    MAINSTREAM_GPU_PROXY,
+    lookup_gpu,
+)
+
+
+class TestCatalogIntegrity:
+    def test_catalog_nonempty(self):
+        assert len(GPU_CATALOG) >= 15
+
+    def test_all_specs_valid(self):
+        for spec in GPU_CATALOG.values():
+            assert spec.tdp_w > 0
+            assert spec.die_area_mm2 > 0
+            assert spec.hbm_gb >= 0
+            assert 1.0 <= spec.process_nm <= 30.0
+
+    def test_spec_rejects_negative_hbm(self):
+        with pytest.raises(ValueError):
+            GpuSpec(name="bad", vendor="x", tdp_w=300.0, die_area_mm2=800.0,
+                    hbm_gb=-1.0, process_nm=7.0, year=2020)
+
+    def test_the_papers_difficult_devices_present(self):
+        # "some systems use early or unique compute devices (eg MI300A,
+        # Fugaku A64FX, Sunway SW26010)" — MI300A is the GPU-side one.
+        assert "mi300a" in GPU_CATALOG
+
+
+class TestLookup:
+    @pytest.mark.parametrize("text,key", [
+        ("NVIDIA H100 SXM5", "h100"),
+        ("NVIDIA A100 SXM4 80 GB", "a100"),
+        ("AMD Instinct MI250X", "mi250x"),
+        ("AMD Instinct MI300A", "mi300a"),
+        ("NVIDIA GH200 Superchip", "gh200"),
+        ("Intel Data Center GPU Max", "pvc"),
+        ("NVIDIA Tesla V100", "v100"),
+    ])
+    def test_top500_strings_resolve(self, text, key):
+        assert lookup_gpu(text).name == key
+
+    def test_unknown_returns_proxy(self):
+        assert lookup_gpu("HomeGrown NPU v3") is MAINSTREAM_GPU_PROXY
+
+    def test_unknown_strict_raises(self):
+        with pytest.raises(UnknownDeviceError):
+            lookup_gpu("HomeGrown NPU v3", strict=True)
+
+
+class TestProxyUnderestimate:
+    """The paper: 'Approximating these accelerators with mainstream GPUs
+    produces systematic underestimates of silicon size.'"""
+
+    def test_proxy_is_a100_class(self):
+        assert MAINSTREAM_GPU_PROXY.name == "a100"
+
+    @pytest.mark.parametrize("exotic", ["mi300a", "mi300x", "mi250x",
+                                        "pvc", "b200", "gh200"])
+    def test_proxy_undercounts_exotic_silicon(self, exotic):
+        spec = GPU_CATALOG[exotic]
+        assert MAINSTREAM_GPU_PROXY.die_area_mm2 < spec.die_area_mm2
+
+    @pytest.mark.parametrize("exotic", ["mi300a", "mi300x", "b200"])
+    def test_proxy_undercounts_exotic_hbm(self, exotic):
+        assert MAINSTREAM_GPU_PROXY.hbm_gb < GPU_CATALOG[exotic].hbm_gb

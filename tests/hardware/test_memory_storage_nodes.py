@@ -1,0 +1,115 @@
+"""Memory, storage, and node-overhead factor tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hardware.memory import (
+    MEMORY_SPECS,
+    MemoryType,
+    memory_embodied_kg,
+    memory_power_w,
+)
+from repro.hardware.nodes import DEFAULT_NODE_OVERHEADS, NodeOverheads
+from repro.hardware.storage import (
+    STORAGE_SPECS,
+    StorageClass,
+    storage_embodied_kg,
+    storage_power_w,
+)
+
+
+class TestMemoryTypes:
+    def test_parse_plain(self):
+        assert MemoryType.parse("DDR4") is MemoryType.DDR4
+
+    def test_parse_with_spacing_and_dash(self):
+        assert MemoryType.parse("hbm-2e") is MemoryType.HBM2E
+
+    def test_parse_long_form(self):
+        assert MemoryType.parse("HBM3 (on package)") is MemoryType.HBM3
+
+    def test_parse_unknown_raises(self):
+        with pytest.raises(ValueError):
+            MemoryType.parse("optane")
+
+    def test_every_type_has_spec(self):
+        for mem_type in MemoryType:
+            assert mem_type in MEMORY_SPECS
+
+    def test_hbm_embodies_more_than_ddr(self):
+        # Stacked memory costs more carbon per bit.
+        assert MEMORY_SPECS[MemoryType.HBM3].embodied_kg_per_gb > \
+            MEMORY_SPECS[MemoryType.DDR5].embodied_kg_per_gb
+
+    def test_newer_ddr_embodies_less(self):
+        assert MEMORY_SPECS[MemoryType.DDR5].embodied_kg_per_gb < \
+            MEMORY_SPECS[MemoryType.DDR4].embodied_kg_per_gb < \
+            MEMORY_SPECS[MemoryType.DDR3].embodied_kg_per_gb
+
+
+class TestMemoryFunctions:
+    def test_embodied_scales_linearly(self):
+        one = memory_embodied_kg(1_000.0)
+        two = memory_embodied_kg(2_000.0)
+        assert two == pytest.approx(2 * one)
+
+    def test_embodied_rejects_negative(self):
+        with pytest.raises(ValueError):
+            memory_embodied_kg(-1.0)
+
+    def test_power_rejects_negative(self):
+        with pytest.raises(ValueError):
+            memory_power_w(-1.0)
+
+    def test_default_type_is_used_when_none(self):
+        explicit = memory_embodied_kg(512.0, MemoryType.DDR4)
+        default = memory_embodied_kg(512.0, None)
+        assert default == pytest.approx(explicit)
+
+    @given(st.floats(min_value=0.0, max_value=1e9),
+           st.sampled_from(list(MemoryType)))
+    def test_embodied_nonnegative(self, gb, mem_type):
+        assert memory_embodied_kg(gb, mem_type) >= 0.0
+
+
+class TestStorage:
+    def test_ssd_embodies_far_more_than_hdd_per_gb(self):
+        ssd = STORAGE_SPECS[StorageClass.SSD].embodied_kg_per_gb
+        hdd = STORAGE_SPECS[StorageClass.HDD].embodied_kg_per_gb
+        assert ssd > 10 * hdd
+
+    def test_frontier_scale_storage_dominates(self):
+        # ~700 PB of SSD embodies ~100k MT CO2e — the Table II insight
+        # that Frontier's storage dwarfs its compute silicon.
+        kg = storage_embodied_kg(716e6)
+        assert 5e7 < kg < 2e8
+
+    def test_power_scales_with_capacity(self):
+        assert storage_power_w(2e6) == pytest.approx(2 * storage_power_w(1e6))
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            storage_embodied_kg(-1.0)
+        with pytest.raises(ValueError):
+            storage_power_w(-1.0)
+
+
+class TestNodeOverheads:
+    def test_default_embodied_sum(self):
+        oh = DEFAULT_NODE_OVERHEADS
+        assert oh.embodied_kg_per_node == pytest.approx(
+            oh.mainboard_kg + oh.psu_chassis_kg + oh.rack_share_kg)
+
+    def test_rejects_negative_component(self):
+        with pytest.raises(ValueError):
+            NodeOverheads(mainboard_kg=-1.0)
+
+    def test_rejects_overhead_fraction_out_of_range(self):
+        with pytest.raises(ValueError):
+            NodeOverheads(power_overhead_frac=1.5)
+
+    def test_custom_overheads_construct(self):
+        oh = NodeOverheads(mainboard_kg=50.0, psu_chassis_kg=60.0,
+                           rack_share_kg=20.0, power_overhead_frac=0.2,
+                           idle_node_w=80.0)
+        assert oh.embodied_kg_per_node == pytest.approx(130.0)

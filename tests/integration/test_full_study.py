@@ -1,0 +1,100 @@
+"""Integration: the full model-path study against every paper target."""
+
+import pytest
+
+from repro.study import Top500CarbonStudy
+from repro.data.top500 import generate_top500
+
+
+class TestReproductionTargets:
+    """The calibration table from DESIGN.md §5, model path."""
+
+    def test_coverage_baseline(self, study):
+        assert study.baseline_coverage.operational.n_covered == 391
+        assert study.baseline_coverage.embodied.n_covered == 283
+
+    def test_coverage_public(self, study):
+        assert study.public_coverage.operational.n_covered == 490
+        assert study.public_coverage.embodied.n_covered == 404
+
+    def test_interpolated_system_counts(self, study):
+        _, op_fills = study.op_full
+        _, emb_fills = study.emb_full
+        assert len(op_fills) == 10
+        assert len(emb_fills) == 96
+
+    def test_totals_magnitudes(self, study):
+        """Within shape tolerance of the paper's 1.37M / 1.53M MT."""
+        op_total = study.op_public.total_mt()
+        emb_total = study.emb_public.total_mt()
+        assert 0.5e6 < op_total < 3.0e6
+        assert 0.4e6 < emb_total < 3.5e6
+
+    def test_interpolation_adds_little_operational(self, study):
+        op_row, _ = study.fig7
+        assert op_row.interpolation_increase_percent < 6.0
+
+    def test_interpolation_adds_substantial_embodied(self, study):
+        _, emb_row = study.fig7
+        assert emb_row.interpolation_increase_percent > 10.0
+
+    def test_operational_sensitivity_small(self, study):
+        # Paper: total operational change from public info only +2.85%.
+        assert abs(study.op_sensitivity.total_change_percent) < 12.0
+
+    def test_embodied_sensitivity_large_and_positive(self, study):
+        # Paper: +78%. Model path: large positive.
+        assert study.emb_sensitivity.total_change_percent > 8.0
+
+    def test_projection_doubles_operational_by_2030(self, study):
+        op_x, emb_x = study.projection.multiplier_at(2030)
+        assert op_x == pytest.approx(1.80, abs=0.02)
+        assert emb_x < op_x
+
+
+class TestPipelineConsistency:
+    def test_enrichment_and_plan_views_agree_on_coverage(self, study, easyc):
+        """Assessing the plan's public view directly gives identical
+        coverage to assessing the enriched records."""
+        direct = easyc.assess_fleet(study.dataset.public_records())
+        via_pipeline = study.public_coverage.assessments
+        for d, p in zip(direct, via_pipeline):
+            assert d.covered_operational == p.covered_operational
+            assert d.covered_embodied == p.covered_embodied
+
+    def test_public_estimates_at_least_baseline_coverage(self, study):
+        for base, pub in zip(study.baseline_coverage.assessments,
+                             study.public_coverage.assessments):
+            if base.covered_operational:
+                assert pub.covered_operational
+            if base.covered_embodied:
+                assert pub.covered_embodied
+
+    def test_dark_systems_are_the_op_holes(self, study):
+        _, op_fills = study.op_full
+        assert {f.rank for f in op_fills} == set(study.dataset.plan.dark_ranks)
+
+    def test_emb_holes_are_opaque_plus_dark(self, study):
+        _, emb_fills = study.emb_full
+        expected = set(study.dataset.plan.dark_ranks) \
+            | set(study.dataset.plan.component_opaque_ranks)
+        assert {f.rank for f in emb_fills} == expected
+
+    def test_full_series_have_no_holes(self, study):
+        op_series, _ = study.op_full
+        emb_series, _ = study.emb_full
+        assert op_series.n_covered == 500
+        assert emb_series.n_covered == 500
+
+
+class TestSeedRobustness:
+    """Coverage calibration holds for other seeds (the plan is
+    constructed, not lucky)."""
+
+    @pytest.mark.parametrize("seed", [7, 1234])
+    def test_other_seeds_hit_targets(self, seed):
+        result = Top500CarbonStudy().run(generate_top500(seed=seed))
+        assert result.baseline_coverage.operational.n_covered == 391
+        assert result.baseline_coverage.embodied.n_covered == 283
+        assert result.public_coverage.operational.n_covered == 490
+        assert result.public_coverage.embodied.n_covered == 404

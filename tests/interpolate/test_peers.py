@@ -1,0 +1,136 @@
+"""Peer-interpolation tests, including hypothesis properties."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import InterpolationError
+from repro.interpolate.peers import (
+    DEFAULT_PEERS,
+    PeerInterpolator,
+    interpolate_series,
+)
+
+
+class TestBasics:
+    def test_paper_default_is_ten_peers(self):
+        assert DEFAULT_PEERS == 10
+        assert PeerInterpolator().n_peers == 10
+
+    def test_odd_peer_count_rejected(self):
+        with pytest.raises(ValueError):
+            PeerInterpolator(n_peers=9)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            PeerInterpolator(n_peers=0)
+
+    def test_no_holes_returns_unchanged(self):
+        series = {r: float(r) for r in range(1, 21)}
+        completed, fills = PeerInterpolator().fill(dict(series))
+        assert completed == series
+        assert fills == []
+
+    def test_too_few_covered_raises(self):
+        series = {r: (float(r) if r <= 5 else None) for r in range(1, 21)}
+        with pytest.raises(InterpolationError):
+            PeerInterpolator(n_peers=10).fill(series)
+
+
+class TestNeighbourhood:
+    def test_mid_hole_uses_5_below_5_above(self):
+        series: dict[int, float | None] = {r: float(r) for r in range(1, 22)}
+        series[11] = None
+        _, fills = PeerInterpolator().fill(series)
+        assert fills[0].peer_ranks == (6, 7, 8, 9, 10, 12, 13, 14, 15, 16)
+        assert fills[0].value == pytest.approx(11.0)
+
+    def test_walks_past_incomplete_peers(self):
+        # "If the peers are also incomplete, we use the next closest."
+        series: dict[int, float | None] = {r: float(r) for r in range(1, 30)}
+        for hole in (10, 11, 12):
+            series[hole] = None
+        _, fills = PeerInterpolator().fill(series)
+        by_rank = {f.rank: f for f in fills}
+        assert 9 in by_rank[11].peer_ranks
+        assert 13 in by_rank[11].peer_ranks
+        assert 10 not in by_rank[11].peer_ranks  # incomplete peer skipped
+
+    def test_top_of_list_borrows_from_below(self):
+        series: dict[int, float | None] = {r: float(r) for r in range(1, 21)}
+        series[1] = None
+        _, fills = PeerInterpolator().fill(series)
+        assert fills[0].peer_ranks == tuple(range(2, 12))
+
+    def test_bottom_of_list_borrows_from_above(self):
+        series: dict[int, float | None] = {r: float(r) for r in range(1, 21)}
+        series[20] = None
+        _, fills = PeerInterpolator().fill(series)
+        assert fills[0].peer_ranks == tuple(range(10, 20))
+
+
+class TestProperties:
+    @staticmethod
+    @st.composite
+    def holey_series(draw):
+        n = draw(st.integers(min_value=15, max_value=80))
+        values = draw(st.lists(
+            st.floats(min_value=0.0, max_value=1e5,
+                      allow_nan=False, allow_infinity=False),
+            min_size=n, max_size=n))
+        n_holes = draw(st.integers(min_value=0, max_value=n - 12))
+        hole_at = draw(st.sets(st.integers(min_value=0, max_value=n - 1),
+                               min_size=n_holes, max_size=n_holes))
+        return {i + 1: (None if i in hole_at else values[i])
+                for i in range(n)}
+
+    @given(holey_series())
+    @settings(max_examples=60, deadline=None)
+    def test_fill_is_complete_and_preserving(self, series):
+        completed, fills = PeerInterpolator().fill(series)
+        assert set(completed) == set(series)
+        assert all(v is not None for v in completed.values())
+        # Covered values pass through untouched.
+        for rank, value in series.items():
+            if value is not None:
+                assert completed[rank] == value
+        # One fill record per hole.
+        assert len(fills) == sum(1 for v in series.values() if v is None)
+
+    @given(holey_series())
+    @settings(max_examples=60, deadline=None)
+    def test_fills_within_covered_bounds(self, series):
+        covered = [v for v in series.values() if v is not None]
+        completed, fills = PeerInterpolator().fill(series)
+        for fill in fills:
+            assert min(covered) <= fill.value <= max(covered)
+
+    @given(st.integers(min_value=15, max_value=60),
+           st.floats(min_value=0.1, max_value=1e4, allow_nan=False),
+           st.sets(st.integers(min_value=1, max_value=15), min_size=1, max_size=3))
+    @settings(max_examples=40, deadline=None)
+    def test_constant_series_fills_exactly(self, n, constant, holes):
+        series = {r: (None if r in holes else constant) for r in range(1, n + 1)}
+        completed = interpolate_series(series)
+        for value in completed.values():
+            assert value == pytest.approx(constant)
+
+
+class TestAgainstPaperData:
+    def test_interpolating_public_reproduces_paper_interpolated(self):
+        """Running OUR interpolator over the paper's +public column must
+        reproduce the paper's +interpolated column (same algorithm)."""
+        from repro.data.paper_table import load_paper_table
+        table = load_paper_table()
+        series = {s.rank: s.operational.public for s in table}
+        completed = interpolate_series(series)
+        matches, total = 0, 0
+        for system in table:
+            if system.operational.public is None:
+                total += 1
+                expected = system.operational.interpolated
+                if abs(completed[system.rank] - expected) / expected < 0.35:
+                    matches += 1
+        # The paper rounds to integers and may use slightly different
+        # tie-breaking at the ends; require most holes to agree closely.
+        assert total == 10
+        assert matches >= 7

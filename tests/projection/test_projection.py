@@ -1,0 +1,138 @@
+"""Projection tests: turnover, growth (Fig 10), perf/carbon (Fig 11)."""
+
+import pytest
+
+from repro.projection.growth import (
+    CarbonProjection,
+    EMBODIED_ANNUAL_GROWTH,
+    OPERATIONAL_ANNUAL_GROWTH,
+)
+from repro.projection.perf_carbon import (
+    IDEAL_DOUBLING_MONTHS,
+    perf_carbon_projection,
+)
+from repro.projection.turnover import TurnoverModel, TurnoverObservation
+
+
+class TestTurnover:
+    def test_paper_rates_annualize_correctly(self):
+        model = TurnoverModel()
+        assert model.operational_annual == pytest.approx(0.1025, abs=0.0005)
+        assert model.embodied_annual == pytest.approx(0.0201, abs=0.0005)
+
+    def test_observation_growth(self):
+        obs = TurnoverObservation(systems_replaced=48,
+                                  entering_total_mt=150.0,
+                                  leaving_total_mt=100.0,
+                                  list_total_mt=1000.0)
+        assert obs.per_cycle_growth == pytest.approx(0.05)
+
+    def test_from_observations(self):
+        op = TurnoverObservation(48, 150.0, 100.0, 1000.0)
+        emb = TurnoverObservation(48, 110.0, 100.0, 1000.0)
+        model = TurnoverModel.from_observations(op, emb)
+        assert model.operational_per_cycle == pytest.approx(0.05)
+        assert model.embodied_per_cycle == pytest.approx(0.01)
+
+    def test_observe_on_study(self, study):
+        # The model-path derived rates: operational growth must clearly
+        # outpace embodied growth, as the paper finds (10.3% vs 2%).
+        model = study.turnover
+        assert model.operational_annual > model.embodied_annual
+        assert 0.0 < model.operational_annual < 0.3
+
+    def test_observe_series_rejects_small_series(self):
+        with pytest.raises(ValueError):
+            TurnoverModel.observe_series({1: 1.0}, systems_replaced=48,
+                                         entrant_scale=1.0)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            TurnoverModel(systems_per_cycle=0)
+
+
+class TestGrowthProjection:
+    @pytest.fixture()
+    def projection(self):
+        return CarbonProjection.paper_defaults(
+            base_operational_mt=1_393_725.0, base_embodied_mt=1_881_797.0)
+
+    def test_2030_operational_nearly_double(self, projection):
+        # "By 2030, Top 500's operational carbon is nearly double 2024."
+        op_x, _ = projection.multiplier_at(2030)
+        assert op_x == pytest.approx(1.80, abs=0.02)
+
+    def test_2030_embodied_1_1x(self, projection):
+        _, emb_x = projection.multiplier_at(2030)
+        assert emb_x == pytest.approx(1.13, abs=0.02)
+
+    def test_series_years(self, projection):
+        points = projection.series()
+        assert [p.year for p in points] == list(range(2024, 2031))
+
+    def test_base_year_is_identity(self, projection):
+        point = projection.at(2024)
+        assert point.operational_mt == pytest.approx(1_393_725.0)
+        assert point.embodied_mt == pytest.approx(1_881_797.0)
+
+    def test_monotone_growth(self, projection):
+        points = projection.series()
+        for earlier, later in zip(points, points[1:]):
+            assert later.operational_mt > earlier.operational_mt
+            assert later.embodied_mt > earlier.embodied_mt
+
+    def test_past_year_rejected(self, projection):
+        with pytest.raises(ValueError):
+            projection.at(2020)
+
+    def test_invalid_base_rejected(self):
+        with pytest.raises(ValueError):
+            CarbonProjection.paper_defaults(0.0, 1.0)
+
+    def test_from_turnover_model(self):
+        projection = CarbonProjection.from_turnover(
+            TurnoverModel(), 1e6, 2e6)
+        assert projection.operational_rate == pytest.approx(0.1025, abs=0.001)
+
+    def test_default_rates_are_papers(self):
+        assert OPERATIONAL_ANNUAL_GROWTH == pytest.approx(0.103)
+        assert EMBODIED_ANNUAL_GROWTH == pytest.approx(0.02)
+
+
+class TestPerfCarbon:
+    @pytest.fixture()
+    def projection(self):
+        # Nov-2024 list: ~11.72 EF total Rmax; 1.39M MT operational.
+        return perf_carbon_projection(11.72e6, 1_393_725.0, "operational")
+
+    def test_base_ratio_magnitude(self, projection):
+        # 11,720 PF / 1,393.7 kMT ~ 8.4 PF per kMT.
+        assert projection.base_ratio == pytest.approx(8.41, abs=0.05)
+
+    def test_projected_line_is_slow_linear(self, projection):
+        p2024 = projection.at(2024)
+        p2030 = projection.at(2030)
+        gain = p2030.projected_pflops_per_kmt - p2024.projected_pflops_per_kmt
+        # 0.2/year for 6 years.
+        assert gain == pytest.approx(1.2)
+
+    def test_ideal_line_doubles_every_18_months(self, projection):
+        assert IDEAL_DOUBLING_MONTHS == 18.0
+        p2024 = projection.at(2024)
+        p2027 = projection.at(2027)   # 36 months -> 4x
+        assert p2027.ideal_pflops_per_kmt == \
+            pytest.approx(4 * p2024.ideal_pflops_per_kmt)
+
+    def test_gap_widens_dramatically(self, projection):
+        # The paper's point: achieved progress is "dramatically slower"
+        # than the Dennard-era ideal.
+        assert projection.gap_at(2030) > 5.0
+        assert projection.gap_at(2030) > projection.gap_at(2026)
+
+    def test_invalid_totals_rejected(self):
+        with pytest.raises(ValueError):
+            perf_carbon_projection(0.0, 1.0, "operational")
+
+    def test_study_perf_carbon(self, study):
+        projection = study.perf_carbon("operational")
+        assert projection.base_ratio > 0

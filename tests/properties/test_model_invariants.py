@@ -1,0 +1,145 @@
+"""Hypothesis property tests on the carbon models' physical invariants.
+
+These are the invariants a downstream user implicitly relies on:
+monotonicity in inputs (more power, more silicon, dirtier grid → more
+carbon), additivity of breakdowns, and coverage consistency between the
+cheap predicate and the real models under arbitrary field masking.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.easyc import EasyC
+from repro.core.embodied import EmbodiedModel
+from repro.core.operational import OperationalModel
+from repro.core.record import SystemRecord
+from repro.hardware.memory import MemoryType
+
+op_model = OperationalModel()
+emb_model = EmbodiedModel()
+easyc = EasyC()
+
+
+def record_strategy():
+    """Random plausible SystemRecords, partially masked."""
+    return st.builds(
+        _build_record,
+        rank=st.integers(min_value=1, max_value=500),
+        rmax=st.floats(min_value=1e3, max_value=2e6),
+        eff=st.floats(min_value=0.4, max_value=0.9),
+        power=st.one_of(st.none(), st.floats(min_value=50.0, max_value=4e4)),
+        nodes=st.one_of(st.none(), st.integers(min_value=1, max_value=10_000)),
+        gpus_per_node=st.one_of(st.none(), st.integers(min_value=1, max_value=8)),
+        accel=st.sampled_from([None, "NVIDIA H100", "AMD Instinct MI250X",
+                               "Unknown NPU"]),
+        country=st.sampled_from([None, "United States", "Japan", "Finland",
+                                 "Germany", "Atlantis"]),
+        memory_per_node=st.one_of(st.none(),
+                                  st.floats(min_value=128.0, max_value=2048.0)),
+        util=st.one_of(st.none(), st.floats(min_value=0.2, max_value=1.0)),
+    )
+
+
+def _build_record(rank, rmax, eff, power, nodes, gpus_per_node, accel,
+                  country, memory_per_node, util):
+    n_gpus = None
+    if accel is not None and nodes is not None and gpus_per_node is not None:
+        n_gpus = nodes * gpus_per_node
+    return SystemRecord(
+        rank=rank, rmax_tflops=rmax, rpeak_tflops=rmax / eff,
+        country=country, power_kw=power, n_nodes=nodes,
+        processor="epyc-7763" if nodes is not None else None,
+        accelerator=accel, n_gpus=n_gpus,
+        memory_gb=(memory_per_node * nodes
+                   if memory_per_node is not None and nodes is not None
+                   else None),
+        utilization=util,
+    )
+
+
+class TestCoverageConsistency:
+    @given(record_strategy())
+    @settings(max_examples=200, deadline=None)
+    def test_predicate_matches_model_everywhere(self, record):
+        """check_operational/check_embodied agree with the actual
+        models for arbitrary masking patterns."""
+        op_check, emb_check = easyc.coverage_check(record)
+        assessment = easyc.assess(record)
+        assert bool(op_check) == assessment.covered_operational
+        assert bool(emb_check) == assessment.covered_embodied
+
+
+class TestOperationalInvariants:
+    @given(st.floats(min_value=50.0, max_value=5e4),
+           st.floats(min_value=1.05, max_value=3.0))
+    def test_monotone_in_power(self, power, factor):
+        base = op_model.estimate(_power_record(power))
+        more = op_model.estimate(_power_record(power * factor))
+        assert more.value_mt > base.value_mt
+
+    @given(st.floats(min_value=50.0, max_value=5e4))
+    def test_dirtier_grid_means_more_carbon(self, power):
+        finland = op_model.estimate(_power_record(power, country="Finland"))
+        india = op_model.estimate(_power_record(power, country="India"))
+        assert india.value_mt > finland.value_mt
+
+    @given(st.floats(min_value=50.0, max_value=5e4),
+           st.floats(min_value=0.2, max_value=0.9))
+    def test_linear_in_utilization(self, power, util):
+        full = op_model.estimate(_power_record(power, utilization=1.0))
+        partial = op_model.estimate(_power_record(power, utilization=util))
+        assert partial.value_mt == pytest.approx(full.value_mt * util)
+
+    @given(st.integers(min_value=1, max_value=5000))
+    def test_component_power_scales_superlinearly_never(self, nodes):
+        """Component-rebuilt carbon is (sub)linear in node count for a
+        homogeneous system — doubling nodes at most doubles carbon."""
+        one = op_model.estimate(_component_record(nodes))
+        two = op_model.estimate(_component_record(2 * nodes))
+        assert two.value_mt == pytest.approx(2 * one.value_mt, rel=0.02)
+
+
+class TestEmbodiedInvariants:
+    @given(st.integers(min_value=1, max_value=5000))
+    def test_monotone_in_nodes(self, nodes):
+        small = emb_model.estimate(_component_record(nodes))
+        large = emb_model.estimate(_component_record(nodes + 100))
+        assert large.value_mt > small.value_mt
+
+    @given(st.integers(min_value=1, max_value=2000),
+           st.integers(min_value=1, max_value=8))
+    def test_breakdown_additivity(self, nodes, gpus_per_node):
+        record = SystemRecord(
+            rank=10, rmax_tflops=1e4, rpeak_tflops=2e4,
+            country="Japan", n_nodes=nodes, processor="epyc-7763",
+            accelerator="NVIDIA H100", n_gpus=nodes * gpus_per_node)
+        estimate = emb_model.estimate(record)
+        assert sum(estimate.breakdown_mt.values()) == \
+            pytest.approx(estimate.value_mt, rel=1e-9)
+
+    @given(st.floats(min_value=1e3, max_value=1e8))
+    def test_monotone_in_ssd(self, ssd_gb):
+        base = emb_model.estimate(_component_record(100, ssd_gb=ssd_gb))
+        more = emb_model.estimate(_component_record(100, ssd_gb=ssd_gb * 2))
+        assert more.value_mt > base.value_mt
+
+    @given(st.sampled_from(list(MemoryType)))
+    def test_memory_type_changes_but_never_breaks(self, mem_type):
+        record = dataclasses.replace(
+            _component_record(500), memory_gb=500 * 512.0,
+            memory_type=mem_type)
+        assert emb_model.estimate(record).value_mt > 0
+
+
+def _power_record(power_kw, country="United States", utilization=None):
+    return SystemRecord(rank=10, rmax_tflops=1e4, rpeak_tflops=2e4,
+                        country=country, power_kw=power_kw,
+                        utilization=utilization)
+
+
+def _component_record(nodes, ssd_gb=None):
+    return SystemRecord(rank=10, rmax_tflops=1e4, rpeak_tflops=2e4,
+                        country="Japan", n_nodes=nodes,
+                        processor="epyc-7763", ssd_gb=ssd_gb)

@@ -1,0 +1,125 @@
+"""Reporting tests: renderers and every figure function."""
+
+import pytest
+
+from repro.reporting.charts import bar_chart, series_summary
+from repro.reporting.figures import (
+    figure2, figure3, figure4, figure5, figure6, figure7, figure8,
+    figure9, figure10, figure11, headline, reference_series, table1,
+    table2_excerpt,
+)
+from repro.reporting.tables import render_table
+
+
+class TestRenderTable:
+    def test_alignment_and_headers(self):
+        text = render_table(("Name", "Value"), [("a", 1), ("bb", 22)])
+        lines = text.splitlines()
+        assert "Name" in lines[0]
+        assert set(lines[1]) <= {"-", " "}
+        assert len(lines) == 4
+
+    def test_numeric_formatting(self):
+        text = render_table(("N",), [(1234567,)])
+        assert "1,234,567" in text
+
+    def test_title(self):
+        assert render_table(("A",), [(1,)], title="T").startswith("T\n")
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(("A", "B"), [(1,)])
+
+
+class TestCharts:
+    def test_bar_chart_scales_to_max(self):
+        text = bar_chart(["x", "y"], [50.0, 100.0], width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_bar_chart_rejects_negative(self):
+        with pytest.raises(ValueError):
+            bar_chart(["x"], [-1.0])
+
+    def test_bar_chart_rejects_misaligned(self):
+        with pytest.raises(ValueError):
+            bar_chart(["x"], [1.0, 2.0])
+
+    def test_series_summary_buckets(self):
+        points = [(r, float(r)) for r in range(1, 101)]
+        text = series_summary(points, n_buckets=10)
+        assert text.count("ranks ") == 10
+
+    def test_series_summary_empty(self):
+        assert series_summary([], title="empty") == "empty"
+
+
+class TestReferenceSeries:
+    def test_operational_public_coverage(self):
+        series = reference_series("operational", "public")
+        assert series.n_covered == 490
+
+    def test_embodied_interpolated_complete(self):
+        series = reference_series("embodied", "interpolated")
+        assert series.n_covered == 500
+
+
+class TestFigureFunctions:
+    """Each figure renderer must produce non-trivial output containing
+    its calibration anchors."""
+
+    def test_figure2(self, study):
+        text = figure2(study)
+        assert "Fig 2" in text and "#" in text
+
+    def test_table1(self, study):
+        text = table1(study)
+        assert "memory_capacity" in text
+        assert "ssd_capacity" in text
+
+    def test_figure3(self):
+        text = figure3()
+        assert "391 systems" in text
+
+    def test_figure4(self, study):
+        text = figure4(study)
+        assert "391" in text and "490" in text and "404" in text
+
+    def test_figure5(self, study):
+        assert "1-10" in figure5(study)
+
+    def test_figure6(self, study):
+        assert "451-500" in figure6(study)
+
+    def test_figure7(self):
+        text = figure7()
+        assert "1,369.9" in text     # covered operational total, kMT
+        assert "1,881.8" in text     # full embodied total, kMT
+
+    def test_figure8(self):
+        assert "Fig 8" in figure8()
+
+    def test_figure9(self):
+        text = figure9()
+        assert "+2.85%" in text
+        assert "+670,481" in text.replace("−", "-") or "670,481" in text
+
+    def test_figure10(self):
+        text = figure10()
+        assert "2030" in text
+        assert "1.80x" in text
+
+    def test_figure11(self):
+        text = figure11()
+        assert "Ideal" in text
+
+    def test_table2_excerpt(self):
+        text = table2_excerpt()
+        assert "El Capitan" in text
+        assert "4.3x" in text and "2.6x" in text
+
+    def test_headline(self):
+        text = headline()
+        assert "1,393,725" in text
+        assert "325," in text

@@ -1,0 +1,109 @@
+"""Named-fleet extension + CLI tests."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.record import SystemRecord
+from repro.fleets import (
+    ACCESS_LIKE_FLEET,
+    BUILTIN_FLEETS,
+    DOE_LIKE_FLEET,
+    EUROHPC_LIKE_FLEET,
+    Fleet,
+    assess_fleet,
+)
+
+
+class TestFleets:
+    def test_builtin_fleets_registered(self):
+        assert set(BUILTIN_FLEETS) == {"access-like", "doe-like",
+                                       "eurohpc-like"}
+
+    def test_empty_fleet_rejected(self):
+        with pytest.raises(ValueError):
+            Fleet(name="empty", systems=())
+
+    def test_access_like_fully_covered(self):
+        report = assess_fleet(ACCESS_LIKE_FLEET)
+        assert report.n_systems == 5
+        assert report.n_operational_covered == 5
+        assert report.n_embodied_covered == 5
+        assert report.operational_total_mt > 0
+
+    def test_doe_like_dominated_by_exascale(self):
+        report = assess_fleet(DOE_LIKE_FLEET)
+        values = [a.operational.value_mt for a in report.assessments]
+        # Frontier-like + Aurora-like dwarf Perlmutter-like.
+        assert values[0] + values[1] > 10 * values[2]
+
+    def test_eurohpc_grid_contrast(self):
+        # LUMI-like (hydro) vs Leonardo-like (Italian mix): the paper's
+        # 4.3x contrast should reappear for similar power levels.
+        report = assess_fleet(EUROHPC_LIKE_FLEET)
+        lumi = report.assessments[0].operational.value_mt
+        leonardo = report.assessments[1].operational.value_mt
+        assert leonardo / lumi > 3.0
+
+    def test_uncertainty_band_present(self):
+        report = assess_fleet(ACCESS_LIKE_FLEET)
+        band = report.operational_band
+        assert band is not None
+        assert band.p5_mt < report.operational_total_mt < band.p95_mt
+
+    def test_custom_fleet(self):
+        fleet = Fleet(name="mine", systems=(
+            SystemRecord(rank=1, rmax_tflops=100.0, rpeak_tflops=150.0,
+                         country="Norway", power_kw=50.0),))
+        report = assess_fleet(fleet)
+        assert report.n_operational_covered == 1
+        assert report.n_embodied_covered == 0
+
+
+class TestCli:
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_assess_covered(self, capsys):
+        code = main(["assess", "--country", "Germany",
+                     "--rmax-tflops", "5000", "--power-kw", "900",
+                     "--nodes", "300", "--processor", "epyc-7763"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "operational:" in out
+        assert "embodied:" in out
+        assert "MT CO2e" in out
+
+    def test_assess_uncovered_exit_code(self, capsys):
+        code = main(["assess", "--country", "Germany",
+                     "--rmax-tflops", "5000"])
+        assert code == 1
+        assert "NOT COVERED" in capsys.readouterr().out
+
+    def test_assess_with_memory_type(self, capsys):
+        code = main(["assess", "--country", "Japan",
+                     "--rmax-tflops", "9000", "--power-kw", "1500",
+                     "--nodes", "200", "--processor", "epyc-9654",
+                     "--memory-gb", "102400", "--memory-type", "ddr5"])
+        assert code == 0
+
+    def test_fleet_command(self, capsys):
+        code = main(["fleet", "eurohpc-like"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "eurohpc-like" in out
+        assert "90% band" in out
+
+    def test_project_command(self, capsys):
+        code = main(["project"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2030" in out
+        assert "2,509" in out or "2509" in out
+
+    def test_project_custom_rates(self, capsys):
+        code = main(["project", "--op-rate", "0.0", "--emb-rate", "0.0"])
+        out = capsys.readouterr().out
+        assert code == 0
+        # Flat projection: 2030 equals 2024.
+        assert out.count("1,393.7") == 7

@@ -1,0 +1,101 @@
+"""Study orchestration + exception-hierarchy tests."""
+
+import pickle
+
+import pytest
+
+from repro.errors import (
+    ConfigError,
+    DataError,
+    InsufficientDataError,
+    InterpolationError,
+    ParseError,
+    ReproError,
+    UnknownDeviceError,
+    UnknownRegionError,
+)
+from repro.study import Top500CarbonStudy, run_default_study
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize("exc_class", [
+        DataError, InsufficientDataError, InterpolationError,
+        ConfigError, ParseError, UnknownDeviceError, UnknownRegionError])
+    def test_all_derive_from_repro_error(self, exc_class):
+        assert issubclass(exc_class, ReproError)
+
+    def test_device_and_parse_errors_are_data_errors(self):
+        assert issubclass(UnknownDeviceError, DataError)
+        assert issubclass(UnknownRegionError, DataError)
+        assert issubclass(ParseError, DataError)
+
+    def test_insufficient_data_carries_missing_metrics(self):
+        exc = InsufficientDataError(("n_gpus", "n_nodes"), "example")
+        assert exc.missing == ("n_gpus", "n_nodes")
+        assert "n_gpus" in str(exc)
+        assert "example" in str(exc)
+
+    def test_insufficient_data_empty_missing(self):
+        assert "(unspecified)" in str(InsufficientDataError(()))
+
+    def test_unknown_device_fields(self):
+        exc = UnknownDeviceError("gpu", "FooChip")
+        assert exc.kind == "gpu" and exc.name == "FooChip"
+
+
+class TestStudyOrchestration:
+    def test_run_default_study_uses_default_dataset(self, dataset):
+        result = Top500CarbonStudy().run()
+        assert result.dataset.seed == dataset.seed
+
+    def test_cached_properties_are_cached(self, study):
+        assert study.op_public is study.op_public
+        assert study.fig7 is study.fig7
+        assert study.projection is study.projection
+
+    def test_series_scenario_labels(self, study):
+        assert study.op_baseline.scenario == "baseline"
+        assert study.emb_public.scenario == "public"
+        assert "interpolated" in study.op_full[0].scenario
+
+    def test_enrichment_report_attached(self, study):
+        report = study.enrichment_report
+        assert report.n_systems == 500
+        assert report.fields_filled.get("power_kw", 0) == 0  # power never public
+        assert report.fields_filled["region"] > 0
+
+    def test_total_rmax_plausible(self, study):
+        # A Nov-2024-like list sums to several EFlop/s.
+        assert 5e6 < study.total_rmax_tflops < 4e7
+
+    def test_records_are_tuples(self, study):
+        # Immutable containers: nothing downstream can reorder the fleet.
+        assert isinstance(study.baseline_records, tuple)
+        assert isinstance(study.public_records, tuple)
+
+    def test_perf_carbon_footprint_selection(self, study):
+        op = study.perf_carbon("operational")
+        emb = study.perf_carbon("embodied")
+        assert op.footprint == "operational"
+        assert emb.footprint == "embodied"
+        assert op.base_ratio != emb.base_ratio
+
+
+class TestModelPicklability:
+    """Frozen model dataclasses must pickle: the parallel executor
+    ships bound methods to worker processes."""
+
+    def test_easyc_pickles(self):
+        from repro.core.easyc import EasyC
+        ez = EasyC()
+        clone = pickle.loads(pickle.dumps(ez))
+        from repro.core.record import SystemRecord
+        record = SystemRecord(rank=1, rmax_tflops=100.0, rpeak_tflops=150.0,
+                              country="Japan", power_kw=100.0)
+        assert clone.assess(record).operational.value_mt == \
+            pytest.approx(ez.assess(record).operational.value_mt)
+
+    def test_assessment_pickles(self, study):
+        assessment = study.public_coverage.assessments[0]
+        clone = pickle.loads(pickle.dumps(assessment))
+        assert clone.rank == assessment.rank

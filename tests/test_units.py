@@ -1,0 +1,119 @@
+"""Unit-conversion tests: every constant and converter in repro.units."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import units
+
+
+class TestEnergyConversions:
+    def test_kw_w_roundtrip(self):
+        assert units.w_to_kw(units.kw_to_w(3.7)) == pytest.approx(3.7)
+
+    def test_mw_to_kw(self):
+        assert units.mw_to_kw(22.7) == pytest.approx(22_700.0)
+
+    def test_kwh_mwh_roundtrip(self):
+        assert units.mwh_to_kwh(units.kwh_to_mwh(123.4)) == pytest.approx(123.4)
+
+    def test_kwh_joules(self):
+        assert units.kwh_to_joules(1.0) == pytest.approx(3.6e6)
+        assert units.joules_to_kwh(3.6e6) == pytest.approx(1.0)
+
+    def test_annual_energy_full_year(self):
+        # 1 kW for a year = 8760 kWh.
+        assert units.annual_energy_kwh(1.0) == pytest.approx(8760.0)
+
+    def test_annual_energy_with_utilization(self):
+        assert units.annual_energy_kwh(10.0, 0.5) == pytest.approx(43_800.0)
+
+    def test_annual_energy_rejects_negative_power(self):
+        with pytest.raises(ValueError):
+            units.annual_energy_kwh(-1.0)
+
+    def test_annual_energy_rejects_absurd_utilization(self):
+        with pytest.raises(ValueError):
+            units.annual_energy_kwh(1.0, 2.0)
+
+
+class TestCarbonMass:
+    def test_kg_mt_roundtrip(self):
+        assert units.mt_to_kg(units.kg_to_mt(987.0)) == pytest.approx(987.0)
+
+    def test_thousand_mt(self):
+        assert units.mt_to_thousand_mt(1_393_725.0) == pytest.approx(1393.725)
+
+    def test_grid_intensity_scaling(self):
+        # 380 gCO2e/kWh (US average) -> 0.38 kg/kWh.
+        assert units.g_per_kwh_to_kg_per_kwh(380.0) == pytest.approx(0.38)
+
+
+class TestPerformance:
+    def test_tflops_pflops_roundtrip(self):
+        assert units.pflops_to_tflops(units.tflops_to_pflops(1.5e6)) == pytest.approx(1.5e6)
+
+    def test_gflops_per_watt_is_green500_metric(self):
+        # Frontier: 1353 PF at 22.7 MW ~ 59.6 GF/W.
+        assert units.gflops_per_watt(1.353e6, 22_700.0) == pytest.approx(59.6, rel=0.01)
+
+    def test_gflops_per_watt_rejects_zero_power(self):
+        with pytest.raises(ValueError):
+            units.gflops_per_watt(100.0, 0.0)
+
+
+class TestCapacity:
+    def test_tb_pb_gb(self):
+        assert units.tb_to_gb(1.0) == pytest.approx(1e3)
+        assert units.pb_to_gb(0.7) == pytest.approx(7e5)
+        assert units.gb_to_tb(2_500.0) == pytest.approx(2.5)
+
+
+class TestGrowth:
+    def test_annualized_per_cycle_growth_matches_paper(self):
+        # 5%/cycle, 2 cycles/yr -> 10.25% (the paper rounds to 10.3%).
+        assert units.annualize_per_cycle_growth(0.05) == pytest.approx(0.1025)
+
+    def test_annualized_embodied_growth(self):
+        # 1%/cycle -> ~2.01%/yr (the paper rounds to 2%).
+        assert units.annualize_per_cycle_growth(0.01) == pytest.approx(0.0201)
+
+    def test_compound_six_years_at_paper_rate(self):
+        # 10.3%/yr for 6 years is ~1.8x: "by 2030 nearly double 2024".
+        assert units.compound(1.0, 0.103, 6) == pytest.approx(1.80, abs=0.01)
+
+    def test_doubling_growth_18_months(self):
+        assert units.doubling_growth(1.0, months=18.0) == pytest.approx(2.0)
+        assert units.doubling_growth(1.0, months=36.0) == pytest.approx(4.0)
+
+    def test_cagr_inverts_compound(self):
+        final = units.compound(100.0, 0.07, 5)
+        assert units.cagr(100.0, final, 5) == pytest.approx(0.07)
+
+    def test_cagr_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            units.cagr(0.0, 10.0, 1.0)
+
+
+class TestProperties:
+    @given(st.floats(min_value=0.001, max_value=1e9))
+    def test_kg_mt_roundtrip_property(self, kg):
+        assert math.isclose(units.mt_to_kg(units.kg_to_mt(kg)), kg, rel_tol=1e-12)
+
+    @given(st.floats(min_value=0.0, max_value=1e6),
+           st.floats(min_value=0.0, max_value=1.5))
+    def test_annual_energy_monotone_in_power(self, power, util):
+        base = units.annual_energy_kwh(power, util)
+        more = units.annual_energy_kwh(power + 1.0, util)
+        assert more >= base
+
+    @given(st.one_of(st.floats(min_value=1e-6, max_value=0.9),
+                     st.floats(min_value=-0.4, max_value=-1e-6)),
+           st.floats(min_value=0.5, max_value=4.0))
+    def test_annualize_sign_preserved(self, rate, cycles):
+        annual = units.annualize_per_cycle_growth(rate, cycles)
+        if rate > 0:
+            assert annual > 0
+        else:
+            assert annual < 0
