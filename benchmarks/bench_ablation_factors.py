@@ -7,12 +7,9 @@ the answer.  It documents the paper's closing caution quantitatively:
 for storage-heavy systems the SSD factor dominates everything else.
 """
 
-import dataclasses
-
-import pytest
-
 from repro.core.embodied import EmbodiedModel
 from repro.core.record import SystemRecord
+from repro.core.vectorized import batch_embodied_mt, fleet_frame
 from repro.hardware.catalog import HardwareCatalog
 from repro.hardware.memory import MEMORY_SPECS, MemorySpec
 from repro.hardware.storage import STORAGE_SPECS, StorageClass, StorageSpec
@@ -43,6 +40,8 @@ def _scaled_catalog(memory_scale: float = 1.0,
 
 def test_ablation_embodied_factors(benchmark, save_artifact):
     record = _frontier_like()
+    fleet = [record]
+    frame = fleet_frame(fleet)        # one extraction for the whole sweep
 
     def sweep():
         results = {}
@@ -56,7 +55,8 @@ def test_ablation_embodied_factors(benchmark, save_artifact):
                 ("yield 0.95", 1.0, 1.0, 0.95)):
             model = EmbodiedModel(catalog=_scaled_catalog(mem_scale, sto_scale),
                                   fab_yield=yield_)
-            results[label] = model.estimate(record).value_mt
+            results[label] = float(
+                batch_embodied_mt(fleet, model, frame=frame)[0])
         return results
 
     results = benchmark(sweep)

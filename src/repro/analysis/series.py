@@ -82,6 +82,21 @@ def series_from_assessments(assessments: Sequence[SystemAssessment],
     return CarbonSeries(footprint=footprint, scenario=scenario, values=values)
 
 
+def series_from_coverage(coverage, footprint: str,
+                         scenario: str) -> CarbonSeries:
+    """One footprint's series from a coverage result.
+
+    Uses :meth:`~repro.coverage.analyzer.CoverageResult.series_values`
+    — served straight from the vectorized engine's batch arrays when
+    the coverage was computed that way, without materializing estimate
+    objects.
+    """
+    if footprint not in ("operational", "embodied"):
+        raise ValueError(f"unknown footprint {footprint!r}")
+    return CarbonSeries(footprint=footprint, scenario=scenario,
+                        values=coverage.series_values(footprint))
+
+
 def diff_series(after: CarbonSeries, before: CarbonSeries) -> CarbonSeries:
     """Per-rank difference ``after − before`` over ranks covered in both.
 

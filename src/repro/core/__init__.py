@@ -11,6 +11,9 @@ Public surface:
   :class:`~repro.core.estimate.SystemAssessment` — results.
 * :mod:`~repro.core.metrics` — the 7 key data metrics and coverage rules.
 * :func:`~repro.core.equivalences.equivalences` — everyday restatements.
+* :class:`~repro.core.vectorized.FleetFrame` and the ``batch_*``
+  functions — the columnar evaluation engine (the scalar models remain
+  the semantic reference; see ``docs/performance.md``).
 """
 
 from repro.core.record import SystemRecord, TOP500_DATA_ITEMS
@@ -34,6 +37,12 @@ from repro.core.operational import OperationalModel
 from repro.core.embodied import EmbodiedModel, fab_carbon_per_cm2, die_embodied_kg
 from repro.core.easyc import EasyC
 from repro.core.equivalences import Equivalence, equivalences
+from repro.core.vectorized import (
+    FleetFrame,
+    batch_embodied_mt,
+    batch_operational_mt,
+    fleet_frame,
+)
 
 __all__ = [
     "SystemRecord", "TOP500_DATA_ITEMS",
@@ -43,4 +52,5 @@ __all__ = [
     "CarbonEstimate", "CarbonKind", "EstimateMethod", "SystemAssessment",
     "OperationalModel", "EmbodiedModel", "fab_carbon_per_cm2", "die_embodied_kg",
     "EasyC", "Equivalence", "equivalences",
+    "FleetFrame", "fleet_frame", "batch_operational_mt", "batch_embodied_mt",
 ]

@@ -66,8 +66,18 @@ class EasyC:
 
     def assess_fleet(self, records: Iterable[SystemRecord],
                      *, parallel: bool = False,
-                     max_workers: int | None = None) -> list[SystemAssessment]:
+                     max_workers: int | None = None,
+                     engine: str = "vectorized",
+                     frame: "object | None" = None) -> list[SystemAssessment]:
         """Assess every system in a fleet.
+
+        The default ``engine="vectorized"`` routes through the columnar
+        :class:`~repro.core.vectorized.FleetFrame` engine — the scalar
+        models remain the semantic reference (``engine="scalar"`` loops
+        them directly) and the two produce identical assessments,
+        asserted in ``tests/properties``.  Pass ``frame`` (a
+        pre-extracted FleetFrame) when sweeping many model
+        configurations over one fleet.
 
         With ``parallel=True`` the evaluation fans out over processes
         via :func:`repro.parallel.executor.parallel_map` — useful for
@@ -78,7 +88,14 @@ class EasyC:
         if parallel:
             from repro.parallel.executor import parallel_map
             return parallel_map(self.assess, records, max_workers=max_workers)
-        return [self.assess(r) for r in records]
+        if engine == "vectorized":
+            from repro.core.vectorized import assess_fleet_frame
+            return assess_fleet_frame(records, self.operational_model,
+                                      self.embodied_model, frame=frame)
+        if engine == "scalar":
+            return [self.assess(r) for r in records]
+        raise ValueError(f"unknown engine {engine!r}; "
+                         "expected 'vectorized' or 'scalar'")
 
     # -- coverage probe ---------------------------------------------------------
 

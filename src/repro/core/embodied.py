@@ -28,6 +28,8 @@ from repro.core.operational import (
     DEFAULT_MEMORY_GB_PER_NODE,
     DEFAULT_SSD_GB_PER_NODE,
     DEFAULT_SOCKETS_PER_NODE,
+    NOTE_MEMORY_DEFAULT,
+    NOTE_SSD_DEFAULT,
     resolve_cpu_count,
 )
 from repro.core.record import SystemRecord
@@ -60,6 +62,17 @@ PACKAGE_KG: float = 5.0
 
 #: HBM embodied factor, kgCO2e/GB (stacked DRAM + TSV + interposer).
 HBM_KG_PER_GB: float = 0.85
+
+# Assumption notes shared with the vectorized engine (identical audit
+# trails on both evaluation paths).
+NOTE_PROCESSOR_UNKNOWN = "processor unknown; generic server CPU assumed"
+NOTE_PROCESSOR_NOT_IN_CATALOG = \
+    "processor not in catalog; generic server CPU assumed"
+NOTE_GPU_PROXY = ("novel accelerator approximated by mainstream GPU "
+                  "(systematic silicon underestimate)")
+NOTE_NODES_DERIVED = \
+    f"node count derived from CPU count / {DEFAULT_SOCKETS_PER_NODE}"
+NOTE_MEMORY_TYPE_DEFAULT = "memory type defaulted to DDR4-class blend"
 
 
 def fab_carbon_per_cm2(process_nm: float) -> float:
@@ -118,9 +131,9 @@ class EmbodiedModel:
             assumptions.append(cpu_note)
         cpu_spec = self.catalog.cpu(record.processor or "generic")
         if record.processor is None:
-            assumptions.append("processor unknown; generic server CPU assumed")
+            assumptions.append(NOTE_PROCESSOR_UNKNOWN)
         elif not self.catalog.knows_cpu(record.processor):
-            assumptions.append("processor not in catalog; generic server CPU assumed")
+            assumptions.append(NOTE_PROCESSOR_NOT_IN_CATALOG)
         breakdown_kg["cpu"] = n_cpus * (
             die_embodied_kg(cpu_spec.die_area_mm2, cpu_spec.process_nm, self.fab_yield)
             + PACKAGE_KG)
@@ -135,9 +148,7 @@ class EmbodiedModel:
                     ("accelerator",), "accelerated system without device identity")
             gpu_spec = self.catalog.gpu(record.accelerator)
             if not self.catalog.knows_gpu(record.accelerator):
-                assumptions.append(
-                    "novel accelerator approximated by mainstream GPU "
-                    "(systematic silicon underestimate)")
+                assumptions.append(NOTE_GPU_PROXY)
             breakdown_kg["gpu"] = record.n_gpus * (
                 die_embodied_kg(gpu_spec.die_area_mm2, gpu_spec.process_nm, self.fab_yield)
                 + gpu_spec.hbm_gb * HBM_KG_PER_GB
@@ -147,18 +158,16 @@ class EmbodiedModel:
         n_nodes = record.n_nodes
         if n_nodes is None:
             n_nodes = max(n_cpus // DEFAULT_SOCKETS_PER_NODE, 1)
-            assumptions.append(
-                f"node count derived from CPU count / {DEFAULT_SOCKETS_PER_NODE}")
+            assumptions.append(NOTE_NODES_DERIVED)
 
         # --- memory ---------------------------------------------------------
         memory_gb = record.memory_gb
         if memory_gb is None:
             memory_gb = n_nodes * DEFAULT_MEMORY_GB_PER_NODE
-            assumptions.append(
-                f"memory capacity defaulted to {DEFAULT_MEMORY_GB_PER_NODE:.0f} GB/node")
+            assumptions.append(NOTE_MEMORY_DEFAULT)
         mem_type = record.memory_type
         if mem_type is None and record.memory_gb is not None:
-            assumptions.append("memory type defaulted to DDR4-class blend")
+            assumptions.append(NOTE_MEMORY_TYPE_DEFAULT)
         if memory_gb < 0:
             raise ValueError(f"memory capacity cannot be negative: {memory_gb}")
         mem_spec = self.catalog.memory_spec(mem_type)
@@ -168,8 +177,7 @@ class EmbodiedModel:
         ssd_gb = record.ssd_gb
         if ssd_gb is None:
             ssd_gb = n_nodes * DEFAULT_SSD_GB_PER_NODE
-            assumptions.append(
-                f"SSD capacity defaulted to {DEFAULT_SSD_GB_PER_NODE:.0f} GB/node")
+            assumptions.append(NOTE_SSD_DEFAULT)
         if ssd_gb < 0:
             raise ValueError(f"SSD capacity cannot be negative: {ssd_gb}")
         storage_spec = self.catalog.storage_spec()

@@ -50,12 +50,42 @@ DEFAULT_SSD_GB_PER_NODE: float = 3000.0
 #: Default CPU sockets per node when not derivable.
 DEFAULT_SOCKETS_PER_NODE: int = 2
 
-#: Base relative uncertainty per method.
-_METHOD_UNCERTAINTY = {
+#: Base relative uncertainty per method.  The vectorized engine
+#: (:mod:`repro.core.vectorized`) reads this table too, so the two
+#: paths cannot drift apart.
+METHOD_UNCERTAINTY = {
     EstimateMethod.REPORTED_ENERGY: 0.05,
     EstimateMethod.MEASURED_POWER: 0.15,
     EstimateMethod.COMPONENT_POWER: 0.30,
 }
+_METHOD_UNCERTAINTY = METHOD_UNCERTAINTY
+
+
+# --- assumption-note builders ------------------------------------------------
+# Shared between the scalar models (the reference semantics) and the
+# vectorized engine so the recorded audit trails are identical.
+
+NOTE_CPU_DEFAULT = f"CPU count defaulted to {DEFAULT_SOCKETS_PER_NODE}/node"
+NOTE_MEMORY_DEFAULT = (f"memory capacity defaulted to "
+                       f"{DEFAULT_MEMORY_GB_PER_NODE:.0f} GB/node")
+NOTE_SSD_DEFAULT = (f"SSD capacity defaulted to "
+                    f"{DEFAULT_SSD_GB_PER_NODE:.0f} GB/node")
+
+
+def cpu_derived_note(cores: int) -> str:
+    """Note recorded when the CPU count is derived from core counts."""
+    return f"CPU count derived from total cores / {cores}"
+
+
+def country_average_note(country: str) -> str:
+    """Note recorded when no sub-national ACI refinement is available."""
+    return (f"country-average ACI for {country} "
+            "(no sub-national refinement)")
+
+
+def utilization_default_note(utilization: float) -> str:
+    """Note recorded when a default utilization fills a missing value."""
+    return f"utilization defaulted to {utilization}"
 
 
 @dataclass(frozen=True)
@@ -93,9 +123,7 @@ class OperationalModel:
         energy_kwh, method, assumptions = self._annual_energy_kwh(record)
         aci = self.grid.lookup(record.country, record.region)
         if record.region is None:
-            assumptions = (*assumptions,
-                           f"country-average ACI for {record.country} "
-                           "(no sub-national refinement)")
+            assumptions = (*assumptions, country_average_note(record.country))
 
         carbon_mt = units.kg_to_mt(energy_kwh * aci)
         uncertainty = _METHOD_UNCERTAINTY[method] + 0.02 * len(assumptions)
@@ -127,8 +155,8 @@ class OperationalModel:
             util = record.utilization or self.measured_power_utilization
             assumptions: tuple[str, ...] = ()
             if record.utilization is None and self.measured_power_utilization != 1.0:
-                assumptions = (f"utilization defaulted to "
-                               f"{self.measured_power_utilization}",)
+                assumptions = (
+                    utilization_default_note(self.measured_power_utilization),)
             energy = units.annual_energy_kwh(record.power_kw, util)
             return (energy * self.pue.for_measured_power(),
                     EstimateMethod.MEASURED_POWER, assumptions)
@@ -137,7 +165,7 @@ class OperationalModel:
         util = record.utilization or self.component_utilization
         if record.utilization is None:
             assumptions = (*assumptions,
-                           f"utilization defaulted to {self.component_utilization}")
+                           utilization_default_note(self.component_utilization))
         energy = units.annual_energy_kwh(power_kw, util)
         energy *= self.pue.for_component_power(record.cooling)
         return energy, EstimateMethod.COMPONENT_POWER, assumptions
@@ -178,15 +206,13 @@ class OperationalModel:
         memory_gb = record.memory_gb
         if memory_gb is None:
             memory_gb = n_nodes * DEFAULT_MEMORY_GB_PER_NODE
-            assumptions.append(
-                f"memory capacity defaulted to {DEFAULT_MEMORY_GB_PER_NODE:.0f} GB/node")
+            assumptions.append(NOTE_MEMORY_DEFAULT)
         power_w += memory_gb * self.catalog.memory_spec(record.memory_type).power_w_per_gb
 
         ssd_gb = record.ssd_gb
         if ssd_gb is None:
             ssd_gb = n_nodes * DEFAULT_SSD_GB_PER_NODE
-            assumptions.append(
-                f"SSD capacity defaulted to {DEFAULT_SSD_GB_PER_NODE:.0f} GB/node")
+            assumptions.append(NOTE_SSD_DEFAULT)
         power_w += (ssd_gb / 1e3) * self.catalog.storage_spec().power_w_per_tb
 
         overheads = self.catalog.node_overheads
@@ -211,9 +237,9 @@ def resolve_cpu_count(record: SystemRecord) -> tuple[int, str | None]:
         spec = lookup_cpu(record.processor)
         cpu_cores = record.cpu_cores if record.cpu_cores else record.total_cores
         count = max(round(cpu_cores / spec.cores), 1)
-        return count, f"CPU count derived from total cores / {spec.cores}"
+        return count, cpu_derived_note(spec.cores)
     if record.n_nodes is not None:
         count = record.n_nodes * DEFAULT_SOCKETS_PER_NODE
-        return count, f"CPU count defaulted to {DEFAULT_SOCKETS_PER_NODE}/node"
+        return count, NOTE_CPU_DEFAULT
     raise InsufficientDataError(("n_cpus", "total_cores", "n_nodes"),
                                 "no way to count CPU packages")

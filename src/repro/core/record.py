@@ -186,16 +186,21 @@ class SystemRecord:
         the enrichment pipeline directly, since top500.org never carries
         it.)
         """
-        changes = {}
+        # Enrichment calls this once per system per study run, so the
+        # copy is built directly from the field tuple rather than via
+        # dataclasses.replace (which re-derives the field list per call).
+        kwargs = {name: getattr(self, name) for name in _RECORD_FIELDS}
         for key, value in updates.items():
             if value is None:
                 continue
             if getattr(self, key) is None:
-                changes[key] = value
-        if not changes:
-            return dataclasses.replace(self)
-        return dataclasses.replace(self, **changes)
+                kwargs[key] = value
+        return SystemRecord(**kwargs)
 
     def copy(self) -> "SystemRecord":
         """Shallow copy (records are mutable dataclasses)."""
         return dataclasses.replace(self)
+
+
+_RECORD_FIELDS: tuple[str, ...] = tuple(
+    f.name for f in dataclasses.fields(SystemRecord))

@@ -47,6 +47,53 @@ class UncertaintyBand:
         return (self.p95_mt - self.p5_mt) / (2.0 * self.p50_mt)
 
 
+def total_with_uncertainty_arrays(values_mt: "np.ndarray | list[float]",
+                                  uncertainty_fracs: "np.ndarray | list[float]",
+                                  n_samples: int = 4000,
+                                  seed: int = DEFAULT_MC_SEED,
+                                  ) -> UncertaintyBand:
+    """Monte-Carlo band for a fleet total, straight from arrays.
+
+    The array-native core of :func:`total_with_uncertainty`: all
+    estimates are sampled as one ``(n_samples, n_estimates)`` draw.
+    ``nan`` entries (uncovered systems, as produced by the vectorized
+    engine's batch paths) are dropped, so the output of
+    :func:`repro.core.vectorized.operational_batch` /
+    :func:`~repro.core.vectorized.embodied_batch` can be passed in
+    without materializing a single estimate object.
+
+    Raises:
+        ValueError: when no covered estimate remains or on non-positive
+            samples / mismatched array lengths.
+    """
+    if n_samples <= 0:
+        raise ValueError(f"n_samples must be positive, got {n_samples}")
+    values = np.asarray(values_mt, dtype=np.float64)
+    fracs = np.asarray(uncertainty_fracs, dtype=np.float64)
+    if values.shape != fracs.shape:
+        raise ValueError(f"shape mismatch: values {values.shape} "
+                         f"vs uncertainties {fracs.shape}")
+    covered = ~np.isnan(values)
+    values = values[covered]
+    fracs = fracs[covered]
+    if values.size == 0:
+        raise ValueError("need at least one estimate")
+
+    sigmas = values * fracs / 1.645        # band ≈ 90% normal interval
+    rng = np.random.default_rng(seed)
+    draws = rng.normal(loc=values, scale=sigmas,
+                       size=(n_samples, values.size))
+    np.clip(draws, 0.0, None, out=draws)   # carbon cannot go negative
+    totals = draws.sum(axis=1)
+
+    p5, p50, p95 = np.percentile(totals, [5.0, 50.0, 95.0])
+    return UncertaintyBand(
+        mean_mt=float(totals.mean()),
+        p5_mt=float(p5), p50_mt=float(p50), p95_mt=float(p95),
+        n_samples=n_samples, n_estimates=int(values.size),
+    )
+
+
 def total_with_uncertainty(estimates: list[CarbonEstimate],
                            n_samples: int = 4000,
                            seed: int = DEFAULT_MC_SEED) -> UncertaintyBand:
@@ -63,24 +110,34 @@ def total_with_uncertainty(estimates: list[CarbonEstimate],
     """
     if not estimates:
         raise ValueError("need at least one estimate")
-    if n_samples <= 0:
-        raise ValueError(f"n_samples must be positive, got {n_samples}")
+    return total_with_uncertainty_arrays(
+        np.array([e.value_mt for e in estimates]),
+        np.array([e.uncertainty_frac for e in estimates]),
+        n_samples=n_samples, seed=seed)
 
-    values = np.array([e.value_mt for e in estimates])
-    sigmas = np.array([e.value_mt * e.uncertainty_frac / 1.645
-                       for e in estimates])  # band ≈ 90% normal interval
 
-    rng = np.random.default_rng(seed)
-    draws = rng.normal(loc=values, scale=sigmas,
-                       size=(n_samples, len(estimates)))
-    np.clip(draws, 0.0, None, out=draws)   # carbon cannot go negative
-    totals = draws.sum(axis=1)
+def fleet_bands(records, operational_model=None, embodied_model=None, *,
+                frame=None, n_samples: int = 4000,
+                seed: int = DEFAULT_MC_SEED,
+                ) -> tuple[UncertaintyBand, UncertaintyBand]:
+    """(operational, embodied) fleet-total bands via the columnar engine.
 
-    p5, p50, p95 = np.percentile(totals, [5.0, 50.0, 95.0])
-    return UncertaintyBand(
-        mean_mt=float(totals.mean()),
-        p5_mt=float(p5), p50_mt=float(p50), p95_mt=float(p95),
-        n_samples=n_samples, n_estimates=len(estimates),
+    Evaluates both models over the fleet's
+    :class:`~repro.core.vectorized.FleetFrame` and samples the bands
+    from batch arrays — the sweep-friendly path: no estimate objects,
+    and the frame is reused across calls with different models.
+    """
+    from repro.core import vectorized as vz
+
+    if frame is None:
+        frame = vz.fleet_frame(list(records))
+    op = vz.operational_batch(frame, operational_model)
+    emb = vz.embodied_batch(frame, embodied_model)
+    return (
+        total_with_uncertainty_arrays(op.values_mt, op.uncertainty_frac,
+                                      n_samples=n_samples, seed=seed),
+        total_with_uncertainty_arrays(emb.values_mt, emb.uncertainty_frac,
+                                      n_samples=n_samples, seed=seed),
     )
 
 

@@ -1,41 +1,402 @@
-"""Vectorized (NumPy) batch evaluation of the operational model.
+"""Columnar ``FleetFrame`` engine: vectorized fleet assessment.
 
-The scalar models in :mod:`repro.core.operational` are the reference
-semantics; this module provides an array-programming fast path for
-sweep workloads (ablation grids and Monte-Carlo draws evaluate the same
-fleet thousands of times, where per-record Python dispatch dominates).
+The scalar models in :mod:`repro.core.operational` and
+:mod:`repro.core.embodied` are the reference semantics; this module is
+the primary *evaluation engine* for fleet-sized workloads.  Sweep
+workloads (ablation grids, Monte-Carlo draws, projection sensitivity)
+evaluate the same 500-system fleet hundreds to thousands of times, so
+per-record Python dispatch — catalog lookups, exception control flow,
+f-string audit notes — dominates the cost.  The engine splits the work
+in two:
 
-Only the *measured-power* and *reported-energy* operational paths are
-vectorized — they cover ≥95 % of sweep evaluations and are pure
-arithmetic.  Component-path records fall back to the scalar model, so
-``batch_operational_mt`` is exactly equivalent to looping the scalar
-model (asserted for every record in ``tests/core/test_vectorized.py``).
+1. :class:`FleetFrame.from_records` extracts, **once per fleet**, an
+   immutable column-oriented view: float columns for the operational
+   inputs (power, energy, utilization), resolved embodied quantities
+   (CPU/GPU/node counts, memory and SSD capacities), and
+   dictionary-encoded device/location columns (each unique processor,
+   accelerator, memory type and grid location appears once in a lookup
+   table and per-record codes index into it).
 
-Per the scientific-Python guidance this repo follows: vectorize the hot
-loop, keep the legible scalar implementation as the source of truth,
-and test the two against each other.
+2. Per model evaluation then costs one factor resolution per *unique*
+   device (a handful, not 500) plus pure array arithmetic.  The same
+   frame serves any number of model configurations — ablation sweeps
+   re-evaluate with different catalogs, grids and utilizations without
+   re-extraction.
+
+Records the array path cannot represent exactly (component-power
+energy rebuilds, strict-catalog lookup failures, out-of-domain values)
+fall back to the scalar models record-by-record, so every batch
+function is *exactly* equivalent to looping the scalar model — the
+audit metadata included.  ``tests/properties/test_model_invariants.py``
+asserts full ``SystemAssessment`` equality on every scenario view.
+
+Floating-point note: the kernels replicate the scalar models'
+operation order (``((power × util) × hours) × pue × aci ÷ 1000``,
+component sums left-folded in breakdown order), so results are
+bit-identical, not merely close.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import os
+from collections import OrderedDict
+from collections.abc import Sequence
+from dataclasses import dataclass, replace
 
 import numpy as np
 
 from repro import units
-from repro.core.operational import OperationalModel
+from repro.core import embodied as emb_mod
+from repro.core import operational as op_mod
+from repro.core.embodied import EmbodiedModel, die_embodied_kg
+from repro.core.estimate import (
+    CarbonEstimate,
+    CarbonKind,
+    EstimateMethod,
+    SystemAssessment,
+)
+from repro.core.operational import OperationalModel, resolve_cpu_count
 from repro.core.record import SystemRecord
 from repro.errors import InsufficientDataError
 from repro.grid.intensity import GridIntensityDB, DEFAULT_GRID_DB
+from repro.hardware.memory import MemoryType
+
+__all__ = [
+    "FleetArrays",
+    "FleetFrame",
+    "EmbodiedBatch",
+    "OperationalBatch",
+    "fleet_frame",
+    "fleet_to_arrays",
+    "batch_operational_mt",
+    "batch_embodied_mt",
+    "parallel_batch_operational_mt",
+    "assess_fleet_frame",
+    "fleet_total_mt",
+]
+
+# Operational energy-path codes (FleetFrame.op_path).  Coverage is a
+# separate axis: a record with no grid location (loc_code == -1) is
+# uncovered whatever its path.
+_OP_ENERGY = 1          # reported-energy path (vectorized)
+_OP_POWER = 2           # measured-power path (vectorized)
+_OP_COMPONENT = 3       # component rebuild: scalar fallback
+
+# CPU-count provenance codes (FleetFrame.cpu_count_src).
+_CPU_EXPLICIT = 0
+_CPU_FROM_CORES = 1
+_CPU_FROM_NODES = 2
 
 
 @dataclass(frozen=True)
-class FleetArrays:
-    """Column-oriented view of a fleet for array evaluation.
+class FleetFrame:
+    """Immutable columnar view of a fleet (see module docstring).
 
-    ``nan`` encodes a missing value in the float columns.  Records whose
-    energy needs the component path are flagged in ``needs_scalar`` and
-    evaluated by the scalar model.
+    ``nan`` encodes a missing value in float columns; ``-1`` encodes
+    "absent" in code columns.  The ``records`` tuple is retained for
+    the scalar-fallback paths and to anchor the frame cache.
+    """
+
+    records: tuple[SystemRecord, ...]
+    ranks: np.ndarray                  # (n,) int64
+    names: tuple[str | None, ...]
+
+    # -- operational columns ------------------------------------------------
+    power_kw: np.ndarray               # (n,) float64, nan = missing
+    annual_energy_kwh: np.ndarray      # (n,) float64, nan = missing
+    utilization: np.ndarray            # (n,) float64, nan = not disclosed
+    op_path: np.ndarray                # (n,) int8, _OP_* codes
+    loc_code: np.ndarray               # (n,) int64 into `locations`, -1 = none
+    locations: tuple[tuple[str, str | None], ...]   # unique (country, region)
+    region_missing: np.ndarray         # (n,) bool (no sub-national hint)
+
+    # -- embodied columns ---------------------------------------------------
+    emb_covered: np.ndarray            # (n,) bool: component inventory possible
+    emb_needs_scalar: np.ndarray       # (n,) bool: delegate to scalar model
+    cpu_resolved: np.ndarray           # (n,) bool: CPU count resolution passed
+    n_cpus: np.ndarray                 # (n,) float64 (resolved count)
+    cpu_count_src: np.ndarray          # (n,) int8, _CPU_* codes
+    cpu_code: np.ndarray               # (n,) int64 into `processors`, -1 = None
+    processors: tuple[str, ...]        # unique processor names
+    cpu_derived_cores: np.ndarray      # (n,) int64 catalog cores used to derive
+    n_gpus: np.ndarray                 # (n,) float64, 0 = no accelerator
+    gpu_code: np.ndarray               # (n,) int64 into `accelerators`, -1 = none
+    accelerators: tuple[str, ...]      # unique accelerator names
+    n_nodes: np.ndarray                # (n,) float64 (resolved count)
+    nodes_derived: np.ndarray          # (n,) bool
+    memory_gb: np.ndarray              # (n,) float64 (resolved capacity)
+    memory_defaulted: np.ndarray       # (n,) bool
+    memtype_noted: np.ndarray          # (n,) bool (type defaulted, capacity known)
+    mem_code: np.ndarray               # (n,) int64 into `memory_types`, -1 = None
+    memory_types: tuple[MemoryType, ...]
+    ssd_gb: np.ndarray                 # (n,) float64 (resolved capacity)
+    ssd_defaulted: np.ndarray          # (n,) bool
+
+    @property
+    def n(self) -> int:
+        return len(self.records)
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_records(cls, records: Sequence[SystemRecord]) -> "FleetFrame":
+        """Extract the column view (one pass; model-independent)."""
+        records = tuple(records)
+        n = len(records)
+        ranks = np.empty(n, dtype=np.int64)
+        power = np.full(n, np.nan)
+        energy = np.full(n, np.nan)
+        util = np.full(n, np.nan)
+        op_path = np.zeros(n, dtype=np.int8)
+        loc_code = np.full(n, -1, dtype=np.int64)
+        region_missing = np.ones(n, dtype=bool)
+
+        emb_covered = np.zeros(n, dtype=bool)
+        emb_needs_scalar = np.zeros(n, dtype=bool)
+        cpu_resolved = np.zeros(n, dtype=bool)
+        n_cpus = np.zeros(n)
+        cpu_count_src = np.zeros(n, dtype=np.int8)
+        cpu_code = np.full(n, -1, dtype=np.int64)
+        cpu_derived_cores = np.zeros(n, dtype=np.int64)
+        n_gpus = np.zeros(n)
+        gpu_code = np.full(n, -1, dtype=np.int64)
+        n_nodes = np.zeros(n)
+        nodes_derived = np.zeros(n, dtype=bool)
+        memory_gb = np.zeros(n)
+        memory_defaulted = np.zeros(n, dtype=bool)
+        memtype_noted = np.zeros(n, dtype=bool)
+        mem_code = np.full(n, -1, dtype=np.int64)
+        ssd_gb = np.zeros(n)
+        ssd_defaulted = np.zeros(n, dtype=bool)
+
+        locations: dict[tuple[str, str | None], int] = {}
+        processors: dict[str, int] = {}
+        accelerators: dict[str, int] = {}
+        memory_types: dict[MemoryType, int] = {}
+        names = []
+
+        for i, record in enumerate(records):
+            ranks[i] = record.rank
+            names.append(record.name)
+
+            # ---- operational ------------------------------------------
+            if record.country is not None:
+                key = (record.country, record.region)
+                code = locations.get(key)
+                if code is None:
+                    code = locations[key] = len(locations)
+                loc_code[i] = code
+                region_missing[i] = record.region is None
+            if record.annual_energy_kwh is not None:
+                op_path[i] = _OP_ENERGY
+                energy[i] = record.annual_energy_kwh
+            elif record.power_kw is not None:
+                op_path[i] = _OP_POWER
+                power[i] = record.power_kw
+            else:
+                op_path[i] = _OP_COMPONENT
+            if record.utilization is not None:
+                util[i] = record.utilization
+
+            # ---- embodied ---------------------------------------------
+            try:
+                cls._extract_embodied(
+                    record, i, emb_covered, emb_needs_scalar, cpu_resolved,
+                    n_cpus, cpu_count_src, cpu_code, cpu_derived_cores,
+                    n_gpus, gpu_code, n_nodes, nodes_derived, memory_gb,
+                    memory_defaulted, memtype_noted, mem_code, ssd_gb,
+                    ssd_defaulted, processors, accelerators, memory_types)
+            except Exception:
+                # Anything surprising: preserve scalar semantics exactly.
+                emb_needs_scalar[i] = True
+
+        return cls(
+            records=records, ranks=ranks, names=tuple(names),
+            power_kw=power, annual_energy_kwh=energy, utilization=util,
+            op_path=op_path, loc_code=loc_code,
+            locations=tuple(locations), region_missing=region_missing,
+            emb_covered=emb_covered, emb_needs_scalar=emb_needs_scalar,
+            cpu_resolved=cpu_resolved,
+            n_cpus=n_cpus, cpu_count_src=cpu_count_src, cpu_code=cpu_code,
+            processors=tuple(processors),
+            cpu_derived_cores=cpu_derived_cores,
+            n_gpus=n_gpus, gpu_code=gpu_code,
+            accelerators=tuple(accelerators),
+            n_nodes=n_nodes, nodes_derived=nodes_derived,
+            memory_gb=memory_gb, memory_defaulted=memory_defaulted,
+            memtype_noted=memtype_noted, mem_code=mem_code,
+            memory_types=tuple(memory_types),
+            ssd_gb=ssd_gb, ssd_defaulted=ssd_defaulted,
+        )
+
+    @staticmethod
+    def _extract_embodied(record, i, emb_covered, emb_needs_scalar,
+                          cpu_resolved, n_cpus, cpu_count_src, cpu_code,
+                          cpu_derived_cores, n_gpus, gpu_code, n_nodes,
+                          nodes_derived, memory_gb, memory_defaulted,
+                          memtype_noted, mem_code, ssd_gb, ssd_defaulted,
+                          processors, accelerators, memory_types) -> None:
+        """Resolve one record's embodied-model inputs (mirrors the
+        scalar model's resolution order; see EmbodiedModel.estimate)."""
+        # CPU count (resolve_cpu_count semantics, inlined for provenance).
+        if record.n_cpus is not None:
+            count, src = record.n_cpus, _CPU_EXPLICIT
+        elif record.total_cores is not None and record.processor is not None:
+            from repro.hardware.cpus import lookup_cpu
+            spec = lookup_cpu(record.processor)
+            cpu_cores = record.cpu_cores if record.cpu_cores else record.total_cores
+            count = max(round(cpu_cores / spec.cores), 1)
+            src = _CPU_FROM_CORES
+            cpu_derived_cores[i] = spec.cores
+        elif record.n_nodes is not None:
+            count = record.n_nodes * op_mod.DEFAULT_SOCKETS_PER_NODE
+            src = _CPU_FROM_NODES
+        else:
+            return                       # uncovered: no way to count CPUs
+        cpu_resolved[i] = True
+        if count < 0:
+            emb_needs_scalar[i] = True
+            return
+
+        # Register the processor as soon as the count is resolved: the
+        # scalar model resolves catalog.cpu *before* the accelerator
+        # checks, so a strict-policy lookup failure must win over an
+        # accelerated-without-identity InsufficientDataError.
+        if record.processor is not None:
+            code = processors.get(record.processor)
+            if code is None:
+                code = processors[record.processor] = len(processors)
+            cpu_code[i] = code
+
+        if record.has_accelerator:
+            if record.n_gpus is None or record.accelerator is None:
+                return                   # uncovered: accelerated w/o identity
+            if record.n_gpus < 0:
+                emb_needs_scalar[i] = True
+                return
+            code = accelerators.get(record.accelerator)
+            if code is None:
+                code = accelerators[record.accelerator] = len(accelerators)
+            gpu_code[i] = code
+            n_gpus[i] = record.n_gpus
+
+        nodes = record.n_nodes
+        if nodes is None:
+            nodes = max(count // op_mod.DEFAULT_SOCKETS_PER_NODE, 1)
+            nodes_derived[i] = True
+        elif nodes < 0:
+            emb_needs_scalar[i] = True
+            return
+
+        memory = record.memory_gb
+        if memory is None:
+            memory = nodes * op_mod.DEFAULT_MEMORY_GB_PER_NODE
+            memory_defaulted[i] = True
+        elif memory < 0:
+            emb_needs_scalar[i] = True
+            return
+        if record.memory_type is None:
+            if record.memory_gb is not None:
+                memtype_noted[i] = True
+        else:
+            code = memory_types.get(record.memory_type)
+            if code is None:
+                code = memory_types[record.memory_type] = len(memory_types)
+            mem_code[i] = code
+
+        ssd = record.ssd_gb
+        if ssd is None:
+            ssd = nodes * op_mod.DEFAULT_SSD_GB_PER_NODE
+            ssd_defaulted[i] = True
+        elif ssd < 0:
+            emb_needs_scalar[i] = True
+            return
+
+        n_cpus[i] = count
+        cpu_count_src[i] = src
+        n_nodes[i] = nodes
+        memory_gb[i] = memory
+        ssd_gb[i] = ssd
+        emb_covered[i] = True
+
+    # -- derived views ------------------------------------------------------
+
+    def aci(self, grid: GridIntensityDB) -> np.ndarray:
+        """Per-record grid intensity under ``grid`` (nan = no location).
+
+        One lookup per *unique* location, gathered through the code
+        column.
+        """
+        table = np.empty(len(self.locations) + 1)
+        table[-1] = np.nan
+        for idx, (country, region) in enumerate(self.locations):
+            table[idx] = grid.lookup(country, region)
+        return table[self.loc_code]
+
+    def slice(self, start: int, stop: int) -> "FleetFrame":
+        """Column-sliced sub-frame (shares the lookup tables)."""
+        sliced = {
+            name: getattr(self, name)[start:stop]
+            for name in ("ranks", "power_kw", "annual_energy_kwh",
+                         "utilization", "op_path", "loc_code",
+                         "region_missing", "emb_covered", "emb_needs_scalar",
+                         "cpu_resolved",
+                         "n_cpus", "cpu_count_src", "cpu_code",
+                         "cpu_derived_cores", "n_gpus", "gpu_code", "n_nodes",
+                         "nodes_derived", "memory_gb", "memory_defaulted",
+                         "memtype_noted", "mem_code", "ssd_gb",
+                         "ssd_defaulted")
+        }
+        return replace(self, records=self.records[start:stop],
+                       names=self.names[start:stop], **sliced)
+
+
+# ---------------------------------------------------------------------------
+# Frame cache: one extraction per fleet, reused across scenario sweeps
+# ---------------------------------------------------------------------------
+
+_FRAME_CACHE: OrderedDict[tuple[int, ...], FleetFrame] = OrderedDict()
+_FRAME_CACHE_MAX = 8
+
+
+def fleet_frame(records: Sequence[SystemRecord]) -> FleetFrame:
+    """The (cached) :class:`FleetFrame` for a fleet.
+
+    Keyed by the identity of the record objects; the cache holds strong
+    references to the records, so a hit is guaranteed to refer to the
+    same objects.  Records are treated as immutable once framed —
+    mutate a record and you must build a new list (or call
+    :func:`clear_frame_cache`).
+    """
+    key = tuple(map(id, records))
+    frame = _FRAME_CACHE.get(key)
+    if frame is not None:
+        _FRAME_CACHE.move_to_end(key)
+        return frame
+    frame = FleetFrame.from_records(records)
+    _FRAME_CACHE[key] = frame
+    while len(_FRAME_CACHE) > _FRAME_CACHE_MAX:
+        _FRAME_CACHE.popitem(last=False)
+    return frame
+
+
+def clear_frame_cache() -> None:
+    """Drop all cached frames (after in-place record mutation)."""
+    _FRAME_CACHE.clear()
+
+
+# ---------------------------------------------------------------------------
+# Operational batch path
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class FleetArrays:
+    """Legacy column view of the operational inputs.
+
+    Retained for backward compatibility; :class:`FleetFrame` is the
+    primary structure (it additionally covers the embodied inputs and
+    dictionary-encodes locations so ACI resolution is per-unique, not
+    per-record).
     """
 
     ranks: np.ndarray            # (n,) int
@@ -53,84 +414,565 @@ class FleetArrays:
 def fleet_to_arrays(records: list[SystemRecord],
                     grid: GridIntensityDB = DEFAULT_GRID_DB) -> FleetArrays:
     """Extract the operational-model columns from a fleet."""
-    n = len(records)
-    power = np.full(n, np.nan)
-    energy = np.full(n, np.nan)
-    util = np.full(n, np.nan)
-    aci = np.full(n, np.nan)
-    needs_scalar = np.zeros(n, dtype=bool)
-    ranks = np.empty(n, dtype=np.int64)
+    frame = fleet_frame(records)
+    return FleetArrays(
+        ranks=frame.ranks,
+        power_kw=frame.power_kw,
+        annual_energy_kwh=frame.annual_energy_kwh,
+        utilization=frame.utilization,
+        aci=frame.aci(grid),
+        needs_scalar=frame.op_path == _OP_COMPONENT,
+    )
 
-    for i, record in enumerate(records):
-        ranks[i] = record.rank
-        if record.country is not None:
-            aci[i] = grid.lookup(record.country, record.region)
-        if record.annual_energy_kwh is not None:
-            energy[i] = record.annual_energy_kwh
-        if record.power_kw is not None:
-            power[i] = record.power_kw
-        if record.utilization is not None:
-            util[i] = record.utilization
-        if record.annual_energy_kwh is None and record.power_kw is None:
-            # Component path (or uncoverable) — delegate to the scalar
-            # model, which also decides coverage.
-            needs_scalar[i] = True
-    return FleetArrays(ranks=ranks, power_kw=power,
-                       annual_energy_kwh=energy, utilization=util,
-                       aci=aci, needs_scalar=needs_scalar)
+
+@dataclass(frozen=True)
+class OperationalBatch:
+    """Array results of one operational evaluation over a frame."""
+
+    values_mt: np.ndarray        # nan where uncovered
+    uncertainty_frac: np.ndarray  # nan where uncovered
+    aci: np.ndarray
+    scalar_idx: np.ndarray       # indices evaluated by the scalar model
+    #: estimate objects from the scalar fallback (None = uncovered),
+    #: keyed by record index — reused when assessments are materialized
+    #: so no record is estimated twice.
+    scalar_estimates: dict[int, CarbonEstimate | None]
+
+
+def _operational_kernel(power: np.ndarray, energy: np.ndarray,
+                        utilization: np.ndarray, aci: np.ndarray,
+                        needs_scalar: np.ndarray,
+                        model: OperationalModel,
+                        records: Sequence[SystemRecord],
+                        unc_out: np.ndarray | None = None,
+                        estimates_out: dict[int, CarbonEstimate | None]
+                        | None = None) -> np.ndarray:
+    """Shared kernel: reported-energy / measured-power arithmetic plus
+    the scalar fallback, mirroring the scalar model's operation order
+    exactly (bit-identical results).
+
+    When ``unc_out`` / ``estimates_out`` are given, the scalar fallback
+    also records each estimate's ``uncertainty_frac`` / the estimate
+    object itself there (one estimate call serves every output).
+    """
+    out = np.full(len(aci), np.nan)
+    pue = model.pue.for_measured_power()
+
+    # Reported-energy path: (energy × PUE) × ACI ÷ 1000.
+    has_energy = ~np.isnan(energy) & ~np.isnan(aci)
+    e = energy[has_energy] * pue
+    out[has_energy] = (e * aci[has_energy]) / units.KG_PER_MT
+
+    # Measured-power path: (((power × util) × hours) × PUE) × ACI ÷ 1000.
+    has_power = np.isnan(energy) & ~np.isnan(power) & ~np.isnan(aci)
+    util = np.where(np.isnan(utilization),
+                    model.measured_power_utilization, utilization)
+    e = ((power[has_power] * util[has_power]) * units.HOURS_PER_YEAR) * pue
+    out[has_power] = (e * aci[has_power]) / units.KG_PER_MT
+
+    # Component path: delegate to the scalar model.  Records without a
+    # grid location are simply uncovered (the scalar model raises
+    # before looking at energy), so they never reach this loop.
+    for i in np.flatnonzero(needs_scalar & ~np.isnan(aci)):
+        try:
+            estimate = model.estimate(records[i])
+            out[i] = estimate.value_mt
+            if unc_out is not None:
+                unc_out[i] = estimate.uncertainty_frac
+            if estimates_out is not None:
+                estimates_out[int(i)] = estimate
+        except InsufficientDataError:
+            out[i] = np.nan
+            if estimates_out is not None:
+                estimates_out[int(i)] = None
+    return out
+
+
+def operational_batch(frame: FleetFrame,
+                      model: OperationalModel | None = None,
+                      ) -> OperationalBatch:
+    """Evaluate the operational model over a frame (array fast path).
+
+    Also derives the per-record uncertainty band as arrays (base method
+    uncertainty widened by 0.02 per recorded assumption — identical to
+    the scalar model's arithmetic), so Monte-Carlo fleet bands never
+    need estimate objects.
+    """
+    model = model or OperationalModel()
+    aci = frame.aci(model.grid)
+    needs_scalar = frame.op_path == _OP_COMPONENT
+    scalar_idx = np.flatnonzero(needs_scalar & ~np.isnan(aci))
+    unc = np.full(frame.n, np.nan)
+    scalar_estimates: dict[int, CarbonEstimate | None] = {}
+    values = _operational_kernel(frame.power_kw, frame.annual_energy_kwh,
+                                 frame.utilization, aci, needs_scalar,
+                                 model, frame.records, unc_out=unc,
+                                 estimates_out=scalar_estimates)
+
+    n_notes = frame.region_missing.astype(np.float64)
+    covered = ~np.isnan(values)
+    is_energy = covered & (frame.op_path == _OP_ENERGY)
+    unc[is_energy] = np.minimum(
+        op_mod.METHOD_UNCERTAINTY[EstimateMethod.REPORTED_ENERGY]
+        + 0.02 * n_notes[is_energy], 2.0)
+    is_power = covered & (frame.op_path == _OP_POWER)
+    if model.measured_power_utilization != 1.0:
+        n_power_notes = n_notes + np.isnan(frame.utilization)
+    else:
+        n_power_notes = n_notes
+    unc[is_power] = np.minimum(
+        op_mod.METHOD_UNCERTAINTY[EstimateMethod.MEASURED_POWER]
+        + 0.02 * n_power_notes[is_power], 2.0)
+
+    return OperationalBatch(values_mt=values, uncertainty_frac=unc,
+                            aci=aci, scalar_idx=scalar_idx,
+                            scalar_estimates=scalar_estimates)
 
 
 def batch_operational_mt(records: list[SystemRecord],
                          model: OperationalModel | None = None,
-                         arrays: FleetArrays | None = None) -> np.ndarray:
+                         arrays: FleetArrays | None = None,
+                         frame: FleetFrame | None = None) -> np.ndarray:
     """Operational carbon (MT CO2e) per record; ``nan`` where uncovered.
 
     Exactly equivalent to calling ``model.estimate`` per record and
     taking ``value_mt`` (or ``nan`` on
-    :class:`~repro.errors.InsufficientDataError`), but evaluates the
-    measured-power/reported-energy records as array arithmetic.
+    :class:`~repro.errors.InsufficientDataError`).
+
+    Without ``arrays``/``frame``, the fleet's frame comes from the
+    identity-keyed :func:`fleet_frame` cache — records must be treated
+    as immutable once evaluated (after an in-place mutation, call
+    :func:`clear_frame_cache`).
 
     Args:
         records: the fleet.
         model: scalar model providing the semantics (defaults shared).
-        arrays: pre-extracted columns (pass when sweeping the same
-            fleet with different models to skip re-extraction).
+        arrays: pre-extracted legacy columns (ACI already resolved —
+            pass when sweeping models that share one grid).
+        frame: pre-extracted :class:`FleetFrame` (preferred; resolves
+            ACI per model, so grid sweeps reuse it too).
     """
     model = model or OperationalModel()
-    cols = arrays if arrays is not None else fleet_to_arrays(records,
-                                                             model.grid)
-    if cols.n != len(records):
-        raise ValueError("arrays/records length mismatch")
+    if arrays is not None:
+        if arrays.n != len(records):
+            raise ValueError("arrays/records length mismatch")
+        return _operational_kernel(arrays.power_kw, arrays.annual_energy_kwh,
+                                   arrays.utilization, arrays.aci,
+                                   arrays.needs_scalar, model, records)
+    if frame is None:
+        frame = fleet_frame(records)
+    if frame.n != len(records):
+        raise ValueError("frame/records length mismatch")
+    return operational_batch(frame, model).values_mt
 
-    out = np.full(cols.n, np.nan)
 
-    # Reported energy path: energy × PUE(measured) × ACI.
-    pue_measured = model.pue.for_measured_power()
-    has_energy = ~np.isnan(cols.annual_energy_kwh) & ~np.isnan(cols.aci)
-    out[has_energy] = units.kg_to_mt(1.0) * (
-        cols.annual_energy_kwh[has_energy] * pue_measured
-        * cols.aci[has_energy])
+# ---------------------------------------------------------------------------
+# Embodied batch path
+# ---------------------------------------------------------------------------
 
-    # Measured power path: power × util × 8760 × PUE(measured) × ACI.
-    util = np.where(np.isnan(cols.utilization),
-                    model.measured_power_utilization, cols.utilization)
-    has_power = (np.isnan(cols.annual_energy_kwh) & ~np.isnan(cols.power_kw)
-                 & ~np.isnan(cols.aci))
-    out[has_power] = units.kg_to_mt(1.0) * (
-        cols.power_kw[has_power] * util[has_power] * units.HOURS_PER_YEAR
-        * pue_measured * cols.aci[has_power])
+@dataclass(frozen=True)
+class _EmbodiedFactors:
+    """Per-unique-device factors resolved for one (frame, model) pair."""
 
-    # Component path (and records with power but no location): scalar.
-    scalar_idx = np.flatnonzero(cols.needs_scalar
-                                | (np.isnan(cols.aci) & ~np.isnan(cols.power_kw))
-                                | (np.isnan(cols.aci)
-                                   & ~np.isnan(cols.annual_energy_kwh)))
+    cpu_pkg_kg: np.ndarray       # per processor code (last slot: unknown/None)
+    cpu_known: np.ndarray        # bool per processor code
+    cpu_failed: np.ndarray       # bool: catalog lookup raised (strict policy)
+    gpu_dev_kg: np.ndarray
+    gpu_known: np.ndarray
+    gpu_failed: np.ndarray
+    mem_kg_per_gb: np.ndarray    # per memory-type code (last slot: default)
+    ssd_kg_per_gb: float
+    node_kg: float
+
+
+def _resolve_embodied_factors(frame: FleetFrame,
+                              model: EmbodiedModel) -> _EmbodiedFactors:
+    catalog = model.catalog
+    n_cpu = len(frame.processors)
+    cpu_pkg = np.full(n_cpu + 1, np.nan)
+    cpu_known = np.zeros(n_cpu + 1, dtype=bool)
+    cpu_failed = np.zeros(n_cpu + 1, dtype=bool)
+    for code, name in enumerate((*frame.processors, "generic")):
+        try:
+            spec = catalog.cpu(name)
+            cpu_pkg[code] = die_embodied_kg(
+                spec.die_area_mm2, spec.process_nm, model.fab_yield
+            ) + emb_mod.PACKAGE_KG
+            cpu_known[code] = catalog.knows_cpu(name)
+        except Exception:
+            cpu_failed[code] = True
+
+    n_gpu = len(frame.accelerators)
+    gpu_dev = np.full(n_gpu, np.nan)
+    gpu_known = np.zeros(n_gpu, dtype=bool)
+    gpu_failed = np.zeros(n_gpu, dtype=bool)
+    for code, name in enumerate(frame.accelerators):
+        try:
+            spec = catalog.gpu(name)
+            gpu_dev[code] = (
+                die_embodied_kg(spec.die_area_mm2, spec.process_nm,
+                                model.fab_yield)
+                + spec.hbm_gb * emb_mod.HBM_KG_PER_GB
+                + emb_mod.PACKAGE_KG)
+            gpu_known[code] = catalog.knows_gpu(name)
+        except Exception:
+            gpu_failed[code] = True
+
+    mem = np.empty(len(frame.memory_types) + 1)
+    for code, mem_type in enumerate(frame.memory_types):
+        mem[code] = catalog.memory_spec(mem_type).embodied_kg_per_gb
+    mem[-1] = catalog.memory_spec(None).embodied_kg_per_gb
+
+    return _EmbodiedFactors(
+        cpu_pkg_kg=cpu_pkg, cpu_known=cpu_known, cpu_failed=cpu_failed,
+        gpu_dev_kg=gpu_dev, gpu_known=gpu_known, gpu_failed=gpu_failed,
+        mem_kg_per_gb=mem,
+        ssd_kg_per_gb=catalog.storage_spec().embodied_kg_per_gb,
+        node_kg=catalog.node_overheads.embodied_kg_per_node,
+    )
+
+
+@dataclass(frozen=True)
+class EmbodiedBatch:
+    """Array results of one embodied evaluation over a frame."""
+
+    values_mt: np.ndarray        # nan where uncovered
+    uncertainty_frac: np.ndarray  # nan where uncovered
+    cpu_mt: np.ndarray
+    gpu_mt: np.ndarray           # 0 where no accelerator
+    memory_mt: np.ndarray
+    storage_mt: np.ndarray
+    node_mt: np.ndarray
+    covered: np.ndarray          # bool (array path produced the value)
+    scalar_idx: np.ndarray       # indices evaluated by the scalar model
+    #: estimate objects from the scalar fallback (None = uncovered).
+    scalar_estimates: dict[int, CarbonEstimate | None]
+    factors: _EmbodiedFactors
+
+
+def embodied_batch(frame: FleetFrame,
+                   model: EmbodiedModel | None = None) -> EmbodiedBatch:
+    """Evaluate the embodied model over a frame (array fast path).
+
+    Records whose extraction flagged scalar fallback — or whose device
+    resolution failed under this model's catalog policy — are evaluated
+    by the scalar model, preserving its exact semantics (including
+    raised errors for non-coverage failure modes).
+    """
+    model = model or EmbodiedModel()
+    factors = _resolve_embodied_factors(frame, model)
+
+    cpu_idx = np.where(frame.cpu_code >= 0, frame.cpu_code,
+                       len(frame.processors))
+    # A strict-catalog CPU failure must reach the scalar model for every
+    # record whose CPU count resolved — the scalar path raises
+    # UnknownDeviceError there even when a later check (e.g. missing
+    # accelerator identity) would have made the record uncovered.
+    needs_scalar = frame.emb_needs_scalar | (
+        frame.cpu_resolved & factors.cpu_failed[cpu_idx])
+    has_gpu = frame.gpu_code >= 0
+    gpu_fail = np.zeros(frame.n, dtype=bool)
+    gpu_fail[has_gpu] = factors.gpu_failed[frame.gpu_code[has_gpu]]
+    needs_scalar |= frame.emb_covered & gpu_fail
+    array_ok = frame.emb_covered & ~needs_scalar
+
+    # Component terms (kg), mirroring the scalar breakdown order.
+    cpu_kg = frame.n_cpus * factors.cpu_pkg_kg[cpu_idx]
+    gpu_kg = np.zeros(frame.n)
+    gpu_kg[has_gpu] = frame.n_gpus[has_gpu] * \
+        factors.gpu_dev_kg[frame.gpu_code[has_gpu]]
+    mem_idx = np.where(frame.mem_code >= 0, frame.mem_code,
+                       len(frame.memory_types))
+    mem_kg = frame.memory_gb * factors.mem_kg_per_gb[mem_idx]
+    ssd_kg = frame.ssd_gb * factors.ssd_kg_per_gb
+    node_kg = frame.n_nodes * factors.node_kg
+
+    total_kg = (((cpu_kg + gpu_kg) + mem_kg) + ssd_kg) + node_kg
+    values = np.full(frame.n, np.nan)
+    values[array_ok] = total_kg[array_ok] / units.KG_PER_MT
+
+    # Uncertainty band: 0.25 base + 0.03 per recorded assumption
+    # (identical to the scalar arithmetic; assumptions counted from the
+    # frame's provenance flags).
+    gpu_proxy_note = np.zeros(frame.n)
+    if has_gpu.any():
+        gpu_proxy_note[has_gpu] = \
+            (~factors.gpu_known[frame.gpu_code[has_gpu]]).astype(np.float64)
+    n_notes = (
+        (frame.cpu_count_src != _CPU_EXPLICIT).astype(np.float64)
+        + ((frame.cpu_code < 0) | ~factors.cpu_known[cpu_idx])
+        + gpu_proxy_note
+        + frame.nodes_derived + frame.memory_defaulted
+        + frame.memtype_noted + frame.ssd_defaulted)
+    unc = np.full(frame.n, np.nan)
+    unc[array_ok] = np.minimum(0.25 + 0.03 * n_notes[array_ok], 2.0)
+
+    scalar_idx = np.flatnonzero(needs_scalar)
+    scalar_estimates: dict[int, CarbonEstimate | None] = {}
     for i in scalar_idx:
         try:
-            out[i] = model.estimate(records[i]).value_mt
+            estimate = model.estimate(frame.records[i])
+            values[i] = estimate.value_mt
+            unc[i] = estimate.uncertainty_frac
+            scalar_estimates[int(i)] = estimate
         except InsufficientDataError:
-            out[i] = np.nan
+            values[i] = np.nan
+            scalar_estimates[int(i)] = None
+
+    return EmbodiedBatch(
+        values_mt=values, uncertainty_frac=unc,
+        cpu_mt=cpu_kg / units.KG_PER_MT,
+        gpu_mt=gpu_kg / units.KG_PER_MT,
+        memory_mt=mem_kg / units.KG_PER_MT,
+        storage_mt=ssd_kg / units.KG_PER_MT,
+        node_mt=node_kg / units.KG_PER_MT,
+        covered=array_ok, scalar_idx=scalar_idx,
+        scalar_estimates=scalar_estimates, factors=factors,
+    )
+
+
+def batch_embodied_mt(records: list[SystemRecord],
+                      model: EmbodiedModel | None = None,
+                      frame: FleetFrame | None = None) -> np.ndarray:
+    """Embodied carbon (MT CO2e) per record; ``nan`` where uncovered.
+
+    Exactly equivalent to calling ``EmbodiedModel.estimate`` per record
+    (``nan`` on :class:`~repro.errors.InsufficientDataError`; other
+    errors — e.g. strict-catalog unknown devices — propagate just as
+    the scalar model raises them).
+
+    Without ``frame``, the fleet's frame comes from the identity-keyed
+    :func:`fleet_frame` cache — records must be treated as immutable
+    once evaluated (after an in-place mutation, call
+    :func:`clear_frame_cache`).
+    """
+    if frame is None:
+        frame = fleet_frame(records)
+    if frame.n != len(records):
+        raise ValueError("frame/records length mismatch")
+    return embodied_batch(frame, model).values_mt
+
+
+# ---------------------------------------------------------------------------
+# Full assessments from the frame (estimate objects, scalar-identical)
+# ---------------------------------------------------------------------------
+
+def assess_fleet_frame(records: Sequence[SystemRecord],
+                       operational_model: OperationalModel | None = None,
+                       embodied_model: EmbodiedModel | None = None,
+                       frame: FleetFrame | None = None,
+                       op_batch: OperationalBatch | None = None,
+                       emb_batch: EmbodiedBatch | None = None,
+                       ) -> list[SystemAssessment]:
+    """Assess a fleet through the columnar engine.
+
+    Returns :class:`SystemAssessment` objects equal — dataclass
+    equality, estimate metadata included — to looping
+    ``EasyC.assess`` over the records.  Pass ``op_batch`` /
+    ``emb_batch`` when the batches were already computed for this
+    (frame, model) pair (as :func:`repro.coverage.analyzer.coverage_of`
+    does) so no record is evaluated twice.
+    """
+    op_model = operational_model or OperationalModel()
+    em_model = embodied_model or EmbodiedModel()
+    if frame is None:
+        frame = fleet_frame(records)
+    if frame.n != len(records):
+        raise ValueError("frame/records length mismatch")
+
+    opb = op_batch if op_batch is not None else \
+        operational_batch(frame, op_model)
+    emb = emb_batch if emb_batch is not None else \
+        embodied_batch(frame, em_model)
+    emb_scalar = np.zeros(frame.n, dtype=bool)
+    emb_scalar[emb.scalar_idx] = True
+
+    # Per-call interned metadata.
+    util_note = None
+    if op_model.measured_power_utilization != 1.0:
+        util_note = op_mod.utilization_default_note(
+            op_model.measured_power_utilization)
+    country_notes = tuple(op_mod.country_average_note(country)
+                          for country, _ in frame.locations)
+    base_unc_energy = op_mod.METHOD_UNCERTAINTY[EstimateMethod.REPORTED_ENERGY]
+    base_unc_power = op_mod.METHOD_UNCERTAINTY[EstimateMethod.MEASURED_POWER]
+
+    cpu_notes = _cpu_assumption_notes(frame, emb.factors)
+
+    out: list[SystemAssessment] = []
+    values = opb.values_mt
+    has_util = ~np.isnan(frame.utilization)
+    for i in range(frame.n):
+        # ---- operational ---------------------------------------------
+        path = frame.op_path[i]
+        if path == _OP_COMPONENT:
+            # Scalar-fallback estimate captured by the batch; absent key
+            # means the record had no grid location (uncovered).
+            operational = opb.scalar_estimates.get(i)
+        elif np.isnan(values[i]):
+            operational = None
+        else:
+            assumptions: tuple[str, ...] = ()
+            if path == _OP_POWER:
+                method = EstimateMethod.MEASURED_POWER
+                base_unc = base_unc_power
+                if util_note is not None and not has_util[i]:
+                    assumptions = (util_note,)
+            else:
+                method = EstimateMethod.REPORTED_ENERGY
+                base_unc = base_unc_energy
+            if frame.region_missing[i]:
+                assumptions = (*assumptions,
+                               country_notes[frame.loc_code[i]])
+            value = float(values[i])
+            operational = CarbonEstimate(
+                kind=CarbonKind.OPERATIONAL,
+                value_mt=value,
+                method=method,
+                breakdown_mt={"grid": value},
+                assumptions=assumptions,
+                uncertainty_frac=min(base_unc + 0.02 * len(assumptions), 2.0),
+            )
+
+        # ---- embodied ------------------------------------------------
+        if emb_scalar[i]:
+            embodied = emb.scalar_estimates[int(i)]
+        elif not emb.covered[i]:
+            embodied = None
+        else:
+            embodied = _materialize_embodied(frame, emb, cpu_notes, i)
+
+        out.append(SystemAssessment(
+            rank=int(frame.ranks[i]), name=frame.names[i],
+            operational=operational, embodied=embodied))
     return out
+
+
+def _cpu_assumption_notes(frame: FleetFrame, factors: _EmbodiedFactors,
+                          ) -> tuple[str | None, ...]:
+    """Per-record CPU-count provenance notes (interned per unique)."""
+    derived_cache: dict[int, str] = {}
+    notes: list[str | None] = []
+    for i in range(frame.n):
+        src = frame.cpu_count_src[i]
+        if src == _CPU_FROM_CORES:
+            cores = int(frame.cpu_derived_cores[i])
+            note = derived_cache.get(cores)
+            if note is None:
+                note = derived_cache[cores] = op_mod.cpu_derived_note(cores)
+            notes.append(note)
+        elif src == _CPU_FROM_NODES:
+            notes.append(op_mod.NOTE_CPU_DEFAULT)
+        else:
+            notes.append(None)
+    return tuple(notes)
+
+
+def _materialize_embodied(frame: FleetFrame, emb: EmbodiedBatch,
+                          cpu_notes: tuple[str | None, ...],
+                          i: int) -> CarbonEstimate:
+    """Build one embodied estimate from batch arrays (scalar-identical
+    breakdown, assumptions and uncertainty)."""
+    assumptions: list[str] = []
+    note = cpu_notes[i]
+    if note is not None:
+        assumptions.append(note)
+    code = frame.cpu_code[i]
+    if code < 0:
+        assumptions.append(emb_mod.NOTE_PROCESSOR_UNKNOWN)
+    elif not emb.factors.cpu_known[code]:
+        assumptions.append(emb_mod.NOTE_PROCESSOR_NOT_IN_CATALOG)
+
+    breakdown = {"cpu": float(emb.cpu_mt[i])}
+    gcode = frame.gpu_code[i]
+    if gcode >= 0:
+        if not emb.factors.gpu_known[gcode]:
+            assumptions.append(emb_mod.NOTE_GPU_PROXY)
+        breakdown["gpu"] = float(emb.gpu_mt[i])
+    if frame.nodes_derived[i]:
+        assumptions.append(emb_mod.NOTE_NODES_DERIVED)
+    if frame.memory_defaulted[i]:
+        assumptions.append(op_mod.NOTE_MEMORY_DEFAULT)
+    if frame.memtype_noted[i]:
+        assumptions.append(emb_mod.NOTE_MEMORY_TYPE_DEFAULT)
+    if frame.ssd_defaulted[i]:
+        assumptions.append(op_mod.NOTE_SSD_DEFAULT)
+    breakdown["memory"] = float(emb.memory_mt[i])
+    breakdown["storage"] = float(emb.storage_mt[i])
+    breakdown["node_hardware"] = float(emb.node_mt[i])
+
+    return CarbonEstimate(
+        kind=CarbonKind.EMBODIED,
+        value_mt=float(emb.values_mt[i]),
+        method=EstimateMethod.COMPONENT_INVENTORY,
+        breakdown_mt=breakdown,
+        assumptions=tuple(assumptions),
+        uncertainty_frac=min(0.25 + 0.03 * len(assumptions), 2.0),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Parallel column-chunk evaluation
+# ---------------------------------------------------------------------------
+
+def _op_chunk_worker(payload: tuple) -> np.ndarray:
+    """Worker body: evaluate one column chunk (module-level for pickling).
+
+    The payload ships numpy column slices plus only the records that
+    need the scalar fallback — not the whole record list.  Reuses
+    :func:`_operational_kernel`, so the float-op order lives in exactly
+    one place.
+    """
+    model, power, energy, util, aci, scalar_pos, scalar_records = payload
+    needs_scalar = np.zeros(len(aci), dtype=bool)
+    needs_scalar[scalar_pos] = True
+    records: list[SystemRecord | None] = [None] * len(aci)
+    for pos, record in zip(scalar_pos, scalar_records):
+        records[pos] = record
+    return _operational_kernel(power, energy, util, aci, needs_scalar,
+                               model, records)
+
+
+def parallel_batch_operational_mt(records: list[SystemRecord],
+                                  model: OperationalModel | None = None,
+                                  *, frame: FleetFrame | None = None,
+                                  max_workers: int | None = None,
+                                  chunks_per_worker: int = 4) -> np.ndarray:
+    """Operational batch evaluation fanned out over processes.
+
+    Ships *column chunks* (numpy buffers) to the workers instead of
+    pickled record lists — only the scarce component-path records cross
+    the process boundary as objects.  Equivalent to
+    :func:`batch_operational_mt` (asserted in tests); worthwhile for
+    fleets far larger than the Top 500.
+    """
+    from repro.parallel.chunking import chunk_indices
+    from repro.parallel.executor import parallel_map
+
+    model = model or OperationalModel()
+    if frame is None:
+        frame = fleet_frame(records)
+    if frame.n != len(records):
+        raise ValueError("frame/records length mismatch")
+    aci = frame.aci(model.grid)
+    needs_scalar = (frame.op_path == _OP_COMPONENT) & ~np.isnan(aci)
+
+    workers = max_workers or os.cpu_count() or 1
+    payloads = []
+    for start, stop in chunk_indices(frame.n,
+                                     max(workers * chunks_per_worker, 1)):
+        pos = np.flatnonzero(needs_scalar[start:stop])
+        payloads.append((
+            model,
+            frame.power_kw[start:stop], frame.annual_energy_kwh[start:stop],
+            frame.utilization[start:stop], aci[start:stop],
+            pos, [frame.records[start + p] for p in pos]))
+    results = parallel_map(_op_chunk_worker, payloads,
+                           max_workers=max_workers, chunks_per_worker=1,
+                           min_items=1)
+    if not results:
+        return np.full(0, np.nan)
+    return np.concatenate(results)
 
 
 def fleet_total_mt(records: list[SystemRecord],

@@ -6,12 +6,21 @@ the scenario's visible fields.  :func:`coverage_of` therefore runs the
 actual models (via :class:`~repro.core.easyc.EasyC`), not just the
 requirement predicates — the two are asserted equal in tests, but the
 models are the ground truth.
+
+With the default ``engine="vectorized"`` the evaluation goes through
+the columnar :class:`~repro.core.vectorized.FleetFrame` engine:
+coverage masks and per-rank values come straight from batch arrays,
+and the full :class:`~repro.core.estimate.SystemAssessment` objects
+(audit metadata included) are materialized lazily on first access to
+:attr:`CoverageResult.assessments` — sweep workloads that only need
+totals and counts never pay for them.
 """
 
 from __future__ import annotations
 
+import math
 from collections import Counter
-from collections.abc import Sequence
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 
 from repro.core.easyc import EasyC
@@ -41,27 +50,109 @@ class ScenarioCoverage:
         return self.n_covered / self.n_total if self.n_total else 0.0
 
 
-@dataclass(frozen=True, slots=True)
 class CoverageResult:
-    """Operational + embodied coverage for one scenario's fleet."""
+    """Operational + embodied coverage for one scenario's fleet.
 
-    scenario: str
-    operational: ScenarioCoverage
-    embodied: ScenarioCoverage
-    assessments: tuple[SystemAssessment, ...]
+    ``assessments`` may be materialized lazily (vectorized engine): the
+    coverage masks and per-rank values are available immediately, while
+    the estimate objects are built on first attribute access and then
+    cached.
+    """
+
+    __slots__ = ("scenario", "operational", "embodied",
+                 "_assessments", "_assessments_factory",
+                 "_op_values", "_emb_values")
+
+    def __init__(self, scenario: str, operational: ScenarioCoverage,
+                 embodied: ScenarioCoverage,
+                 assessments: tuple[SystemAssessment, ...] | None = None,
+                 assessments_factory: Callable[
+                     [], Sequence[SystemAssessment]] | None = None,
+                 op_values: dict[int, float | None] | None = None,
+                 emb_values: dict[int, float | None] | None = None):
+        if assessments is None and assessments_factory is None:
+            raise ValueError("need assessments or a factory for them")
+        self.scenario = scenario
+        self.operational = operational
+        self.embodied = embodied
+        self._assessments = assessments
+        self._assessments_factory = assessments_factory
+        self._op_values = op_values
+        self._emb_values = emb_values
+
+    @property
+    def assessments(self) -> tuple[SystemAssessment, ...]:
+        if self._assessments is None:
+            self._assessments = tuple(self._assessments_factory())
+        return self._assessments
+
+    def series_values(self, footprint: str) -> dict[int, float | None]:
+        """Per-rank ``value_mt`` (``None`` where uncovered).
+
+        Served from the batch arrays when available; falls back to the
+        (possibly lazily built) assessments otherwise.
+        """
+        cached = {"operational": self._op_values,
+                  "embodied": self._emb_values}.get(footprint, KeyError)
+        if cached is KeyError:
+            raise ValueError(f"unknown footprint {footprint!r}")
+        if cached is not None:
+            return dict(cached)
+        values: dict[int, float | None] = {}
+        for assessment in self.assessments:
+            estimate = getattr(assessment, footprint)
+            values[assessment.rank] = None if estimate is None \
+                else estimate.value_mt
+        return values
+
+
+def _split_ranks(ranks, values) -> tuple[tuple[int, ...], tuple[int, ...]]:
+    covered, uncovered = [], []
+    for rank, value in zip(ranks, values):
+        (uncovered if math.isnan(value) else covered).append(int(rank))
+    return tuple(covered), tuple(uncovered)
 
 
 def coverage_of(records: Sequence[SystemRecord], scenario: str,
-                easyc: EasyC | None = None) -> CoverageResult:
+                easyc: EasyC | None = None, *,
+                engine: str = "vectorized") -> CoverageResult:
     """Assess a fleet and tabulate coverage.
 
     Args:
         records: the fleet under one data scenario.
         scenario: label carried through to reports (e.g. ``"baseline"``).
         easyc: model bundle; default configuration if omitted.
+        engine: ``"vectorized"`` (columnar batch arrays, lazy
+            assessment objects) or ``"scalar"`` (reference loop).
     """
     ez = easyc or EasyC()
-    assessments = ez.assess_fleet(records)
+    records = list(records)
+    if engine == "vectorized":
+        from repro.core import vectorized as vz
+        frame = vz.fleet_frame(records)
+        op = vz.operational_batch(frame, ez.operational_model)
+        emb = vz.embodied_batch(frame, ez.embodied_model)
+        op_cov, op_unc = _split_ranks(frame.ranks, op.values_mt)
+        em_cov, em_unc = _split_ranks(frame.ranks, emb.values_mt)
+        ranks = [int(r) for r in frame.ranks]
+        return CoverageResult(
+            scenario=scenario,
+            operational=ScenarioCoverage(scenario, "operational",
+                                         op_cov, op_unc),
+            embodied=ScenarioCoverage(scenario, "embodied", em_cov, em_unc),
+            # Materialize from the batches already computed above — the
+            # scalar-fallback estimates they captured are reused, so no
+            # record is ever evaluated twice.
+            assessments_factory=lambda: vz.assess_fleet_frame(
+                records, ez.operational_model, ez.embodied_model,
+                frame=frame, op_batch=op, emb_batch=emb),
+            op_values={r: (None if math.isnan(v) else float(v))
+                       for r, v in zip(ranks, op.values_mt)},
+            emb_values={r: (None if math.isnan(v) else float(v))
+                        for r, v in zip(ranks, emb.values_mt)},
+        )
+
+    assessments = ez.assess_fleet(records, engine=engine)
     op_cov, op_unc, em_cov, em_unc = [], [], [], []
     for assessment in assessments:
         (op_cov if assessment.covered_operational else op_unc).append(assessment.rank)

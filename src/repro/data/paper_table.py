@@ -139,11 +139,20 @@ def _parse_line(line: str) -> PaperSystem:
 def load_paper_table() -> tuple[PaperSystem, ...]:
     """Load and parse the embedded Table II (cached; 500 rows).
 
+    When the raw transcription file is absent (it is not
+    redistributable), a deterministic calibrated stand-in is
+    synthesized by :mod:`repro.data.table2_synth` instead — same
+    format, same printed aggregates and named anchors.
+
     Raises:
         ParseError: on malformed data, duplicate or missing ranks.
     """
-    text = (importlib.resources.files("repro.data")
-            .joinpath("table2_raw.txt").read_text(encoding="utf-8"))
+    try:
+        text = (importlib.resources.files("repro.data")
+                .joinpath("table2_raw.txt").read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        from repro.data.table2_synth import table2_text
+        text = table2_text()
     systems: list[PaperSystem] = []
     for line in text.splitlines():
         line = line.strip()

@@ -16,6 +16,7 @@ our frozen model dataclasses).
 
 from __future__ import annotations
 
+import functools
 import os
 import time
 from collections.abc import Callable, Sequence
@@ -50,6 +51,7 @@ def _apply_chunk(fn: Callable[[T], R], items: list[T]) -> list[R]:
 def parallel_map(fn: Callable[[T], R], items: Sequence[T], *,
                  max_workers: int | None = None,
                  chunks_per_worker: int = 4,
+                 min_items: int | None = None,
                  stats_out: list[ExecutionStats] | None = None) -> list[R]:
     """Map ``fn`` over ``items``, preserving order.
 
@@ -59,6 +61,10 @@ def parallel_map(fn: Callable[[T], R], items: Sequence[T], *,
             ``1`` forces the serial path.
         chunks_per_worker: oversubscription factor — more, smaller
             chunks smooth out imbalance between items of uneven cost.
+        min_items: item count below which the serial path is used
+            (default: a threshold tuned for cheap per-item functions;
+            pass a smaller value when each item is a heavy batch, e.g.
+            a :class:`~repro.core.vectorized.FleetFrame` column chunk).
         stats_out: optional list that receives an
             :class:`ExecutionStats` describing the run.
 
@@ -73,9 +79,11 @@ def parallel_map(fn: Callable[[T], R], items: Sequence[T], *,
         raise ValueError(f"max_workers must be >= 1, got {max_workers}")
     if chunks_per_worker < 1:
         raise ValueError(f"chunks_per_worker must be >= 1, got {chunks_per_worker}")
+    if min_items is None:
+        min_items = _MIN_ITEMS_FOR_PROCESSES
 
     started = time.perf_counter()
-    if max_workers == 1 or len(items) < _MIN_ITEMS_FOR_PROCESSES:
+    if max_workers == 1 or len(items) < min_items:
         results = [fn(item) for item in items]
         if stats_out is not None:
             stats_out.append(ExecutionStats(
@@ -85,9 +93,13 @@ def parallel_map(fn: Callable[[T], R], items: Sequence[T], *,
 
     ranges = chunk_indices(len(items), max_workers * chunks_per_worker)
     chunks = [items[start:stop] for start, stop in ranges]
+    # Bind ``fn`` once: submitting one partial per chunk (rather than a
+    # second ``[fn] * len(chunks)`` argument column) avoids building the
+    # redundant list and keeps a single callable object for the pool to
+    # serialize per task.
+    apply = functools.partial(_apply_chunk, fn)
     with ProcessPoolExecutor(max_workers=max_workers) as pool:
-        chunk_results = list(pool.map(_apply_chunk,
-                                      [fn] * len(chunks), chunks))
+        chunk_results = list(pool.map(apply, chunks))
     results = [r for chunk in chunk_results for r in chunk]
     if stats_out is not None:
         stats_out.append(ExecutionStats(

@@ -1,11 +1,14 @@
 """Monte-Carlo uncertainty propagation tests."""
 
+import numpy as np
 import pytest
 
 from repro.core.estimate import CarbonEstimate, CarbonKind, EstimateMethod
 from repro.core.uncertainty import (
     error_cancellation_ratio,
+    fleet_bands,
     total_with_uncertainty,
+    total_with_uncertainty_arrays,
 )
 
 
@@ -44,6 +47,47 @@ class TestBand:
     def test_bad_samples_rejected(self):
         with pytest.raises(ValueError):
             total_with_uncertainty([estimate(1.0, 0.1)], n_samples=0)
+
+
+class TestArrayPath:
+    """The vectorized MC path: same draws, no estimate objects."""
+
+    def test_matches_object_path_exactly(self):
+        estimates = [estimate(float(v), 0.1 + 0.01 * v) for v in range(1, 9)]
+        values = np.array([e.value_mt for e in estimates])
+        fracs = np.array([e.uncertainty_frac for e in estimates])
+        assert total_with_uncertainty(estimates, n_samples=500) == \
+            total_with_uncertainty_arrays(values, fracs, n_samples=500)
+
+    def test_nan_entries_dropped(self):
+        values = np.array([100.0, np.nan, 50.0])
+        fracs = np.array([0.1, np.nan, 0.2])
+        band = total_with_uncertainty_arrays(values, fracs, n_samples=500)
+        assert band.n_estimates == 2
+        assert band.mean_mt == pytest.approx(150.0, rel=0.05)
+
+    def test_all_nan_rejected(self):
+        with pytest.raises(ValueError):
+            total_with_uncertainty_arrays(
+                np.array([np.nan]), np.array([np.nan]))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            total_with_uncertainty_arrays(np.ones(3), np.ones(4))
+
+    def test_fleet_bands_match_object_path(self, study):
+        """Straight-from-arrays fleet bands equal the bands built from
+        materialized estimate objects."""
+        assessments = study.public_coverage.assessments
+        op_est = [a.operational for a in assessments
+                  if a.operational is not None]
+        emb_est = [a.embodied for a in assessments if a.embodied is not None]
+        op_band, emb_band = fleet_bands(list(study.public_records),
+                                        n_samples=800)
+        assert op_band == total_with_uncertainty(op_est, n_samples=800)
+        assert emb_band == total_with_uncertainty(emb_est, n_samples=800)
+        assert op_band.n_estimates == 490
+        assert emb_band.n_estimates == 404
 
 
 class TestCancellation:

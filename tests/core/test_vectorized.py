@@ -3,13 +3,22 @@
 import numpy as np
 import pytest
 
+from repro.core.embodied import EmbodiedModel
 from repro.core.operational import OperationalModel
 from repro.core.vectorized import (
+    FleetFrame,
+    batch_embodied_mt,
     batch_operational_mt,
+    clear_frame_cache,
+    embodied_batch,
+    fleet_frame,
     fleet_to_arrays,
     fleet_total_mt,
+    operational_batch,
+    parallel_batch_operational_mt,
 )
-from repro.errors import InsufficientDataError
+from repro.errors import InsufficientDataError, UnknownDeviceError
+from repro.hardware.catalog import DEFAULT_CATALOG, UnknownDevicePolicy
 
 
 def scalar_reference(records, model):
@@ -79,6 +88,161 @@ class TestArrays:
         cols = fleet_to_arrays(records[:10])
         with pytest.raises(ValueError):
             batch_operational_mt(records, arrays=cols)
+
+
+class TestFleetFrame:
+    def test_extraction_is_model_independent(self, dataset):
+        """One frame serves any model configuration."""
+        records = dataset.public_records()
+        frame = FleetFrame.from_records(records)
+        default = batch_operational_mt(records, OperationalModel(),
+                                       frame=frame)
+        tweaked = batch_operational_mt(
+            records, OperationalModel(measured_power_utilization=0.7),
+            frame=frame)
+        covered = ~np.isnan(default)
+        assert np.all(tweaked[covered] <= default[covered])
+
+    def test_dictionary_encoding_is_compact(self, dataset):
+        frame = FleetFrame.from_records(dataset.public_records())
+        # A 500-system list resolves to a handful of unique devices and
+        # locations — that is what makes per-model resolution cheap.
+        assert 0 < len(frame.processors) < 40
+        assert 0 < len(frame.accelerators) < 30
+        assert 0 < len(frame.locations) < 80
+
+    def test_cache_reuses_frames(self, dataset):
+        clear_frame_cache()
+        records = dataset.public_records()   # memoized record objects
+        assert fleet_frame(records) is fleet_frame(dataset.public_records())
+
+    def test_distinct_fleets_get_distinct_frames(self, dataset):
+        records = dataset.public_records()
+        assert fleet_frame(records[:20]) is not fleet_frame(records[:30])
+
+    def test_slice_shares_tables(self, dataset):
+        frame = fleet_frame(dataset.public_records())
+        part = frame.slice(100, 200)
+        assert part.n == 100
+        assert part.processors == frame.processors
+        assert list(part.ranks) == list(frame.ranks[100:200])
+
+    def test_length_mismatch_rejected_for_frame(self, dataset):
+        records = dataset.public_records()
+        frame = FleetFrame.from_records(records[:10])
+        with pytest.raises(ValueError):
+            batch_embodied_mt(records, frame=frame)
+
+
+class TestEmbodiedBatch:
+    def scalar_reference(self, records, model):
+        out = np.full(len(records), np.nan)
+        for i, record in enumerate(records):
+            try:
+                out[i] = model.estimate(record).value_mt
+            except InsufficientDataError:
+                pass
+        return out
+
+    @pytest.mark.parametrize("scenario", ["baseline", "public", "true"])
+    def test_batch_matches_scalar(self, dataset, scenario):
+        records = {
+            "baseline": dataset.baseline_records,
+            "public": dataset.public_records,
+            "true": dataset.true_records,
+        }[scenario]()
+        model = EmbodiedModel()
+        batch = batch_embodied_mt(records, model)
+        reference = self.scalar_reference(records, model)
+        both_nan = np.isnan(batch) & np.isnan(reference)
+        assert np.all(both_nan | (batch == reference))
+
+    def test_model_sweep_reuses_frame(self, dataset):
+        """The ablation pattern: one frame, many model configurations."""
+        records = dataset.public_records()
+        frame = fleet_frame(records)
+        totals = []
+        for fab_yield in (0.7, 0.875, 0.95):
+            values = batch_embodied_mt(records, EmbodiedModel(fab_yield=fab_yield),
+                                       frame=frame)
+            totals.append(float(np.nansum(values)))
+        assert totals[0] > totals[1] > totals[2]   # better yield, less scrap
+
+    def test_strict_policy_matches_scalar_raise(self, frontier_like):
+        """Strict-catalog failures propagate exactly like the scalar
+        model's (the proxy/component fallback path)."""
+        import dataclasses
+        strict = EmbodiedModel(
+            catalog=DEFAULT_CATALOG.with_policy(UnknownDevicePolicy.STRICT))
+        record = dataclasses.replace(frontier_like, accelerator="Novel NPU 9000")
+        with pytest.raises(UnknownDeviceError):
+            strict.estimate(record)
+        with pytest.raises(UnknownDeviceError):
+            batch_embodied_mt([record], strict)
+
+    def test_strict_cpu_failure_beats_missing_accelerator(self):
+        """The scalar model resolves catalog.cpu before the accelerator
+        checks, so a strict-policy CPU failure must raise even for a
+        record that would otherwise be uncovered (accelerated without a
+        GPU count)."""
+        from repro.core.record import SystemRecord
+        strict = EmbodiedModel(
+            catalog=DEFAULT_CATALOG.with_policy(UnknownDevicePolicy.STRICT))
+        record = SystemRecord(
+            rank=42, rmax_tflops=1e4, rpeak_tflops=2e4, country="Japan",
+            processor="Mystery CPU 3000", n_cpus=100,
+            accelerator="NVIDIA H100", n_gpus=None)
+        with pytest.raises(UnknownDeviceError):
+            strict.estimate(record)
+        with pytest.raises(UnknownDeviceError):
+            batch_embodied_mt([record], strict)
+
+    def test_uncertainty_array_matches_scalar(self, dataset):
+        records = dataset.public_records()
+        emb = embodied_batch(fleet_frame(records), EmbodiedModel())
+        model = EmbodiedModel()
+        for i, record in enumerate(records):
+            try:
+                expected = model.estimate(record).uncertainty_frac
+            except InsufficientDataError:
+                assert np.isnan(emb.uncertainty_frac[i])
+                continue
+            assert emb.uncertainty_frac[i] == expected
+
+
+class TestOperationalBatchMetadata:
+    def test_uncertainty_array_matches_scalar(self, dataset):
+        records = dataset.public_records()
+        model = OperationalModel()
+        batch = operational_batch(fleet_frame(records), model)
+        for i, record in enumerate(records):
+            try:
+                expected = model.estimate(record).uncertainty_frac
+            except InsufficientDataError:
+                assert np.isnan(batch.uncertainty_frac[i])
+                continue
+            assert batch.uncertainty_frac[i] == expected
+
+
+class TestParallelColumnChunks:
+    def test_matches_serial(self, dataset):
+        records = dataset.public_records()
+        serial = batch_operational_mt(records)
+        parallel = parallel_batch_operational_mt(records, max_workers=2)
+        both_nan = np.isnan(serial) & np.isnan(parallel)
+        assert np.all(both_nan | (serial == parallel))
+
+    def test_single_worker(self, dataset):
+        records = dataset.public_records()[:40]
+        frame = FleetFrame.from_records(records)
+        serial = batch_operational_mt(records, frame=frame)
+        parallel = parallel_batch_operational_mt(records, frame=frame,
+                                                 max_workers=1)
+        both_nan = np.isnan(serial) & np.isnan(parallel)
+        assert np.all(both_nan | (serial == parallel))
+
+    def test_empty_fleet(self):
+        assert parallel_batch_operational_mt([], max_workers=2).size == 0
 
 
 class TestSpeed:

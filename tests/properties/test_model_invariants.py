@@ -8,6 +8,7 @@ cheap predicate and the real models under arbitrary field masking.
 
 import dataclasses
 
+import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
@@ -15,6 +16,12 @@ from repro.core.easyc import EasyC
 from repro.core.embodied import EmbodiedModel
 from repro.core.operational import OperationalModel
 from repro.core.record import SystemRecord
+from repro.core.vectorized import (
+    FleetFrame,
+    batch_embodied_mt,
+    batch_operational_mt,
+)
+from repro.errors import InsufficientDataError
 from repro.hardware.memory import MemoryType
 
 op_model = OperationalModel()
@@ -131,6 +138,80 @@ class TestEmbodiedInvariants:
             _component_record(500), memory_gb=500 * 512.0,
             memory_type=mem_type)
         assert emb_model.estimate(record).value_mt > 0
+
+
+class TestVectorizedEngineEquivalence:
+    """The scalar models are the semantic reference; the columnar
+    FleetFrame engine must match them record-for-record — values,
+    coverage, and full assessment metadata — on every scenario view
+    and on arbitrarily degraded records."""
+
+    @staticmethod
+    def _scalar_values(records, estimate):
+        out = np.full(len(records), np.nan)
+        for i, record in enumerate(records):
+            try:
+                out[i] = estimate(record).value_mt
+            except InsufficientDataError:
+                pass
+        return out
+
+    @staticmethod
+    def _assert_same(batch, reference):
+        both_nan = np.isnan(batch) & np.isnan(reference)
+        assert np.all(both_nan | (batch == reference)), \
+            np.flatnonzero(~(both_nan | (batch == reference)))
+
+    @pytest.mark.parametrize("scenario", ["baseline", "public", "true"])
+    def test_batch_embodied_matches_scalar(self, dataset, scenario):
+        records = getattr(dataset, f"{scenario}_records")()
+        batch = batch_embodied_mt(records, emb_model)
+        self._assert_same(batch,
+                          self._scalar_values(records, emb_model.estimate))
+
+    @pytest.mark.parametrize("scenario", ["baseline", "public", "true"])
+    def test_batch_operational_matches_scalar(self, dataset, scenario):
+        records = getattr(dataset, f"{scenario}_records")()
+        batch = batch_operational_mt(records, op_model)
+        self._assert_same(batch,
+                          self._scalar_values(records, op_model.estimate))
+
+    @pytest.mark.parametrize("scenario", ["baseline", "public"])
+    def test_assess_fleet_engines_identical(self, dataset, scenario):
+        """engine='vectorized' produces assessments *equal* to
+        engine='scalar' — estimate values, methods, breakdowns, audit
+        assumptions and uncertainty bands included."""
+        records = getattr(dataset, f"{scenario}_records")()
+        vectorized = easyc.assess_fleet(records, engine="vectorized")
+        scalar = easyc.assess_fleet(records, engine="scalar")
+        assert vectorized == scalar
+
+    def test_unknown_engine_rejected(self, dataset):
+        with pytest.raises(ValueError):
+            easyc.assess_fleet(dataset.baseline_records()[:3],
+                               engine="quantum")
+
+    @given(st.lists(record_strategy(), min_size=1, max_size=12))
+    @settings(max_examples=60, deadline=None)
+    def test_degraded_fleet_engines_identical(self, records):
+        """Hypothesis sweep: any random masking pattern produces
+        identical assessments through both engines (frame built fresh —
+        records from the strategy are not cached views)."""
+        frame = FleetFrame.from_records(records)
+        vectorized = easyc.assess_fleet(records, frame=frame)
+        scalar = easyc.assess_fleet(records, engine="scalar")
+        assert vectorized == scalar
+
+    @given(st.lists(record_strategy(), min_size=1, max_size=12))
+    @settings(max_examples=40, deadline=None)
+    def test_degraded_fleet_batch_values(self, records):
+        frame = FleetFrame.from_records(records)
+        self._assert_same(
+            batch_operational_mt(records, op_model, frame=frame),
+            self._scalar_values(records, op_model.estimate))
+        self._assert_same(
+            batch_embodied_mt(records, emb_model, frame=frame),
+            self._scalar_values(records, emb_model.estimate))
 
 
 def _power_record(power_kw, country="United States", utilization=None):
