@@ -2,17 +2,17 @@
 
 The embodied model's per-GB and per-cm² constants are mid-range
 literature values (DESIGN.md §4); this bench sweeps each factor family
-±50 % on a fixed reference machine and reports which ones actually move
-the answer.  It documents the paper's closing caution quantitatively:
-for storage-heavy systems the SSD factor dominates everything else.
+±50 % on a fixed reference machine — as declarative
+:mod:`repro.scenarios` specs (factor-scale and fab-yield overrides)
+through the 2-D kernel — and reports which ones actually move the
+answer.  It documents the paper's closing caution quantitatively: for
+storage-heavy systems the SSD factor dominates everything else.
 """
 
-from repro.core.embodied import EmbodiedModel
+from repro import scenarios
 from repro.core.record import SystemRecord
-from repro.core.vectorized import batch_embodied_mt, fleet_frame
-from repro.hardware.catalog import HardwareCatalog
-from repro.hardware.memory import MEMORY_SPECS, MemorySpec
-from repro.hardware.storage import STORAGE_SPECS, StorageClass, StorageSpec
+from repro.core.vectorized import fleet_frame
+
 from repro.reporting.tables import render_table
 
 
@@ -25,41 +25,27 @@ def _frontier_like() -> SystemRecord:
         memory_gb=9_408 * 512.0, ssd_gb=716e6)
 
 
-def _scaled_catalog(memory_scale: float = 1.0,
-                    storage_scale: float = 1.0) -> HardwareCatalog:
-    memory = {
-        mt: MemorySpec(mt, spec.embodied_kg_per_gb * memory_scale,
-                       spec.power_w_per_gb)
-        for mt, spec in MEMORY_SPECS.items()}
-    storage = {
-        sc: StorageSpec(sc, spec.embodied_kg_per_gb * storage_scale,
-                        spec.power_w_per_tb)
-        for sc, spec in STORAGE_SPECS.items()}
-    return HardwareCatalog(memory=memory, storage=storage)
+SPECS = (
+    scenarios.baseline_spec(),
+    scenarios.ScenarioSpec(name="memory -50%", memory_factor_scale=0.5),
+    scenarios.ScenarioSpec(name="memory +50%", memory_factor_scale=1.5),
+    scenarios.ScenarioSpec(name="storage -50%", storage_factor_scale=0.5),
+    scenarios.ScenarioSpec(name="storage +50%", storage_factor_scale=1.5),
+    scenarios.ScenarioSpec(name="yield 0.60", fab_yield=0.60),
+    scenarios.ScenarioSpec(name="yield 0.95", fab_yield=0.95),
+)
 
 
 def test_ablation_embodied_factors(benchmark, save_artifact):
-    record = _frontier_like()
-    fleet = [record]
+    fleet = [_frontier_like()]
     frame = fleet_frame(fleet)        # one extraction for the whole sweep
 
     def sweep():
-        results = {}
-        for label, mem_scale, sto_scale, yield_ in (
-                ("baseline", 1.0, 1.0, 0.875),
-                ("memory -50%", 0.5, 1.0, 0.875),
-                ("memory +50%", 1.5, 1.0, 0.875),
-                ("storage -50%", 1.0, 0.5, 0.875),
-                ("storage +50%", 1.0, 1.5, 0.875),
-                ("yield 0.60", 1.0, 1.0, 0.60),
-                ("yield 0.95", 1.0, 1.0, 0.95)):
-            model = EmbodiedModel(catalog=_scaled_catalog(mem_scale, sto_scale),
-                                  fab_yield=yield_)
-            results[label] = float(
-                batch_embodied_mt(fleet, model, frame=frame)[0])
-        return results
+        return scenarios.sweep(fleet, SPECS, frame=frame)
 
-    results = benchmark(sweep)
+    cube = benchmark(sweep)
+    results = {spec.name: float(cube.embodied_mt[i, 0])
+               for i, spec in enumerate(SPECS)}
     base = results["baseline"]
 
     # Storage factor dominates this machine: ±50% on SSD moves the

@@ -3,41 +3,53 @@
 The paper keeps coverage by approximating novel accelerators with
 mainstream GPUs, accepting a documented silicon underestimate.  The
 alternative — abstaining — trades that bias for lost coverage.  This
-bench quantifies both sides on the synthetic list.
+bench runs both policies as one :mod:`repro.scenarios` sweep (the
+strict policy is just a catalog-override spec) and quantifies both
+sides on the synthetic list via the cube's coverage masks.
 """
 
-from repro.core.easyc import EasyC
-from repro.core.embodied import EmbodiedModel
-from repro.core.operational import OperationalModel
-from repro.coverage.analyzer import coverage_of
+from repro import scenarios
+from repro.core.vectorized import fleet_frame
 from repro.hardware.catalog import DEFAULT_CATALOG, UnknownDevicePolicy
 from repro.reporting.tables import render_table
+
+SPECS = (
+    scenarios.baseline_spec(),
+    scenarios.ScenarioSpec(
+        name="strict",
+        catalog=DEFAULT_CATALOG.with_policy(UnknownDevicePolicy.STRICT)),
+)
 
 
 def test_ablation_unknown_accelerator_policy(benchmark, study, save_artifact):
     public = list(study.public_records)
-    strict_catalog = DEFAULT_CATALOG.with_policy(UnknownDevicePolicy.STRICT)
-    strict = EasyC(operational_model=OperationalModel(catalog=strict_catalog),
-                   embodied_model=EmbodiedModel(catalog=strict_catalog))
+    frame = fleet_frame(public)
 
     def compute():
-        return coverage_of(public, "strict", strict)
+        return scenarios.sweep(public, SPECS, frame=frame)
 
-    strict_cov = benchmark(compute)
-    proxy_cov = study.public_coverage
+    cube = benchmark(compute)
 
     # The proxy policy never covers fewer systems than strict.
-    assert proxy_cov.embodied.n_covered >= strict_cov.embodied.n_covered
-    assert proxy_cov.operational.n_covered >= strict_cov.operational.n_covered
+    assert cube.n_covered("baseline", "embodied") >= \
+        cube.n_covered("strict", "embodied")
+    assert cube.n_covered("baseline", "operational") >= \
+        cube.n_covered("strict", "operational")
+    # Sanity against the study's own coverage accounting.
+    assert cube.n_covered("baseline", "embodied") == \
+        study.public_coverage.embodied.n_covered
+    assert cube.n_covered("baseline", "operational") == \
+        study.public_coverage.operational.n_covered
 
     # With the synthetic catalog every *named* accelerator resolves, so
     # strict loses nothing here — the bench documents that equivalence,
     # and the unit suite (`TestProxyBehaviour`) exercises the
     # divergence with truly novel device names.
     rows = [
-        ("embodied", proxy_cov.embodied.n_covered, strict_cov.embodied.n_covered),
-        ("operational", proxy_cov.operational.n_covered,
-         strict_cov.operational.n_covered),
+        ("embodied", cube.n_covered("baseline", "embodied"),
+         cube.n_covered("strict", "embodied")),
+        ("operational", cube.n_covered("baseline", "operational"),
+         cube.n_covered("strict", "operational")),
     ]
     save_artifact("ablation_proxy.txt", render_table(
         ("Footprint", "# covered (proxy)", "# covered (strict)"), rows,

@@ -2,41 +2,40 @@
 
 Systems without a measured power column get their energy rebuilt from
 components times an assumed utilization.  This bench sweeps the
-assumption and reports how much of the fleet total rides on it —
+assumption — as a declarative :mod:`repro.scenarios` axis through the
+2-D kernel — and reports how much of the fleet total rides on it,
 quantifying the value of the paper's optional 'system utilization'
 metric.
 """
 
-import numpy as np
-
-from repro.core.operational import OperationalModel
-from repro.core.vectorized import batch_operational_mt, fleet_frame
+from repro import scenarios
+from repro.core.vectorized import fleet_frame
 from repro.reporting.tables import render_table
+
+UTILIZATIONS = (0.5, 0.65, 0.8, 0.95)
 
 
 def test_ablation_component_utilization(benchmark, study, save_artifact):
     public = list(study.public_records)
     frame = fleet_frame(public)       # extracted once, swept many times
+    specs = scenarios.utilization_axis(UTILIZATIONS)
 
     def sweep():
-        totals = {}
-        for util in (0.5, 0.65, 0.8, 0.95):
-            model = OperationalModel(component_utilization=util)
-            values = batch_operational_mt(public, model, frame=frame)
-            totals[util] = float(np.nansum(values))
-        return totals
+        return scenarios.sweep(public, specs, frame=frame)
 
-    totals = benchmark(sweep)
+    cube = benchmark(sweep)
+    totals = dict(zip(UTILIZATIONS, cube.totals("operational")))
 
     # Monotone in the assumption, and the sweep must move the total by
     # a visible but bounded amount (most systems use measured power,
     # which the assumption does not touch).
-    values = [totals[u] for u in sorted(totals)]
+    values = [float(totals[u]) for u in sorted(totals)]
     assert values == sorted(values)
     swing = (values[-1] - values[0]) / values[0]
     assert 0.005 < swing < 0.5
 
-    rows = [(u, round(t / 1e3, 1)) for u, t in sorted(totals.items())]
+    rows = [(f"{u:g}", round(float(t) / 1e3, 1))
+            for u, t in sorted(totals.items())]
     save_artifact("ablation_utilization.txt", render_table(
         ("Utilization", "Operational total (kMT)"), rows,
         title="Ablation: component-path utilization assumption"))

@@ -1,0 +1,88 @@
+"""Fail CI when the throughput baseline regresses.
+
+Compares a freshly measured ``BENCH_throughput.json`` against the
+committed baseline.  Raw wall-clock differs across runner hardware, so
+the gate uses the *machine-normalized* metrics — speedup ratios
+measured within one process on one machine:
+
+* ``speedup_vs_scalar_engine`` — the vectorized study against the
+  scalar reference engine;
+* ``scenario_sweep.speedup_vs_batch_loop`` — the 2-D sweep kernel
+  against the per-scenario batch loop it replaced.
+
+A metric fails when it drops more than ``--max-regression`` (default
+20 %) below the committed value.  Metrics absent from the committed
+baseline are reported but never fail (so new metrics can land in the
+same PR that introduces them).
+
+Usage::
+
+    python benchmarks/check_throughput_regression.py \
+        baseline.json results/BENCH_throughput.json [--max-regression 0.20]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def _metric(data: dict, dotted: str) -> float | None:
+    node = data
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return float(node) if isinstance(node, (int, float)) else None
+
+
+METRICS = (
+    "speedup_vs_scalar_engine",
+    "scenario_sweep.speedup_vs_batch_loop",
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed BENCH_throughput.json")
+    parser.add_argument("current", help="freshly measured BENCH_throughput.json")
+    parser.add_argument("--max-regression", type=float, default=0.20,
+                        help="tolerated fractional drop (default 0.20)")
+    args = parser.parse_args(argv)
+
+    with open(args.baseline, encoding="utf-8") as fh:
+        baseline = json.load(fh)
+    with open(args.current, encoding="utf-8") as fh:
+        current = json.load(fh)
+
+    failures = []
+    for name in METRICS:
+        base = _metric(baseline, name)
+        new = _metric(current, name)
+        if base is None:
+            print(f"  {name}: no committed baseline (current: {new}) — skip")
+            continue
+        if new is None:
+            failures.append(f"{name}: missing from current measurement")
+            continue
+        floor = base * (1.0 - args.max_regression)
+        status = "OK" if new >= floor else "REGRESSION"
+        print(f"  {name}: baseline {base:.2f} -> current {new:.2f} "
+              f"(floor {floor:.2f}) {status}")
+        if new < floor:
+            failures.append(
+                f"{name} regressed >{args.max_regression:.0%}: "
+                f"{base:.2f} -> {new:.2f}")
+
+    if failures:
+        print("\nthroughput regression gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("throughput regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

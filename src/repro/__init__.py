@@ -21,6 +21,15 @@ Reference results (the paper's appendix Table II)::
 
     from repro.data import load_paper_table, totals_mt
     print(totals_mt()["operational_interpolated"])        # ≈1.39e6 MT
+
+Scenario sweeps (declarative what-ifs, one 2-D kernel)::
+
+    from repro import scenarios
+    cube = run_default_study().scenario_sweep(
+        scenarios.ScenarioGrid.cartesian(
+            scenarios.aci_scale_axis((1.0, 0.8)),
+            scenarios.utilization_axis((0.65, 0.95))))
+    print(cube.totals("operational"))                     # (4,) MT CO2e
 """
 
 from repro._version import __version__

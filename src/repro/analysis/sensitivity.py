@@ -1,10 +1,19 @@
-"""Sensitivity of the assessment to public information (Figure 9).
+"""Sensitivity of the assessment to scenario changes (Figure 9).
 
-Quantifies what adding public data *changes*: per-system differences
-for systems covered under both scenarios, the largest relative swing
-(the paper: ACI refinement moves operational carbon by up to ±77.5 %),
-and the total change including newly covered systems (operational
-+2.85 %, ≈38 k MT; embodied ≈+670 k MT, a 78 % change).
+Quantifies what a scenario change does to the per-system estimates:
+per-system differences for systems covered under both scenarios, the
+largest relative swing (the paper: ACI refinement moves operational
+carbon by up to ±77.5 %), and the total change including newly covered
+systems (operational +2.85 %, ≈38 k MT; embodied ≈+670 k MT, a 78 %
+change).
+
+Two kinds of scenario pairs flow through the same comparison:
+
+* *data* scenarios — Baseline vs Baseline+PublicInfo record views,
+  compared by :func:`compare_scenarios` on their series; and
+* *model* scenarios — rows of a :class:`~repro.scenarios.ScenarioCube`
+  produced by the 2-D sweep kernel, compared by
+  :func:`cube_sensitivity`.
 """
 
 from __future__ import annotations
@@ -70,3 +79,25 @@ def compare_scenarios(baseline: CarbonSeries,
         max_decrease_mt=min(decreases, default=0.0),
         max_relative_change=max_rel,
     )
+
+
+def cube_sensitivity(cube, scenario: "int | str", footprint: str,
+                     baseline: "int | str" = 0) -> SensitivityResult:
+    """Fig-9-style comparison between two scenario rows of a cube.
+
+    Extracts the two rows of a
+    :class:`~repro.scenarios.ScenarioCube` as series and runs the same
+    comparison Figure 9 applies to the data scenarios — so a model
+    what-if ("what does PUE 1.3 change?") reports exactly the same
+    statistics as the paper's public-info what-if.
+
+    Args:
+        cube: a scenario cube from :func:`repro.scenarios.sweep`.
+        scenario: the changed scenario (name or index).
+        footprint: ``"operational"``, ``"embodied"`` or
+            ``"embodied_annualized"``.
+        baseline: the reference scenario (defaults to the cube's first
+            row).
+    """
+    return compare_scenarios(cube.series(baseline, footprint),
+                             cube.series(scenario, footprint))

@@ -2,11 +2,14 @@
 
 Commands:
 
-* ``report``  — regenerate every table/figure (both paths) to stdout.
-* ``assess``  — assess one system from command-line metrics.
-* ``fleet``   — assess a built-in named fleet (access-like, doe-like,
+* ``report``    — regenerate every table/figure (both paths) to stdout.
+* ``assess``    — assess one system from command-line metrics.
+* ``fleet``     — assess a built-in named fleet (access-like, doe-like,
   eurohpc-like).
-* ``project`` — print the 2024-2030 projection table.
+* ``project``   — print the 2024-2030 projection table.
+* ``scenarios`` — declarative scenario sweep (cartesian or zipped axes
+  over ACI scale, PUE, utilization, lifetime, decarbonization years)
+  through the 2-D kernel, over the Top500 study or a built-in fleet.
 
 The CLI is a thin veneer over the library; everything it prints comes
 from the same functions the benchmarks assert against.
@@ -58,6 +61,43 @@ def build_parser() -> argparse.ArgumentParser:
                          help="annual operational growth (default 0.103)")
     project.add_argument("--emb-rate", type=float, default=0.02,
                          help="annual embodied growth (default 0.02)")
+
+    def floats(text: str) -> list[float]:
+        return [float(part) for part in text.split(",") if part]
+
+    def ints(text: str) -> list[int]:
+        return [int(part) for part in text.split(",") if part]
+
+    scen = sub.add_parser(
+        "scenarios",
+        help="sweep model scenarios through the 2-D kernel")
+    scen.add_argument("--fleet", default=None,
+                      choices=["access-like", "doe-like", "eurohpc-like"],
+                      help="sweep a built-in fleet instead of the Top500 study")
+    scen.add_argument("--aci-scale", type=floats, default=None,
+                      metavar="S1,S2,...",
+                      help="grid-intensity scale axis (1.0 = baseline)")
+    scen.add_argument("--pue", type=floats, default=None, metavar="P1,P2,...",
+                      help="measured-power PUE axis")
+    scen.add_argument("--utilization", type=floats, default=None,
+                      metavar="U1,U2,...",
+                      help="component-path utilization axis")
+    scen.add_argument("--lifetime", type=floats, default=None,
+                      metavar="Y1,Y2,...",
+                      help="hardware-lifetime axis (years; annualizes embodied)")
+    scen.add_argument("--decarbonize", type=float, default=None,
+                      metavar="RATE",
+                      help="annual grid decline rate for a year axis")
+    scen.add_argument("--years", type=ints, default=None, metavar="Y1,Y2,...",
+                      help="target years for --decarbonize")
+    scen.add_argument("--base-year", type=int, default=2024,
+                      help="trajectory base year (default 2024)")
+    scen.add_argument("--zip", action="store_true", dest="zip_axes",
+                      help="pair axes positionally instead of crossing them")
+    scen.add_argument("--footprint", default="operational",
+                      choices=["operational", "embodied",
+                               "embodied_annualized"],
+                      help="which footprint the table reports")
     return parser
 
 
@@ -133,6 +173,58 @@ def cmd_project(op_rate: float, emb_rate: float) -> int:
     return 0
 
 
+def cmd_scenarios(args: argparse.Namespace) -> int:
+    from repro import scenarios
+    from repro.grid.intensity import DecarbonizationTrajectory
+    from repro.reporting.tables import render_table
+
+    axes = []
+    if args.aci_scale:
+        axes.append(scenarios.aci_scale_axis(args.aci_scale))
+    if args.pue:
+        axes.append(scenarios.pue_axis(args.pue))
+    if args.utilization:
+        axes.append(scenarios.utilization_axis(args.utilization))
+    if args.lifetime:
+        axes.append(scenarios.lifetime_axis(args.lifetime))
+    if args.decarbonize is not None:
+        if not args.years:
+            print("--decarbonize needs --years", file=sys.stderr)
+            return 2
+        trajectory = DecarbonizationTrajectory(
+            base_year=args.base_year, annual_decline=args.decarbonize)
+        axes.append(scenarios.decarbonization_axis(trajectory, args.years))
+    elif args.years:
+        print("--years needs --decarbonize", file=sys.stderr)
+        return 2
+    if not axes:
+        # A small demonstrative grid: cleaner grid × facility overhead.
+        axes = [scenarios.aci_scale_axis((1.0, 0.8)),
+                scenarios.pue_axis((1.0, 1.2))]
+    grid = (scenarios.ScenarioGrid.zipped(*axes) if args.zip_axes
+            else scenarios.ScenarioGrid.cartesian(*axes))
+
+    if args.fleet:
+        from repro.fleets import BUILTIN_FLEETS, sweep_fleet
+        subject = f"fleet {args.fleet}"
+        cube = sweep_fleet(BUILTIN_FLEETS[args.fleet], grid)
+    else:
+        from repro.study import run_default_study
+        subject = "Top500 study (+public info)"
+        cube = run_default_study().scenario_sweep(grid)
+
+    rows = [(name, round(total / 1e3, 1), f"{covered}/{cube.n_systems}",
+             f"{delta:+.1f}%")
+            for name, total, covered, delta in cube.table_rows(args.footprint)]
+    print(render_table(
+        ("Scenario", f"{args.footprint} total (kMT)", "Covered",
+         "vs first"),
+        rows,
+        title=f"Scenario sweep: {subject} — {cube.n_scenarios} scenarios "
+              f"x {cube.n_systems} systems"))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "report":
@@ -143,6 +235,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_fleet(args.name)
     if args.command == "project":
         return cmd_project(args.op_rate, args.emb_rate)
+    if args.command == "scenarios":
+        return cmd_scenarios(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
 
 

@@ -66,6 +66,7 @@ _METHOD_UNCERTAINTY = METHOD_UNCERTAINTY
 # vectorized engine so the recorded audit trails are identical.
 
 NOTE_CPU_DEFAULT = f"CPU count defaulted to {DEFAULT_SOCKETS_PER_NODE}/node"
+NOTE_ACCEL_PROXY = "unknown accelerator approximated by mainstream GPU"
 NOTE_MEMORY_DEFAULT = (f"memory capacity defaulted to "
                        f"{DEFAULT_MEMORY_GB_PER_NODE:.0f} GB/node")
 NOTE_SSD_DEFAULT = (f"SSD capacity defaulted to "
@@ -200,7 +201,7 @@ class OperationalModel:
         if record.has_accelerator:
             gpu_spec = self.catalog.gpu(record.accelerator or "unknown")
             if record.accelerator is None or not self.catalog.knows_gpu(record.accelerator):
-                assumptions.append("unknown accelerator approximated by mainstream GPU")
+                assumptions.append(NOTE_ACCEL_PROXY)
             power_w += (record.n_gpus or 0) * gpu_spec.tdp_w
 
         memory_gb = record.memory_gb
@@ -222,24 +223,58 @@ class OperationalModel:
         return units.w_to_kw(power_w), tuple(assumptions)
 
 
-def resolve_cpu_count(record: SystemRecord) -> tuple[int, str | None]:
-    """Best-available CPU package count for a record.
+#: Structured CPU-count provenance (returned by
+#: :func:`resolve_cpu_count_detail`; the vectorized frame encodes these
+#: codes directly in its columns).
+CPU_COUNT_EXPLICIT = 0
+CPU_COUNT_FROM_CORES = 1
+CPU_COUNT_FROM_NODES = 2
 
-    Resolution order: explicit ``n_cpus`` → ``total_cores`` divided by
-    the catalog core count of the named processor → ``n_nodes`` ×
-    default sockets.  Returns the count and an assumption note (or
-    ``None`` when the count was explicit).
+
+def resolve_cpu_count_detail(record: SystemRecord) -> tuple[int, int, int]:
+    """Best-available CPU package count with structured provenance.
+
+    The single home of the derivation rule (resolution order: explicit
+    ``n_cpus`` → ``total_cores`` divided by the catalog core count of
+    the named processor → ``n_nodes`` × default sockets) — the scalar
+    models consume it through :func:`resolve_cpu_count` and the
+    vectorized frame extraction consumes it directly, so the two paths
+    cannot drift.
+
+    Returns:
+        ``(count, provenance, catalog_cores)`` where ``provenance`` is
+        one of the ``CPU_COUNT_*`` codes and ``catalog_cores`` is the
+        per-package core count the derivation divided by (0 unless
+        ``provenance == CPU_COUNT_FROM_CORES``).
+
+    Raises:
+        InsufficientDataError: when no resolution rule applies.
     """
     if record.n_cpus is not None:
-        return record.n_cpus, None
+        return record.n_cpus, CPU_COUNT_EXPLICIT, 0
     if record.total_cores is not None and record.processor is not None:
         from repro.hardware.cpus import lookup_cpu  # local: avoids cycle at import
         spec = lookup_cpu(record.processor)
         cpu_cores = record.cpu_cores if record.cpu_cores else record.total_cores
         count = max(round(cpu_cores / spec.cores), 1)
-        return count, cpu_derived_note(spec.cores)
+        return count, CPU_COUNT_FROM_CORES, spec.cores
     if record.n_nodes is not None:
-        count = record.n_nodes * DEFAULT_SOCKETS_PER_NODE
-        return count, NOTE_CPU_DEFAULT
+        return (record.n_nodes * DEFAULT_SOCKETS_PER_NODE,
+                CPU_COUNT_FROM_NODES, 0)
     raise InsufficientDataError(("n_cpus", "total_cores", "n_nodes"),
                                 "no way to count CPU packages")
+
+
+def resolve_cpu_count(record: SystemRecord) -> tuple[int, str | None]:
+    """Best-available CPU package count for a record.
+
+    Returns the count and an assumption note (or ``None`` when the
+    count was explicit).  See :func:`resolve_cpu_count_detail` for the
+    derivation rule itself.
+    """
+    count, provenance, cores = resolve_cpu_count_detail(record)
+    if provenance == CPU_COUNT_FROM_CORES:
+        return count, cpu_derived_note(cores)
+    if provenance == CPU_COUNT_FROM_NODES:
+        return count, NOTE_CPU_DEFAULT
+    return count, None

@@ -70,7 +70,10 @@ __all__ = [
     "fleet_to_arrays",
     "batch_operational_mt",
     "batch_embodied_mt",
+    "operational_batch",
+    "embodied_batch",
     "parallel_batch_operational_mt",
+    "parallel_batch_embodied_mt",
     "assess_fleet_frame",
     "fleet_total_mt",
 ]
@@ -82,10 +85,11 @@ _OP_ENERGY = 1          # reported-energy path (vectorized)
 _OP_POWER = 2           # measured-power path (vectorized)
 _OP_COMPONENT = 3       # component rebuild: scalar fallback
 
-# CPU-count provenance codes (FleetFrame.cpu_count_src).
-_CPU_EXPLICIT = 0
-_CPU_FROM_CORES = 1
-_CPU_FROM_NODES = 2
+# CPU-count provenance codes (FleetFrame.cpu_count_src /
+# comp_cpu_src), shared with resolve_cpu_count_detail.
+_CPU_EXPLICIT = op_mod.CPU_COUNT_EXPLICIT
+_CPU_FROM_CORES = op_mod.CPU_COUNT_FROM_CORES
+_CPU_FROM_NODES = op_mod.CPU_COUNT_FROM_NODES
 
 
 @dataclass(frozen=True)
@@ -132,6 +136,29 @@ class FleetFrame:
     ssd_gb: np.ndarray                 # (n,) float64 (resolved capacity)
     ssd_defaulted: np.ndarray          # (n,) bool
 
+    # -- operational component-path columns ---------------------------------
+    # Only populated where op_path == _OP_COMPONENT.  The resolution
+    # rules differ from the embodied ones (the component-power path
+    # demands an explicit node count and CPU identity, derives nothing,
+    # and tolerates unnamed accelerators via the mainstream proxy), so
+    # the columns are kept separate.
+    comp_covered: np.ndarray           # (n,) bool: component rebuild possible
+    comp_needs_scalar: np.ndarray      # (n,) bool: delegate to scalar model
+    comp_n_cpus: np.ndarray            # (n,) float64 (resolved count)
+    comp_cpu_src: np.ndarray           # (n,) int8, _CPU_* codes
+    comp_cpu_code: np.ndarray          # (n,) int64 into `processors`, -1 = None
+    comp_cpu_cores: np.ndarray         # (n,) int64 catalog cores used to derive
+    comp_accel: np.ndarray             # (n,) bool (accelerated system)
+    comp_n_gpus: np.ndarray            # (n,) float64 (0 when CPU-only)
+    comp_gpu_code: np.ndarray          # (n,) int64 into `accelerators`, -1 = unnamed
+    comp_n_nodes: np.ndarray           # (n,) float64 (explicit node count)
+    comp_memory_gb: np.ndarray         # (n,) float64 (resolved capacity)
+    comp_memory_defaulted: np.ndarray  # (n,) bool
+    comp_mem_code: np.ndarray          # (n,) int64 into `memory_types`, -1 = None
+    comp_ssd_gb: np.ndarray            # (n,) float64 (resolved capacity)
+    comp_ssd_defaulted: np.ndarray     # (n,) bool
+    cooling_code: np.ndarray           # (n,) int8: 0 generic, 1 liquid, 2 air
+
     @property
     def n(self) -> int:
         return len(self.records)
@@ -169,6 +196,23 @@ class FleetFrame:
         ssd_gb = np.zeros(n)
         ssd_defaulted = np.zeros(n, dtype=bool)
 
+        comp_covered = np.zeros(n, dtype=bool)
+        comp_needs_scalar = np.zeros(n, dtype=bool)
+        comp_n_cpus = np.zeros(n)
+        comp_cpu_src = np.zeros(n, dtype=np.int8)
+        comp_cpu_code = np.full(n, -1, dtype=np.int64)
+        comp_cpu_cores = np.zeros(n, dtype=np.int64)
+        comp_accel = np.zeros(n, dtype=bool)
+        comp_n_gpus = np.zeros(n)
+        comp_gpu_code = np.full(n, -1, dtype=np.int64)
+        comp_n_nodes = np.zeros(n)
+        comp_memory_gb = np.zeros(n)
+        comp_memory_defaulted = np.zeros(n, dtype=bool)
+        comp_mem_code = np.full(n, -1, dtype=np.int64)
+        comp_ssd_gb = np.zeros(n)
+        comp_ssd_defaulted = np.zeros(n, dtype=bool)
+        cooling_code = np.zeros(n, dtype=np.int8)
+
         locations: dict[tuple[str, str | None], int] = {}
         processors: dict[str, int] = {}
         accelerators: dict[str, int] = {}
@@ -195,6 +239,19 @@ class FleetFrame:
                 power[i] = record.power_kw
             else:
                 op_path[i] = _OP_COMPONENT
+                try:
+                    cls._extract_component(
+                        record, i, comp_covered, comp_needs_scalar,
+                        comp_n_cpus, comp_cpu_src, comp_cpu_code,
+                        comp_cpu_cores, comp_accel, comp_n_gpus,
+                        comp_gpu_code, comp_n_nodes, comp_memory_gb,
+                        comp_memory_defaulted, comp_mem_code, comp_ssd_gb,
+                        comp_ssd_defaulted, cooling_code, processors,
+                        accelerators, memory_types)
+                except Exception:
+                    # Anything surprising: preserve scalar semantics.
+                    comp_covered[i] = False
+                    comp_needs_scalar[i] = True
             if record.utilization is not None:
                 util[i] = record.utilization
 
@@ -227,6 +284,15 @@ class FleetFrame:
             memtype_noted=memtype_noted, mem_code=mem_code,
             memory_types=tuple(memory_types),
             ssd_gb=ssd_gb, ssd_defaulted=ssd_defaulted,
+            comp_covered=comp_covered, comp_needs_scalar=comp_needs_scalar,
+            comp_n_cpus=comp_n_cpus, comp_cpu_src=comp_cpu_src,
+            comp_cpu_code=comp_cpu_code, comp_cpu_cores=comp_cpu_cores,
+            comp_accel=comp_accel, comp_n_gpus=comp_n_gpus,
+            comp_gpu_code=comp_gpu_code, comp_n_nodes=comp_n_nodes,
+            comp_memory_gb=comp_memory_gb,
+            comp_memory_defaulted=comp_memory_defaulted,
+            comp_mem_code=comp_mem_code, comp_ssd_gb=comp_ssd_gb,
+            comp_ssd_defaulted=comp_ssd_defaulted, cooling_code=cooling_code,
         )
 
     @staticmethod
@@ -238,21 +304,11 @@ class FleetFrame:
                           processors, accelerators, memory_types) -> None:
         """Resolve one record's embodied-model inputs (mirrors the
         scalar model's resolution order; see EmbodiedModel.estimate)."""
-        # CPU count (resolve_cpu_count semantics, inlined for provenance).
-        if record.n_cpus is not None:
-            count, src = record.n_cpus, _CPU_EXPLICIT
-        elif record.total_cores is not None and record.processor is not None:
-            from repro.hardware.cpus import lookup_cpu
-            spec = lookup_cpu(record.processor)
-            cpu_cores = record.cpu_cores if record.cpu_cores else record.total_cores
-            count = max(round(cpu_cores / spec.cores), 1)
-            src = _CPU_FROM_CORES
-            cpu_derived_cores[i] = spec.cores
-        elif record.n_nodes is not None:
-            count = record.n_nodes * op_mod.DEFAULT_SOCKETS_PER_NODE
-            src = _CPU_FROM_NODES
-        else:
+        try:
+            count, src, cores = op_mod.resolve_cpu_count_detail(record)
+        except InsufficientDataError:
             return                       # uncovered: no way to count CPUs
+        cpu_derived_cores[i] = cores
         cpu_resolved[i] = True
         if count < 0:
             emb_needs_scalar[i] = True
@@ -319,6 +375,83 @@ class FleetFrame:
         ssd_gb[i] = ssd
         emb_covered[i] = True
 
+    @staticmethod
+    def _extract_component(record, i, comp_covered, comp_needs_scalar,
+                           comp_n_cpus, comp_cpu_src, comp_cpu_code,
+                           comp_cpu_cores, comp_accel, comp_n_gpus,
+                           comp_gpu_code, comp_n_nodes, comp_memory_gb,
+                           comp_memory_defaulted, comp_mem_code, comp_ssd_gb,
+                           comp_ssd_defaulted, cooling_code, processors,
+                           accelerators, memory_types) -> None:
+        """Resolve one record's component-power inputs (mirrors the
+        scalar model's resolution order; see
+        ``OperationalModel._component_power_kw``)."""
+        if record.cooling == "liquid":
+            cooling_code[i] = 1
+        elif record.cooling == "air":
+            cooling_code[i] = 2
+
+        nodes = record.n_nodes
+        if nodes is None:
+            return                       # uncovered: needs node count
+        if record.processor is None and record.n_cpus is None:
+            return                       # uncovered: needs CPU info
+        accelerated = record.has_accelerator
+        if accelerated and record.n_gpus is None:
+            return                       # uncovered: accelerated w/o GPU count
+
+        # CPU count (n_nodes is present, so resolution cannot fail for
+        # data reasons).
+        count, src, cores = op_mod.resolve_cpu_count_detail(record)
+        comp_cpu_cores[i] = cores
+
+        n_gpus = record.n_gpus if accelerated else 0
+        if count < 0 or nodes < 0 or n_gpus < 0:
+            comp_needs_scalar[i] = True
+            return
+
+        if record.processor is not None:
+            code = processors.get(record.processor)
+            if code is None:
+                code = processors[record.processor] = len(processors)
+            comp_cpu_code[i] = code
+        if accelerated:
+            comp_accel[i] = True
+            comp_n_gpus[i] = n_gpus
+            if record.accelerator is not None:
+                code = accelerators.get(record.accelerator)
+                if code is None:
+                    code = accelerators[record.accelerator] = len(accelerators)
+                comp_gpu_code[i] = code
+
+        memory = record.memory_gb
+        if memory is None:
+            memory = nodes * op_mod.DEFAULT_MEMORY_GB_PER_NODE
+            comp_memory_defaulted[i] = True
+        elif memory < 0:
+            comp_needs_scalar[i] = True
+            return
+        if record.memory_type is not None:
+            code = memory_types.get(record.memory_type)
+            if code is None:
+                code = memory_types[record.memory_type] = len(memory_types)
+            comp_mem_code[i] = code
+
+        ssd = record.ssd_gb
+        if ssd is None:
+            ssd = nodes * op_mod.DEFAULT_SSD_GB_PER_NODE
+            comp_ssd_defaulted[i] = True
+        elif ssd < 0:
+            comp_needs_scalar[i] = True
+            return
+
+        comp_n_cpus[i] = count
+        comp_cpu_src[i] = src
+        comp_n_nodes[i] = nodes
+        comp_memory_gb[i] = memory
+        comp_ssd_gb[i] = ssd
+        comp_covered[i] = True
+
     # -- derived views ------------------------------------------------------
 
     def aci(self, grid: GridIntensityDB) -> np.ndarray:
@@ -345,7 +478,13 @@ class FleetFrame:
                          "cpu_derived_cores", "n_gpus", "gpu_code", "n_nodes",
                          "nodes_derived", "memory_gb", "memory_defaulted",
                          "memtype_noted", "mem_code", "ssd_gb",
-                         "ssd_defaulted")
+                         "ssd_defaulted",
+                         "comp_covered", "comp_needs_scalar", "comp_n_cpus",
+                         "comp_cpu_src", "comp_cpu_code", "comp_cpu_cores",
+                         "comp_accel", "comp_n_gpus", "comp_gpu_code",
+                         "comp_n_nodes", "comp_memory_gb",
+                         "comp_memory_defaulted", "comp_mem_code",
+                         "comp_ssd_gb", "comp_ssd_defaulted", "cooling_code")
         }
         return replace(self, records=self.records[start:stop],
                        names=self.names[start:stop], **sliced)
@@ -426,6 +565,126 @@ def fleet_to_arrays(records: list[SystemRecord],
 
 
 @dataclass(frozen=True)
+class _ComponentFactors:
+    """Per-unique-device power factors for one (frame, model) pair."""
+
+    cpu_tdp_w: np.ndarray        # per processor code (last slot: generic)
+    cpu_failed: np.ndarray       # bool: catalog lookup raised (strict policy)
+    gpu_tdp_w: np.ndarray        # per accelerator code (last slot: unnamed)
+    gpu_known: np.ndarray        # bool per accelerator code
+    gpu_failed: np.ndarray
+    mem_power_w_per_gb: np.ndarray  # per memory-type code (last slot: default)
+    storage_power_w_per_tb: float
+    idle_node_w: float
+    power_overhead_frac: float
+    pue_by_cooling: np.ndarray   # (3,) generic / liquid / air
+
+
+def _resolve_component_factors(frame: FleetFrame,
+                               model: OperationalModel) -> _ComponentFactors:
+    catalog = model.catalog
+    n_cpu = len(frame.processors)
+    cpu_tdp = np.full(n_cpu + 1, np.nan)
+    cpu_failed = np.zeros(n_cpu + 1, dtype=bool)
+    for code, name in enumerate((*frame.processors, "generic")):
+        try:
+            cpu_tdp[code] = catalog.cpu(name).tdp_w
+        except Exception:
+            cpu_failed[code] = True
+
+    n_gpu = len(frame.accelerators)
+    gpu_tdp = np.full(n_gpu + 1, np.nan)
+    gpu_known = np.zeros(n_gpu + 1, dtype=bool)
+    gpu_failed = np.zeros(n_gpu + 1, dtype=bool)
+    for code, name in enumerate((*frame.accelerators, "unknown")):
+        try:
+            gpu_tdp[code] = catalog.gpu(name).tdp_w
+            gpu_known[code] = catalog.knows_gpu(name)
+        except Exception:
+            gpu_failed[code] = True
+
+    mem = np.empty(len(frame.memory_types) + 1)
+    for code, mem_type in enumerate(frame.memory_types):
+        mem[code] = catalog.memory_spec(mem_type).power_w_per_gb
+    mem[-1] = catalog.memory_spec(None).power_w_per_gb
+
+    pue = model.pue
+    return _ComponentFactors(
+        cpu_tdp_w=cpu_tdp, cpu_failed=cpu_failed,
+        gpu_tdp_w=gpu_tdp, gpu_known=gpu_known, gpu_failed=gpu_failed,
+        mem_power_w_per_gb=mem,
+        storage_power_w_per_tb=catalog.storage_spec().power_w_per_tb,
+        idle_node_w=catalog.node_overheads.idle_node_w,
+        power_overhead_frac=catalog.node_overheads.power_overhead_frac,
+        pue_by_cooling=np.array([pue.for_component_power(None),
+                                 pue.for_component_power("liquid"),
+                                 pue.for_component_power("air")]),
+    )
+
+
+def _component_power_kw_array(frame: FleetFrame,
+                              factors: _ComponentFactors) -> np.ndarray:
+    """Component-rebuilt IT power (kW) per record, mirroring
+    ``OperationalModel._component_power_kw``'s float-op order exactly
+    (left-folded sums, idle floor, then the overhead multiplier).
+
+    Values are only meaningful where the frame's component columns are
+    populated; callers mask by their coverage/fallback partition.
+    """
+    cpu_idx = np.where(frame.comp_cpu_code >= 0, frame.comp_cpu_code,
+                       len(frame.processors))
+    power_w = frame.comp_n_cpus * factors.cpu_tdp_w[cpu_idx]
+    accel = frame.comp_accel
+    if accel.any():
+        gpu_idx = np.where(frame.comp_gpu_code >= 0, frame.comp_gpu_code,
+                           len(frame.accelerators))
+        gpu_w = np.zeros(frame.n)
+        gpu_w[accel] = frame.comp_n_gpus[accel] * \
+            factors.gpu_tdp_w[gpu_idx[accel]]
+        power_w = power_w + gpu_w
+    mem_idx = np.where(frame.comp_mem_code >= 0, frame.comp_mem_code,
+                       len(frame.memory_types))
+    power_w = power_w + frame.comp_memory_gb * \
+        factors.mem_power_w_per_gb[mem_idx]
+    power_w = power_w + (frame.comp_ssd_gb / 1e3) * \
+        factors.storage_power_w_per_tb
+    power_w = np.maximum(power_w, frame.comp_n_nodes * factors.idle_node_w)
+    power_w = power_w * (1.0 + factors.power_overhead_frac)
+    return power_w / 1e3
+
+
+def _component_partition(frame: FleetFrame, model: OperationalModel,
+                         factors: _ComponentFactors,
+                         ) -> tuple[np.ndarray, np.ndarray]:
+    """(array_ok, needs_scalar) masks for the component-power path.
+
+    A component record is array-evaluable when its extraction covered
+    it, every device factor resolved under this model's catalog policy,
+    and the utilization it would use is in the domain the scalar model
+    accepts.  Everything else that the scalar model would *evaluate or
+    raise on* (rather than declare uncovered) goes to the fallback.
+    """
+    is_comp = frame.op_path == _OP_COMPONENT
+    cpu_idx = np.where(frame.comp_cpu_code >= 0, frame.comp_cpu_code,
+                       len(frame.processors))
+    gpu_idx = np.where(frame.comp_gpu_code >= 0, frame.comp_gpu_code,
+                       len(frame.accelerators))
+    factor_failed = factors.cpu_failed[cpu_idx] | \
+        (frame.comp_accel & factors.gpu_failed[gpu_idx])
+    # units.annual_energy_kwh rejects utilization outside [0, 1.5]; a
+    # model configured that way raises in the scalar path, so records
+    # that would consume the default must take the fallback.
+    if 0.0 <= model.component_utilization <= 1.5:
+        util_ok = np.ones(frame.n, dtype=bool)
+    else:
+        util_ok = ~np.isnan(frame.utilization)
+    array_ok = is_comp & frame.comp_covered & ~factor_failed & util_ok
+    needs_scalar = is_comp & (frame.comp_needs_scalar |
+                              (frame.comp_covered & ~array_ok))
+    return array_ok, needs_scalar
+
+
+@dataclass(frozen=True)
 class OperationalBatch:
     """Array results of one operational evaluation over a frame."""
 
@@ -437,6 +696,9 @@ class OperationalBatch:
     #: keyed by record index — reused when assessments are materialized
     #: so no record is estimated twice.
     scalar_estimates: dict[int, CarbonEstimate | None]
+    #: per-unique-device power factors when the frame has component-path
+    #: records (None otherwise) — reused to materialize assessments.
+    comp_factors: _ComponentFactors | None = None
 
 
 def _operational_kernel(power: np.ndarray, energy: np.ndarray,
@@ -500,7 +762,14 @@ def operational_batch(frame: FleetFrame,
     """
     model = model or OperationalModel()
     aci = frame.aci(model.grid)
-    needs_scalar = frame.op_path == _OP_COMPONENT
+    is_comp = frame.op_path == _OP_COMPONENT
+    comp_factors = None
+    comp_array = np.zeros(frame.n, dtype=bool)
+    needs_scalar = np.zeros(frame.n, dtype=bool)
+    if is_comp.any():
+        comp_factors = _resolve_component_factors(frame, model)
+        comp_array, needs_scalar = _component_partition(frame, model,
+                                                        comp_factors)
     scalar_idx = np.flatnonzero(needs_scalar & ~np.isnan(aci))
     unc = np.full(frame.n, np.nan)
     scalar_estimates: dict[int, CarbonEstimate | None] = {}
@@ -508,6 +777,31 @@ def operational_batch(frame: FleetFrame,
                                  frame.utilization, aci, needs_scalar,
                                  model, frame.records, unc_out=unc,
                                  estimates_out=scalar_estimates)
+
+    if comp_array.any():
+        # Component path (vectorized): the rebuild that used to fall
+        # back to the scalar model per record.  Mirrors the scalar
+        # float-op order: power → (kw × util) × hours → × PUE(cooling)
+        # → × ACI ÷ 1000.
+        kw = _component_power_kw_array(frame, comp_factors)
+        util = np.where(np.isnan(frame.utilization),
+                        model.component_utilization, frame.utilization)
+        e = (kw * util) * units.HOURS_PER_YEAR
+        e = e * comp_factors.pue_by_cooling[frame.cooling_code]
+        mask = comp_array & ~np.isnan(aci)
+        comp_vals = (e * aci) / units.KG_PER_MT
+        values[mask] = comp_vals[mask]
+        gpu_idx = np.where(frame.comp_gpu_code >= 0, frame.comp_gpu_code,
+                           len(frame.accelerators))
+        n_comp_notes = (
+            (frame.comp_cpu_src != _CPU_EXPLICIT).astype(np.float64)
+            + (frame.comp_accel & ((frame.comp_gpu_code < 0)
+                                   | ~comp_factors.gpu_known[gpu_idx]))
+            + frame.comp_memory_defaulted + frame.comp_ssd_defaulted
+            + np.isnan(frame.utilization) + frame.region_missing)
+        unc[mask] = np.minimum(
+            op_mod.METHOD_UNCERTAINTY[EstimateMethod.COMPONENT_POWER]
+            + 0.02 * n_comp_notes[mask], 2.0)
 
     n_notes = frame.region_missing.astype(np.float64)
     covered = ~np.isnan(values)
@@ -526,7 +820,8 @@ def operational_batch(frame: FleetFrame,
 
     return OperationalBatch(values_mt=values, uncertainty_frac=unc,
                             aci=aci, scalar_idx=scalar_idx,
-                            scalar_estimates=scalar_estimates)
+                            scalar_estimates=scalar_estimates,
+                            comp_factors=comp_factors)
 
 
 def batch_operational_mt(records: list[SystemRecord],
@@ -632,6 +927,53 @@ def _resolve_embodied_factors(frame: FleetFrame,
     )
 
 
+def _embodied_partition(frame: FleetFrame, factors: _EmbodiedFactors,
+                        ) -> tuple[np.ndarray, np.ndarray,
+                                   np.ndarray, np.ndarray]:
+    """(array_ok, needs_scalar, cpu_idx, mem_idx) for one (frame, model).
+
+    A strict-catalog CPU failure must reach the scalar model for every
+    record whose CPU count resolved — the scalar path raises
+    UnknownDeviceError there even when a later check (e.g. missing
+    accelerator identity) would have made the record uncovered.
+    """
+    cpu_idx = np.where(frame.cpu_code >= 0, frame.cpu_code,
+                       len(frame.processors))
+    needs_scalar = frame.emb_needs_scalar | (
+        frame.cpu_resolved & factors.cpu_failed[cpu_idx])
+    has_gpu = frame.gpu_code >= 0
+    gpu_fail = np.zeros(frame.n, dtype=bool)
+    gpu_fail[has_gpu] = factors.gpu_failed[frame.gpu_code[has_gpu]]
+    needs_scalar = needs_scalar | (frame.emb_covered & gpu_fail)
+    array_ok = frame.emb_covered & ~needs_scalar
+    mem_idx = np.where(frame.mem_code >= 0, frame.mem_code,
+                       len(frame.memory_types))
+    return array_ok, needs_scalar, cpu_idx, mem_idx
+
+
+def _embodied_kg_terms(factors: _EmbodiedFactors, n_cpus: np.ndarray,
+                       cpu_idx: np.ndarray, n_gpus: np.ndarray,
+                       gpu_code: np.ndarray, memory_gb: np.ndarray,
+                       mem_idx: np.ndarray, ssd_gb: np.ndarray,
+                       n_nodes: np.ndarray,
+                       ) -> tuple[np.ndarray, np.ndarray, np.ndarray,
+                                  np.ndarray, np.ndarray]:
+    """Component terms (kg), mirroring the scalar breakdown order.
+
+    Pure column arithmetic — shared by the in-process batch path and
+    the process-parallel column-chunk workers, so the float-op order
+    lives in exactly one place.
+    """
+    cpu_kg = n_cpus * factors.cpu_pkg_kg[cpu_idx]
+    gpu_kg = np.zeros(len(n_cpus))
+    has_gpu = gpu_code >= 0
+    gpu_kg[has_gpu] = n_gpus[has_gpu] * factors.gpu_dev_kg[gpu_code[has_gpu]]
+    mem_kg = memory_gb * factors.mem_kg_per_gb[mem_idx]
+    ssd_kg = ssd_gb * factors.ssd_kg_per_gb
+    node_kg = n_nodes * factors.node_kg
+    return cpu_kg, gpu_kg, mem_kg, ssd_kg, node_kg
+
+
 @dataclass(frozen=True)
 class EmbodiedBatch:
     """Array results of one embodied evaluation over a frame."""
@@ -661,33 +1003,14 @@ def embodied_batch(frame: FleetFrame,
     """
     model = model or EmbodiedModel()
     factors = _resolve_embodied_factors(frame, model)
+    array_ok, needs_scalar, cpu_idx, mem_idx = \
+        _embodied_partition(frame, factors)
 
-    cpu_idx = np.where(frame.cpu_code >= 0, frame.cpu_code,
-                       len(frame.processors))
-    # A strict-catalog CPU failure must reach the scalar model for every
-    # record whose CPU count resolved — the scalar path raises
-    # UnknownDeviceError there even when a later check (e.g. missing
-    # accelerator identity) would have made the record uncovered.
-    needs_scalar = frame.emb_needs_scalar | (
-        frame.cpu_resolved & factors.cpu_failed[cpu_idx])
-    has_gpu = frame.gpu_code >= 0
-    gpu_fail = np.zeros(frame.n, dtype=bool)
-    gpu_fail[has_gpu] = factors.gpu_failed[frame.gpu_code[has_gpu]]
-    needs_scalar |= frame.emb_covered & gpu_fail
-    array_ok = frame.emb_covered & ~needs_scalar
-
-    # Component terms (kg), mirroring the scalar breakdown order.
-    cpu_kg = frame.n_cpus * factors.cpu_pkg_kg[cpu_idx]
-    gpu_kg = np.zeros(frame.n)
-    gpu_kg[has_gpu] = frame.n_gpus[has_gpu] * \
-        factors.gpu_dev_kg[frame.gpu_code[has_gpu]]
-    mem_idx = np.where(frame.mem_code >= 0, frame.mem_code,
-                       len(frame.memory_types))
-    mem_kg = frame.memory_gb * factors.mem_kg_per_gb[mem_idx]
-    ssd_kg = frame.ssd_gb * factors.ssd_kg_per_gb
-    node_kg = frame.n_nodes * factors.node_kg
-
+    cpu_kg, gpu_kg, mem_kg, ssd_kg, node_kg = _embodied_kg_terms(
+        factors, frame.n_cpus, cpu_idx, frame.n_gpus, frame.gpu_code,
+        frame.memory_gb, mem_idx, frame.ssd_gb, frame.n_nodes)
     total_kg = (((cpu_kg + gpu_kg) + mem_kg) + ssd_kg) + node_kg
+    has_gpu = frame.gpu_code >= 0
     values = np.full(frame.n, np.nan)
     values[array_ok] = total_kg[array_ok] / units.KG_PER_MT
 
@@ -797,7 +1120,13 @@ def assess_fleet_frame(records: Sequence[SystemRecord],
     base_unc_energy = op_mod.METHOD_UNCERTAINTY[EstimateMethod.REPORTED_ENERGY]
     base_unc_power = op_mod.METHOD_UNCERTAINTY[EstimateMethod.MEASURED_POWER]
 
-    cpu_notes = _cpu_assumption_notes(frame, emb.factors)
+    cpu_notes = _cpu_notes(frame.cpu_count_src, frame.cpu_derived_cores)
+    comp_cpu_notes = None
+    comp_util_note = None
+    if (frame.op_path == _OP_COMPONENT).any():
+        comp_cpu_notes = _cpu_notes(frame.comp_cpu_src, frame.comp_cpu_cores)
+        comp_util_note = op_mod.utilization_default_note(
+            op_model.component_utilization)
 
     out: list[SystemAssessment] = []
     values = opb.values_mt
@@ -806,9 +1135,15 @@ def assess_fleet_frame(records: Sequence[SystemRecord],
         # ---- operational ---------------------------------------------
         path = frame.op_path[i]
         if path == _OP_COMPONENT:
-            # Scalar-fallback estimate captured by the batch; absent key
-            # means the record had no grid location (uncovered).
-            operational = opb.scalar_estimates.get(i)
+            if i in opb.scalar_estimates:
+                # Scalar-fallback estimate captured by the batch.
+                operational = opb.scalar_estimates[i]
+            elif np.isnan(values[i]):
+                operational = None
+            else:
+                operational = _materialize_component(
+                    frame, opb, comp_cpu_notes, country_notes,
+                    comp_util_note, i)
         elif np.isnan(values[i]):
             operational = None
         else:
@@ -848,15 +1183,19 @@ def assess_fleet_frame(records: Sequence[SystemRecord],
     return out
 
 
-def _cpu_assumption_notes(frame: FleetFrame, factors: _EmbodiedFactors,
-                          ) -> tuple[str | None, ...]:
-    """Per-record CPU-count provenance notes (interned per unique)."""
+def _cpu_notes(src_col: np.ndarray, cores_col: np.ndarray,
+               ) -> tuple[str | None, ...]:
+    """Per-record CPU-count provenance notes (interned per unique).
+
+    Shared by the embodied and component-power materializers — both
+    resolve counts with ``resolve_cpu_count`` semantics, so the note
+    grammar is identical.
+    """
     derived_cache: dict[int, str] = {}
     notes: list[str | None] = []
-    for i in range(frame.n):
-        src = frame.cpu_count_src[i]
+    for src, cores in zip(src_col, cores_col):
         if src == _CPU_FROM_CORES:
-            cores = int(frame.cpu_derived_cores[i])
+            cores = int(cores)
             note = derived_cache.get(cores)
             if note is None:
                 note = derived_cache[cores] = op_mod.cpu_derived_note(cores)
@@ -866,6 +1205,41 @@ def _cpu_assumption_notes(frame: FleetFrame, factors: _EmbodiedFactors,
         else:
             notes.append(None)
     return tuple(notes)
+
+
+def _materialize_component(frame: FleetFrame, opb: OperationalBatch,
+                           cpu_notes: tuple[str | None, ...],
+                           country_notes: tuple[str, ...],
+                           util_note: str, i: int) -> CarbonEstimate:
+    """Build one component-power estimate from batch arrays
+    (scalar-identical value, assumptions and uncertainty)."""
+    assumptions: list[str] = []
+    note = cpu_notes[i]
+    if note is not None:
+        assumptions.append(note)
+    if frame.comp_accel[i]:
+        code = frame.comp_gpu_code[i]
+        if code < 0 or not opb.comp_factors.gpu_known[code]:
+            assumptions.append(op_mod.NOTE_ACCEL_PROXY)
+    if frame.comp_memory_defaulted[i]:
+        assumptions.append(op_mod.NOTE_MEMORY_DEFAULT)
+    if frame.comp_ssd_defaulted[i]:
+        assumptions.append(op_mod.NOTE_SSD_DEFAULT)
+    if np.isnan(frame.utilization[i]):
+        assumptions.append(util_note)
+    if frame.region_missing[i]:
+        assumptions.append(country_notes[frame.loc_code[i]])
+    value = float(opb.values_mt[i])
+    return CarbonEstimate(
+        kind=CarbonKind.OPERATIONAL,
+        value_mt=value,
+        method=EstimateMethod.COMPONENT_POWER,
+        breakdown_mt={"grid": value},
+        assumptions=tuple(assumptions),
+        uncertainty_frac=min(
+            op_mod.METHOD_UNCERTAINTY[EstimateMethod.COMPONENT_POWER]
+            + 0.02 * len(assumptions), 2.0),
+    )
 
 
 def _materialize_embodied(frame: FleetFrame, emb: EmbodiedBatch,
@@ -968,6 +1342,80 @@ def parallel_batch_operational_mt(records: list[SystemRecord],
             frame.utilization[start:stop], aci[start:stop],
             pos, [frame.records[start + p] for p in pos]))
     results = parallel_map(_op_chunk_worker, payloads,
+                           max_workers=max_workers, chunks_per_worker=1,
+                           min_items=1)
+    if not results:
+        return np.full(0, np.nan)
+    return np.concatenate(results)
+
+
+def _emb_chunk_worker(payload: tuple) -> np.ndarray:
+    """Worker body: evaluate one embodied column chunk (module-level
+    for pickling).
+
+    Mirrors :func:`_op_chunk_worker`: the payload ships numpy column
+    slices plus the resolved per-unique-device factor tables and only
+    the records that need the scalar fallback.  Reuses
+    :func:`_embodied_kg_terms`, so the float-op order lives in exactly
+    one place.
+    """
+    (model, factors, n_cpus, cpu_idx, n_gpus, gpu_code, memory_gb, mem_idx,
+     ssd_gb, n_nodes, array_ok, scalar_pos, scalar_records) = payload
+    cpu_kg, gpu_kg, mem_kg, ssd_kg, node_kg = _embodied_kg_terms(
+        factors, n_cpus, cpu_idx, n_gpus, gpu_code, memory_gb, mem_idx,
+        ssd_gb, n_nodes)
+    total_kg = (((cpu_kg + gpu_kg) + mem_kg) + ssd_kg) + node_kg
+    values = np.full(len(n_cpus), np.nan)
+    values[array_ok] = total_kg[array_ok] / units.KG_PER_MT
+    for pos, record in zip(scalar_pos, scalar_records):
+        try:
+            values[pos] = model.estimate(record).value_mt
+        except InsufficientDataError:
+            values[pos] = np.nan
+    return values
+
+
+def parallel_batch_embodied_mt(records: list[SystemRecord],
+                               model: EmbodiedModel | None = None,
+                               *, frame: FleetFrame | None = None,
+                               max_workers: int | None = None,
+                               chunks_per_worker: int = 4) -> np.ndarray:
+    """Embodied batch evaluation fanned out over processes.
+
+    The embodied sibling of :func:`parallel_batch_operational_mt`:
+    device factors are resolved once per unique device in the parent,
+    then *column chunks* (numpy buffers plus the factor tables) ship to
+    the workers — only the scarce scalar-fallback records cross the
+    process boundary as objects.  Equivalent to
+    :func:`batch_embodied_mt` (asserted in tests); worthwhile for
+    fleets far larger than the Top 500.
+    """
+    from repro.parallel.chunking import chunk_indices
+    from repro.parallel.executor import parallel_map
+
+    model = model or EmbodiedModel()
+    if frame is None:
+        frame = fleet_frame(records)
+    if frame.n != len(records):
+        raise ValueError("frame/records length mismatch")
+    factors = _resolve_embodied_factors(frame, model)
+    array_ok, needs_scalar, cpu_idx, mem_idx = \
+        _embodied_partition(frame, factors)
+
+    workers = max_workers or os.cpu_count() or 1
+    payloads = []
+    for start, stop in chunk_indices(frame.n,
+                                     max(workers * chunks_per_worker, 1)):
+        pos = np.flatnonzero(needs_scalar[start:stop])
+        payloads.append((
+            model, factors,
+            frame.n_cpus[start:stop], cpu_idx[start:stop],
+            frame.n_gpus[start:stop], frame.gpu_code[start:stop],
+            frame.memory_gb[start:stop], mem_idx[start:stop],
+            frame.ssd_gb[start:stop], frame.n_nodes[start:stop],
+            array_ok[start:stop],
+            pos, [frame.records[start + p] for p in pos]))
+    results = parallel_map(_emb_chunk_worker, payloads,
                            max_workers=max_workers, chunks_per_worker=1,
                            min_items=1)
     if not results:

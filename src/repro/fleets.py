@@ -77,6 +77,25 @@ def assess_fleet(fleet: Fleet, easyc: EasyC | None = None,
     )
 
 
+def sweep_fleet(fleet: Fleet, specs, easyc: EasyC | None = None):
+    """Scenario-sweep a named fleet through the 2-D kernel.
+
+    The portfolio what-if entry point: "what do this fleet's footprints
+    look like under cleaner grids / longer refresh cycles / different
+    utilization?".  ``specs`` is an iterable of
+    :class:`~repro.scenarios.ScenarioSpec` or a
+    :class:`~repro.scenarios.ScenarioGrid`; returns a
+    :class:`~repro.scenarios.ScenarioCube` whose system axis is the
+    fleet's ranks.
+    """
+    from repro.scenarios import sweep
+
+    ez = easyc or EasyC()
+    return sweep(list(fleet.systems), specs,
+                 operational_model=ez.operational_model,
+                 embodied_model=ez.embodied_model)
+
+
 # ---------------------------------------------------------------------------
 # Illustrative built-in fleets (representative public configurations)
 # ---------------------------------------------------------------------------

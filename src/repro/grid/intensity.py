@@ -152,6 +152,63 @@ class GridIntensityDB:
                                region_aci=updated,
                                world_average=self.world_average)
 
+    def scaled(self, factor: float) -> "GridIntensityDB":
+        """Copy of this DB with every intensity multiplied by ``factor``.
+
+        The scenario layer (:mod:`repro.scenarios`) uses this for
+        whole-grid what-ifs: uniform decarbonization trajectories,
+        pessimistic/optimistic grid assumptions.  The derivation is
+        deterministic (plain float multiplication entry by entry), so
+        two independently derived copies with the same factor resolve
+        identically — the property the scenario kernel's bit-identity
+        contract relies on.
+        """
+        if factor <= 0:
+            raise ValueError(f"scale factor must be positive, got {factor}")
+        return GridIntensityDB(
+            country_aci={k: v * factor for k, v in self.country_aci.items()},
+            region_aci={k: v * factor for k, v in self.region_aci.items()},
+            world_average=self.world_average * factor,
+        )
+
+
+@dataclass(frozen=True)
+class DecarbonizationTrajectory:
+    """Year-indexed uniform grid-decarbonization trajectory.
+
+    Models the "what if the grid keeps cleaning up" scenario family:
+    every intensity in a base :class:`GridIntensityDB` declines by
+    ``annual_decline`` per year from ``base_year``, optionally floored
+    at ``floor_frac`` of the base level (transmission, residual fossil
+    peakers).  ``grid_for`` derives the DB for a target year; the
+    scenario layer builds one spec per year from it.
+    """
+
+    base_year: int
+    annual_decline: float
+    floor_frac: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.annual_decline < 1.0:
+            raise ValueError(
+                f"annual_decline must be in [0, 1), got {self.annual_decline}")
+        if not 0.0 <= self.floor_frac <= 1.0:
+            raise ValueError(
+                f"floor_frac must be in [0, 1], got {self.floor_frac}")
+
+    def factor(self, year: int) -> float:
+        """Intensity multiplier for ``year`` relative to the base year."""
+        if year < self.base_year:
+            raise ValueError(
+                f"year {year} precedes trajectory base year {self.base_year}")
+        decayed = (1.0 - self.annual_decline) ** (year - self.base_year)
+        return max(decayed, self.floor_frac) if self.floor_frac else decayed
+
+    def grid_for(self, base: GridIntensityDB, year: int) -> GridIntensityDB:
+        """The grid DB implied for ``year`` (base scaled by the factor)."""
+        f = self.factor(year)
+        return base if f == 1.0 else base.scaled(f)
+
 
 #: Shared default database instance.
 DEFAULT_GRID_DB = GridIntensityDB()

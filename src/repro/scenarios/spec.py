@@ -1,0 +1,399 @@
+"""Declarative scenario specifications and grid builders.
+
+A :class:`ScenarioSpec` names a *what-if* as a set of composable
+overrides on the paper's model configuration: grid carbon intensity
+(replacement DBs, uniform scales, year-indexed decarbonization
+trajectories), facility PUE, utilization assumptions, hardware
+lifetime/refresh, and embodied factors (catalog swaps, memory/storage
+factor scales, fab yield).  Specs are pure data — they *lower* to
+concrete :class:`~repro.core.operational.OperationalModel` /
+:class:`~repro.core.embodied.EmbodiedModel` instances against a base
+configuration, which is what makes the sweep kernel's bit-identity
+contract checkable: the scalar reference loop and the 2-D kernel lower
+the same spec to the same models.
+
+:class:`ScenarioGrid` builds multi-axis sweeps: the cartesian product
+or the zip of per-axis spec lists, composed pairwise with
+:meth:`ScenarioSpec.compose` (override fields last-wins, scale fields
+multiply).  The ``*_axis`` helpers construct well-named single-axis
+spec lists for the common levers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+import itertools
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.core.embodied import EmbodiedModel
+from repro.core.operational import OperationalModel
+from repro.grid.intensity import DecarbonizationTrajectory, GridIntensityDB
+from repro.grid.pue import PueModel
+from repro.hardware.catalog import HardwareCatalog
+from repro.hardware.memory import MemorySpec
+from repro.hardware.storage import StorageSpec
+
+__all__ = [
+    "ScenarioSpec",
+    "ScenarioGrid",
+    "baseline_spec",
+    "aci_scale_axis",
+    "decarbonization_axis",
+    "pue_axis",
+    "utilization_axis",
+    "lifetime_axis",
+]
+
+#: Fields where composition is "the later spec wins".
+_OVERRIDE_FIELDS = (
+    "grid", "trajectory", "year", "pue", "measured_power_pue",
+    "component_power_pue", "measured_power_utilization",
+    "component_utilization", "catalog", "fab_yield", "lifetime_years",
+)
+
+#: Multiplicative fields: composing two specs multiplies the factors.
+_SCALE_FIELDS = ("aci_scale", "memory_factor_scale", "storage_factor_scale")
+
+# Lowering caches: derived grids/catalogs shared *by identity* across
+# specs with equal parameters, so the sweep compiler's id-keyed dedupe
+# collapses a cartesian grid to its unique configurations (e.g. a
+# 4 ACI × 4 PUE × 4 utilization sweep resolves 4 ACI rows and 1 factor
+# table, not 64 of each).  Keyed by base identity + the derivation
+# parameters; each entry pins the base object (a freed base's id could
+# otherwise be reused and serve another object's derivation) and is
+# re-derived on an identity mismatch.  Bounded FIFO.
+_DERIVED_CACHE_MAX = 64
+_SCALED_GRID_CACHE: dict[
+    tuple[int, float], tuple[object, GridIntensityDB]] = {}
+_DERIVED_CATALOG_CACHE: dict[
+    tuple[int, float | None, float | None],
+    tuple[object, HardwareCatalog]] = {}
+
+
+def _cached(cache: dict, key, source, build):
+    entry = cache.get(key)
+    if entry is None or entry[0] is not source:
+        entry = cache[key] = (source, build())
+        while len(cache) > _DERIVED_CACHE_MAX:
+            cache.pop(next(iter(cache)))
+    return entry[1]
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One named scenario: overrides against a base model configuration.
+
+    Every field defaults to "no override"; a default-constructed spec
+    is the identity scenario (lowering returns the base models
+    unchanged, and a sweep over it reproduces ``assess_fleet``).
+
+    Attributes:
+        name: label carried into :class:`~repro.scenarios.ScenarioCube`
+            axes, series and tables.
+        description: optional human-readable intent.
+        grid: replacement grid-intensity DB (wins over the base).
+        aci_scale: multiply every grid intensity (applied to the
+            replacement or base grid; composes multiplicatively).
+        trajectory: year-indexed decarbonization trajectory; requires
+            ``year`` and multiplies into the same grid scale factor.
+        year: target year for ``trajectory``.
+        pue: replacement PUE model.
+        measured_power_pue / component_power_pue: targeted PUE field
+            overrides (applied on top of ``pue`` or the base model).
+        measured_power_utilization: utilization applied to Top500
+            measured power (the calibration lever; base 1.0).
+        component_utilization: utilization assumed on the
+            component-power path when a record carries none.
+        catalog: replacement hardware catalog (e.g. a strict-policy
+            one for the unknown-accelerator ablation).
+        memory_factor_scale / storage_factor_scale: scale the embodied
+            kg/GB factors of every memory/storage spec in the catalog.
+        fab_yield: logic-die manufacturing yield override.
+        lifetime_years: hardware refresh horizon used by the cube's
+            annualized-embodied reduction (embodied ÷ lifetime).
+    """
+
+    name: str = "baseline"
+    description: str = ""
+
+    # -- operational: grid ----------------------------------------------------
+    grid: GridIntensityDB | None = None
+    aci_scale: float | None = None
+    trajectory: DecarbonizationTrajectory | None = None
+    year: int | None = None
+
+    # -- operational: facility / utilization ---------------------------------
+    pue: PueModel | None = None
+    measured_power_pue: float | None = None
+    component_power_pue: float | None = None
+    measured_power_utilization: float | None = None
+    component_utilization: float | None = None
+
+    # -- embodied -------------------------------------------------------------
+    catalog: HardwareCatalog | None = None
+    memory_factor_scale: float | None = None
+    storage_factor_scale: float | None = None
+    fab_yield: float | None = None
+    lifetime_years: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("scenario needs a non-empty name")
+        for field_name in ("aci_scale", "memory_factor_scale",
+                           "storage_factor_scale", "lifetime_years"):
+            value = getattr(self, field_name)
+            if value is not None and value <= 0:
+                raise ValueError(f"{field_name} must be positive, got {value}")
+        for field_name in ("measured_power_utilization",
+                           "component_utilization"):
+            value = getattr(self, field_name)
+            if value is not None and not 0.0 < value <= 1.5:
+                raise ValueError(
+                    f"{field_name} out of range (0, 1.5]: {value}")
+        if self.fab_yield is not None and not 0.0 < self.fab_yield <= 1.0:
+            raise ValueError(f"fab_yield must be in (0, 1], got {self.fab_yield}")
+        if self.trajectory is not None and self.year is None:
+            raise ValueError(
+                f"scenario {self.name!r} has a decarbonization trajectory "
+                "but no target year")
+
+    # -- lowering -------------------------------------------------------------
+
+    @property
+    def is_identity(self) -> bool:
+        """True when the spec overrides nothing (pure baseline)."""
+        return all(getattr(self, f) is None
+                   for f in (*_OVERRIDE_FIELDS, *_SCALE_FIELDS))
+
+    def grid_scale_factor(self) -> float:
+        """Combined multiplicative grid factor (trajectory × scale)."""
+        factor = 1.0
+        if self.trajectory is not None:
+            factor *= self.trajectory.factor(self.year)
+        if self.aci_scale is not None:
+            factor *= self.aci_scale
+        return factor
+
+    def derived_catalog(self, base: HardwareCatalog) -> HardwareCatalog:
+        """The hardware catalog this scenario implies over ``base``.
+
+        Returns ``base`` itself (identity, enabling factor-table reuse
+        in the sweep compiler) when nothing catalog-related is set.
+        """
+        catalog = self.catalog if self.catalog is not None else base
+        if self.memory_factor_scale is None and \
+                self.storage_factor_scale is None:
+            return catalog
+
+        def build() -> HardwareCatalog:
+            memory = catalog.memory
+            if self.memory_factor_scale is not None:
+                memory = {
+                    mt: MemorySpec(mt,
+                                   spec.embodied_kg_per_gb * self.memory_factor_scale,
+                                   spec.power_w_per_gb)
+                    for mt, spec in catalog.memory.items()}
+            storage = catalog.storage
+            if self.storage_factor_scale is not None:
+                storage = {
+                    sc: StorageSpec(sc,
+                                    spec.embodied_kg_per_gb * self.storage_factor_scale,
+                                    spec.power_w_per_tb)
+                    for sc, spec in catalog.storage.items()}
+            return HardwareCatalog(
+                cpus=catalog.cpus, gpus=catalog.gpus, memory=memory,
+                storage=storage, node_overheads=catalog.node_overheads,
+                unknown_policy=catalog.unknown_policy)
+
+        return _cached(
+            _DERIVED_CATALOG_CACHE,
+            (id(catalog), self.memory_factor_scale, self.storage_factor_scale),
+            catalog, build)
+
+    def operational_model(self, base: OperationalModel) -> OperationalModel:
+        """Lower this spec to a concrete operational model over ``base``.
+
+        Deterministic: lowering the same spec against the same base
+        twice yields models that resolve every input to the identical
+        float — the bit-identity anchor shared by the 2-D kernel and
+        the scalar reference loop.
+        """
+        changes: dict[str, object] = {}
+        grid = self.grid if self.grid is not None else base.grid
+        factor = self.grid_scale_factor()
+        if factor != 1.0:
+            source = grid
+            grid = _cached(_SCALED_GRID_CACHE, (id(source), factor),
+                           source, lambda: source.scaled(factor))
+        if grid is not base.grid:
+            changes["grid"] = grid
+        pue = self.pue if self.pue is not None else base.pue
+        pue_fields = {key: value for key, value in
+                      (("measured_power_pue", self.measured_power_pue),
+                       ("component_power_pue", self.component_power_pue))
+                      if value is not None}
+        if pue_fields:
+            pue = dataclasses.replace(pue, **pue_fields)
+        if pue is not base.pue:
+            changes["pue"] = pue
+        catalog = self.derived_catalog(base.catalog)
+        if catalog is not base.catalog:
+            changes["catalog"] = catalog
+        if self.measured_power_utilization is not None:
+            changes["measured_power_utilization"] = \
+                self.measured_power_utilization
+        if self.component_utilization is not None:
+            changes["component_utilization"] = self.component_utilization
+        return dataclasses.replace(base, **changes) if changes else base
+
+    def embodied_model(self, base: EmbodiedModel) -> EmbodiedModel:
+        """Lower this spec to a concrete embodied model over ``base``."""
+        changes: dict[str, object] = {}
+        catalog = self.derived_catalog(base.catalog)
+        if catalog is not base.catalog:
+            changes["catalog"] = catalog
+        if self.fab_yield is not None:
+            changes["fab_yield"] = self.fab_yield
+        return dataclasses.replace(base, **changes) if changes else base
+
+    # -- composition ----------------------------------------------------------
+
+    def compose(self, other: "ScenarioSpec") -> "ScenarioSpec":
+        """This spec with ``other`` layered on top.
+
+        Override fields: ``other`` wins where it sets a value.  Scale
+        fields (``aci_scale``, ``memory_factor_scale``,
+        ``storage_factor_scale``): factors multiply.  Names join with
+        ``+`` ("baseline" names compose invisibly).
+        """
+        kwargs: dict[str, object] = {}
+        for field_name in _OVERRIDE_FIELDS:
+            value = getattr(other, field_name)
+            kwargs[field_name] = value if value is not None \
+                else getattr(self, field_name)
+        for field_name in _SCALE_FIELDS:
+            a, b = getattr(self, field_name), getattr(other, field_name)
+            if a is not None and b is not None:
+                kwargs[field_name] = a * b
+            else:
+                kwargs[field_name] = a if b is None else b
+        parts = [p for p in (self.name, other.name)
+                 if p and p != "baseline"]
+        description = " / ".join(d for d in (self.description,
+                                             other.description) if d)
+        return ScenarioSpec(name="+".join(parts) or "baseline",
+                            description=description, **kwargs)
+
+    def __or__(self, other: "ScenarioSpec") -> "ScenarioSpec":
+        return self.compose(other)
+
+
+def baseline_spec() -> ScenarioSpec:
+    """The identity scenario (paper configuration, no overrides)."""
+    return ScenarioSpec()
+
+
+# ---------------------------------------------------------------------------
+# Axis helpers: well-named single-axis spec lists
+# ---------------------------------------------------------------------------
+
+def aci_scale_axis(scales: Sequence[float]) -> tuple[ScenarioSpec, ...]:
+    """One spec per uniform grid-intensity scale (1.0 = baseline)."""
+    return tuple(ScenarioSpec(name=f"aci x{s:g}", aci_scale=s)
+                 for s in scales)
+
+
+def decarbonization_axis(trajectory: DecarbonizationTrajectory,
+                         years: Sequence[int]) -> tuple[ScenarioSpec, ...]:
+    """One spec per target year along a decarbonization trajectory."""
+    return tuple(ScenarioSpec(name=f"grid@{year}", trajectory=trajectory,
+                              year=year)
+                 for year in years)
+
+
+def pue_axis(values: Sequence[float], *,
+             path: str = "measured") -> tuple[ScenarioSpec, ...]:
+    """One spec per PUE value, applied to one energy path.
+
+    Args:
+        values: PUE multipliers (validated by ``PueModel`` to [1, 3]).
+        path: ``"measured"`` (Top500 power column) or ``"component"``
+            (component-rebuilt power).
+    """
+    if path == "measured":
+        return tuple(ScenarioSpec(name=f"pue={v:g}", measured_power_pue=v)
+                     for v in values)
+    if path == "component":
+        return tuple(ScenarioSpec(name=f"comp-pue={v:g}",
+                                  component_power_pue=v) for v in values)
+    raise ValueError(f"unknown PUE path {path!r}")
+
+
+def utilization_axis(values: Sequence[float], *,
+                     path: str = "component") -> tuple[ScenarioSpec, ...]:
+    """One spec per utilization assumption, applied to one energy path."""
+    if path == "component":
+        return tuple(ScenarioSpec(name=f"util={v:g}",
+                                  component_utilization=v) for v in values)
+    if path == "measured":
+        return tuple(ScenarioSpec(name=f"duty={v:g}",
+                                  measured_power_utilization=v)
+                     for v in values)
+    raise ValueError(f"unknown utilization path {path!r}")
+
+
+def lifetime_axis(years: Sequence[float]) -> tuple[ScenarioSpec, ...]:
+    """One spec per hardware-refresh horizon (annualized embodied)."""
+    return tuple(ScenarioSpec(name=f"life={y:g}y", lifetime_years=y)
+                 for y in years)
+
+
+# ---------------------------------------------------------------------------
+# Grid builders
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ScenarioGrid:
+    """A multi-axis scenario sweep: composed cartesian or zip of axes."""
+
+    axes: tuple[tuple[ScenarioSpec, ...], ...]
+    mode: str = "cartesian"
+
+    def __post_init__(self) -> None:
+        if not self.axes or any(not axis for axis in self.axes):
+            raise ValueError("every grid axis needs at least one spec")
+        if self.mode not in ("cartesian", "zip"):
+            raise ValueError(f"unknown grid mode {self.mode!r}")
+        if self.mode == "zip":
+            lengths = {len(axis) for axis in self.axes}
+            if len(lengths) > 1:
+                raise ValueError(
+                    f"zip grid needs equal-length axes, got {sorted(lengths)}")
+
+    @classmethod
+    def cartesian(cls, *axes: Sequence[ScenarioSpec]) -> "ScenarioGrid":
+        """Full cross product of the axes (ablation grids, Fig. 9)."""
+        return cls(axes=tuple(tuple(axis) for axis in axes))
+
+    @classmethod
+    def zipped(cls, *axes: Sequence[ScenarioSpec]) -> "ScenarioGrid":
+        """Positional pairing of equal-length axes (trajectories)."""
+        return cls(axes=tuple(tuple(axis) for axis in axes), mode="zip")
+
+    def specs(self) -> tuple[ScenarioSpec, ...]:
+        """The composed scenario list, sweep order."""
+        combos = itertools.product(*self.axes) if self.mode == "cartesian" \
+            else zip(*self.axes)
+        return tuple(functools.reduce(ScenarioSpec.compose, combo)
+                     for combo in combos)
+
+    def __iter__(self):
+        return iter(self.specs())
+
+    def __len__(self) -> int:
+        if self.mode == "zip":
+            return len(self.axes[0])
+        return functools.reduce(lambda acc, axis: acc * len(axis),
+                                self.axes, 1)

@@ -114,6 +114,34 @@ class StudyResult:
     def total_rmax_tflops(self) -> float:
         return sum(t.rmax_tflops for t in self.dataset.truths)
 
+    # -- scenario sweeps ------------------------------------------------------
+
+    def scenario_sweep(self, specs, *, data_scenario: str = "public"):
+        """Sweep model scenarios over this study's records as one 2-D kernel.
+
+        The sweep-workload entry point on a finished study: the record
+        views and their :class:`~repro.core.vectorized.FleetFrame` are
+        already cached per dataset, so only the scenario deltas are
+        evaluated.  ``specs`` is an iterable of
+        :class:`~repro.scenarios.ScenarioSpec` or a
+        :class:`~repro.scenarios.ScenarioGrid`; ``data_scenario``
+        selects which record view the model scenarios apply to
+        (``"public"`` or ``"baseline"``).
+
+        Returns a :class:`~repro.scenarios.ScenarioCube`.
+        """
+        from repro.scenarios import sweep
+        if data_scenario == "public":
+            records = list(self.public_records)
+        elif data_scenario == "baseline":
+            records = list(self.baseline_records)
+        else:
+            raise ValueError(f"unknown data scenario {data_scenario!r}; "
+                             "expected 'public' or 'baseline'")
+        return sweep(records, specs,
+                     operational_model=self.easyc.operational_model,
+                     embodied_model=self.easyc.embodied_model)
+
     def perf_carbon(self, footprint: str) -> PerfCarbonProjection:
         series = self.op_full[0] if footprint == "operational" else self.emb_full[0]
         return perf_carbon_projection(self.total_rmax_tflops,

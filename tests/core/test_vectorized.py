@@ -6,6 +6,7 @@ import pytest
 from repro.core.embodied import EmbodiedModel
 from repro.core.operational import OperationalModel
 from repro.core.vectorized import (
+    _OP_COMPONENT,
     FleetFrame,
     batch_embodied_mt,
     batch_operational_mt,
@@ -15,6 +16,7 @@ from repro.core.vectorized import (
     fleet_to_arrays,
     fleet_total_mt,
     operational_batch,
+    parallel_batch_embodied_mt,
     parallel_batch_operational_mt,
 )
 from repro.errors import InsufficientDataError, UnknownDeviceError
@@ -222,6 +224,78 @@ class TestOperationalBatchMetadata:
                 assert np.isnan(batch.uncertainty_frac[i])
                 continue
             assert batch.uncertainty_frac[i] == expected
+
+
+class TestComponentPathVectorized:
+    """The component-power path runs through the array kernel — the
+    ROADMAP's last scalar residue in the study hot loop."""
+
+    def test_no_scalar_fallback_on_study_fleet(self, dataset):
+        records = dataset.public_records()
+        frame = fleet_frame(records)
+        batch = operational_batch(frame, OperationalModel())
+        is_comp = frame.op_path == _OP_COMPONENT
+        assert is_comp.sum() > 0          # the path is actually exercised
+        assert batch.scalar_idx.size == 0  # ...and fully vectorized
+        # Component records with a grid location are covered via arrays.
+        covered = ~np.isnan(batch.values_mt)
+        assert (covered & is_comp).sum() > 0
+
+    def test_component_estimates_identical_to_scalar(self, cpu_only_record):
+        """Full assessment metadata — method, breakdown, assumptions,
+        uncertainty — matches the scalar model on a component record."""
+        from repro.core.easyc import EasyC
+        records = [cpu_only_record]
+        vectorized = EasyC().assess_fleet(records,
+                                          frame=FleetFrame.from_records(records))
+        scalar = EasyC().assess_fleet(records, engine="scalar")
+        assert vectorized == scalar
+        estimate = vectorized[0].operational
+        assert estimate.method.value == "component_power"
+        assert estimate.assumptions      # defaults were noted
+
+    def test_out_of_domain_default_utilization_falls_back(self, cpu_only_record):
+        """A model whose component_utilization the scalar path would
+        reject routes those records to the scalar fallback (which
+        raises), not to silent array arithmetic."""
+        bad = OperationalModel(component_utilization=2.0)
+        records = [cpu_only_record]
+        with pytest.raises(ValueError):
+            bad.estimate(cpu_only_record)
+        with pytest.raises(ValueError):
+            batch_operational_mt(records, bad,
+                                 frame=FleetFrame.from_records(records))
+
+
+class TestParallelEmbodiedColumnChunks:
+    def test_matches_serial(self, dataset):
+        records = dataset.public_records()
+        serial = batch_embodied_mt(records)
+        parallel = parallel_batch_embodied_mt(records, max_workers=2)
+        both_nan = np.isnan(serial) & np.isnan(parallel)
+        assert np.all(both_nan | (serial == parallel))
+
+    def test_single_worker(self, dataset):
+        records = dataset.public_records()[:40]
+        frame = FleetFrame.from_records(records)
+        serial = batch_embodied_mt(records, frame=frame)
+        parallel = parallel_batch_embodied_mt(records, frame=frame,
+                                              max_workers=1)
+        both_nan = np.isnan(serial) & np.isnan(parallel)
+        assert np.all(both_nan | (serial == parallel))
+
+    def test_custom_model_factors_ship_to_workers(self, dataset):
+        records = dataset.public_records()[:60]
+        frame = FleetFrame.from_records(records)
+        model = EmbodiedModel(fab_yield=0.7)
+        serial = batch_embodied_mt(records, model, frame=frame)
+        parallel = parallel_batch_embodied_mt(records, model, frame=frame,
+                                              max_workers=1)
+        both_nan = np.isnan(serial) & np.isnan(parallel)
+        assert np.all(both_nan | (serial == parallel))
+
+    def test_empty_fleet(self):
+        assert parallel_batch_embodied_mt([], max_workers=2).size == 0
 
 
 class TestParallelColumnChunks:

@@ -6,6 +6,7 @@ from repro.errors import UnknownRegionError
 from repro.grid.intensity import (
     COUNTRY_ACI,
     DEFAULT_GRID_DB,
+    DecarbonizationTrajectory,
     GridIntensityDB,
     REGION_ACI,
     WORLD_AVERAGE_ACI,
@@ -88,3 +89,60 @@ class TestMutation:
                              world_average=0.4)
         assert db.lookup("X") == 0.5
         assert db.lookup("Y") == 0.4
+
+
+class TestScaling:
+    def test_scaled_multiplies_every_layer(self):
+        db = DEFAULT_GRID_DB.scaled(0.5)
+        assert db.lookup("France") == \
+            pytest.approx(DEFAULT_GRID_DB.lookup("France") * 0.5)
+        assert db.lookup("United States", "us-tva") == \
+            pytest.approx(DEFAULT_GRID_DB.lookup("United States",
+                                                 "us-tva") * 0.5)
+        assert db.world_average == pytest.approx(WORLD_AVERAGE_ACI * 0.5)
+
+    def test_scaled_is_deterministic(self):
+        """Two independent derivations resolve identically — the
+        property the scenario kernel's bit-identity relies on."""
+        a, b = DEFAULT_GRID_DB.scaled(0.8), DEFAULT_GRID_DB.scaled(0.8)
+        assert a.country_aci == b.country_aci
+        assert a.region_aci == b.region_aci
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            DEFAULT_GRID_DB.scaled(0.0)
+
+
+class TestDecarbonizationTrajectory:
+    def test_factor_compounds_annually(self):
+        trajectory = DecarbonizationTrajectory(base_year=2024,
+                                               annual_decline=0.05)
+        assert trajectory.factor(2024) == 1.0
+        assert trajectory.factor(2025) == pytest.approx(0.95)
+        assert trajectory.factor(2034) == pytest.approx(0.95 ** 10)
+
+    def test_floor_caps_the_decline(self):
+        trajectory = DecarbonizationTrajectory(base_year=2024,
+                                               annual_decline=0.2,
+                                               floor_frac=0.3)
+        assert trajectory.factor(2050) == 0.3
+
+    def test_grid_for_scales_the_base(self):
+        trajectory = DecarbonizationTrajectory(base_year=2024,
+                                               annual_decline=0.1)
+        db = trajectory.grid_for(DEFAULT_GRID_DB, 2026)
+        assert db.lookup("Japan") == \
+            pytest.approx(DEFAULT_GRID_DB.lookup("Japan") * 0.81)
+        # Base year returns the base instance itself (no copy).
+        assert trajectory.grid_for(DEFAULT_GRID_DB, 2024) is DEFAULT_GRID_DB
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DecarbonizationTrajectory(base_year=2024, annual_decline=1.0)
+        with pytest.raises(ValueError):
+            DecarbonizationTrajectory(base_year=2024, annual_decline=0.05,
+                                      floor_frac=2.0)
+        trajectory = DecarbonizationTrajectory(base_year=2024,
+                                               annual_decline=0.05)
+        with pytest.raises(ValueError):
+            trajectory.factor(2020)
