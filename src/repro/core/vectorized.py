@@ -62,12 +62,16 @@ from repro.grid.intensity import GridIntensityDB, DEFAULT_GRID_DB
 from repro.hardware.memory import MemoryType
 
 __all__ = [
+    "COLUMN_FIELDS",
     "FleetArrays",
     "FleetFrame",
+    "FleetBatch",
     "EmbodiedBatch",
     "OperationalBatch",
+    "SparseRecords",
     "fleet_frame",
     "fleet_to_arrays",
+    "fleet_batch_arrays",
     "batch_operational_mt",
     "batch_embodied_mt",
     "operational_batch",
@@ -90,6 +94,58 @@ _OP_COMPONENT = 3       # component rebuild: scalar fallback
 _CPU_EXPLICIT = op_mod.CPU_COUNT_EXPLICIT
 _CPU_FROM_CORES = op_mod.CPU_COUNT_FROM_CORES
 _CPU_FROM_NODES = op_mod.CPU_COUNT_FROM_NODES
+
+#: Every array column of a FleetFrame, in declaration order — the
+#: single source of truth for slicing and the shared-memory adapters.
+COLUMN_FIELDS: tuple[str, ...] = (
+    "ranks", "power_kw", "annual_energy_kwh", "utilization", "op_path",
+    "loc_code", "region_missing", "emb_covered", "emb_needs_scalar",
+    "cpu_resolved", "n_cpus", "cpu_count_src", "cpu_code",
+    "cpu_derived_cores", "n_gpus", "gpu_code", "n_nodes", "nodes_derived",
+    "memory_gb", "memory_defaulted", "memtype_noted", "mem_code", "ssd_gb",
+    "ssd_defaulted",
+    "comp_covered", "comp_needs_scalar", "comp_n_cpus", "comp_cpu_src",
+    "comp_cpu_code", "comp_cpu_cores", "comp_accel", "comp_n_gpus",
+    "comp_gpu_code", "comp_n_nodes", "comp_memory_gb",
+    "comp_memory_defaulted", "comp_mem_code", "comp_ssd_gb",
+    "comp_ssd_defaulted", "cooling_code",
+)
+
+
+class SparseRecords:
+    """An n-length record sequence holding only a few real entries.
+
+    Stands in for ``FleetFrame.records`` on the worker side of the
+    shared-memory paths: the batch kernels index ``records[i]`` only
+    for scalar-fallback records, so those are the only objects that
+    cross the process boundary — every other index reads ``None``.
+    Supports exactly what the kernels use: ``len``, integer indexing,
+    and contiguous slicing (for :meth:`FleetFrame.slice`).
+    """
+
+    __slots__ = ("_n", "_items")
+
+    def __init__(self, n: int, items: dict[int, SystemRecord]) -> None:
+        self._n = n
+        self._items = items
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            start, stop, step = index.indices(self._n)
+            if step != 1:
+                raise ValueError("SparseRecords only supports step-1 slices")
+            return SparseRecords(
+                max(stop - start, 0),
+                {i - start: r for i, r in self._items.items()
+                 if start <= i < stop})
+        if index < 0:
+            index += self._n
+        if not 0 <= index < self._n:
+            raise IndexError(index)
+        return self._items.get(index)
 
 
 @dataclass(frozen=True)
@@ -468,26 +524,44 @@ class FleetFrame:
 
     def slice(self, start: int, stop: int) -> "FleetFrame":
         """Column-sliced sub-frame (shares the lookup tables)."""
-        sliced = {
-            name: getattr(self, name)[start:stop]
-            for name in ("ranks", "power_kw", "annual_energy_kwh",
-                         "utilization", "op_path", "loc_code",
-                         "region_missing", "emb_covered", "emb_needs_scalar",
-                         "cpu_resolved",
-                         "n_cpus", "cpu_count_src", "cpu_code",
-                         "cpu_derived_cores", "n_gpus", "gpu_code", "n_nodes",
-                         "nodes_derived", "memory_gb", "memory_defaulted",
-                         "memtype_noted", "mem_code", "ssd_gb",
-                         "ssd_defaulted",
-                         "comp_covered", "comp_needs_scalar", "comp_n_cpus",
-                         "comp_cpu_src", "comp_cpu_code", "comp_cpu_cores",
-                         "comp_accel", "comp_n_gpus", "comp_gpu_code",
-                         "comp_n_nodes", "comp_memory_gb",
-                         "comp_memory_defaulted", "comp_mem_code",
-                         "comp_ssd_gb", "comp_ssd_defaulted", "cooling_code")
-        }
+        sliced = {name: getattr(self, name)[start:stop]
+                  for name in COLUMN_FIELDS}
         return replace(self, records=self.records[start:stop],
                        names=self.names[start:stop], **sliced)
+
+    # -- shared-memory adapters --------------------------------------------
+
+    def column_arrays(self) -> dict[str, np.ndarray]:
+        """The frame's array columns, keyed by field name.
+
+        The shape :class:`repro.parallel.shm.SharedFleetFrame` places
+        into shared memory; :meth:`from_columns` is the inverse.
+        """
+        return {name: getattr(self, name) for name in COLUMN_FIELDS}
+
+    @classmethod
+    def from_columns(cls, columns: dict[str, np.ndarray], *,
+                     locations, processors, accelerators, memory_types,
+                     records=None, names=None) -> "FleetFrame":
+        """Rebuild a frame around existing column arrays (zero-copy).
+
+        The worker-side attach adapter: ``columns`` are (read-only)
+        views into a shared segment, the lookup tables ride in the
+        (tiny) handle, and ``records`` is typically a
+        :class:`SparseRecords` carrying only the scalar-fallback
+        records — every batch kernel touches ``frame.records[i]`` for
+        exactly those indices.
+        """
+        n = len(columns["ranks"])
+        if records is None:
+            records = SparseRecords(n, {})
+        if names is None:
+            names = (None,) * n
+        return cls(records=records, names=names,
+                   locations=tuple(locations), processors=tuple(processors),
+                   accelerators=tuple(accelerators),
+                   memory_types=tuple(memory_types),
+                   **columns)
 
 
 # ---------------------------------------------------------------------------
@@ -1311,14 +1385,25 @@ def parallel_batch_operational_mt(records: list[SystemRecord],
                                   model: OperationalModel | None = None,
                                   *, frame: FleetFrame | None = None,
                                   max_workers: int | None = None,
-                                  chunks_per_worker: int = 4) -> np.ndarray:
+                                  chunks_per_worker: int = 4,
+                                  method: str = "auto") -> np.ndarray:
     """Operational batch evaluation fanned out over processes.
 
-    Ships *column chunks* (numpy buffers) to the workers instead of
-    pickled record lists — only the scarce component-path records cross
-    the process boundary as objects.  Equivalent to
-    :func:`batch_operational_mt` (asserted in tests); worthwhile for
-    fleets far larger than the Top 500.
+    Two dispatch methods, both equivalent to
+    :func:`batch_operational_mt` (asserted in tests):
+
+    * ``"pickle"`` — ships *column chunks* (numpy buffers) per task;
+      only the scarce component-path records cross the process
+      boundary as objects.  The right shape around n≈500–5000.
+    * ``"shm"`` — places the frame's columns in shared memory once
+      (pooled across calls) and fans tasks out over the persistent
+      worker pool; tasks carry only a segment handle, the model and
+      the fallback records.  The scale-out path for fleets ≫ 10⁴;
+      falls back to the serial batch (identical results) when shared
+      memory or process spawning is unavailable.
+
+    ``"auto"`` picks ``"shm"`` for large fleets on capable hosts and
+    ``"pickle"`` otherwise.
     """
     from repro.parallel.chunking import chunk_indices
     from repro.parallel.executor import parallel_map
@@ -1328,6 +1413,16 @@ def parallel_batch_operational_mt(records: list[SystemRecord],
         frame = fleet_frame(records)
     if frame.n != len(records):
         raise ValueError("frame/records length mismatch")
+    if method not in ("auto", "pickle", "shm"):
+        raise ValueError(f"unknown method {method!r}; "
+                         "expected 'auto', 'pickle' or 'shm'")
+    if method == "auto" and _want_shm("auto", frame.n, max_workers):
+        method = "shm"
+    if method == "shm":
+        if not _want_shm("shm", frame.n, max_workers):
+            return operational_batch(frame, model).values_mt
+        return _shm_batch_eval(frame, model, None,
+                               max_workers=max_workers).op_mt
     aci = frame.aci(model.grid)
     needs_scalar = (frame.op_path == _OP_COMPONENT) & ~np.isnan(aci)
 
@@ -1379,16 +1474,19 @@ def parallel_batch_embodied_mt(records: list[SystemRecord],
                                model: EmbodiedModel | None = None,
                                *, frame: FleetFrame | None = None,
                                max_workers: int | None = None,
-                               chunks_per_worker: int = 4) -> np.ndarray:
+                               chunks_per_worker: int = 4,
+                               method: str = "auto") -> np.ndarray:
     """Embodied batch evaluation fanned out over processes.
 
-    The embodied sibling of :func:`parallel_batch_operational_mt`:
-    device factors are resolved once per unique device in the parent,
-    then *column chunks* (numpy buffers plus the factor tables) ship to
-    the workers — only the scarce scalar-fallback records cross the
-    process boundary as objects.  Equivalent to
-    :func:`batch_embodied_mt` (asserted in tests); worthwhile for
-    fleets far larger than the Top 500.
+    The embodied sibling of :func:`parallel_batch_operational_mt`,
+    with the same two dispatch methods.  Under ``"pickle"``, device
+    factors are resolved once per unique device in the parent, then
+    column chunks (numpy buffers plus the factor tables) ship to the
+    workers; under ``"shm"``, workers attach the pooled shared-memory
+    frame zero-copy and only the model and scarce scalar-fallback
+    records are pickled.  Equivalent to :func:`batch_embodied_mt`
+    (asserted in tests), with automatic serial fallback when shared
+    memory or process spawning is unavailable.
     """
     from repro.parallel.chunking import chunk_indices
     from repro.parallel.executor import parallel_map
@@ -1398,6 +1496,16 @@ def parallel_batch_embodied_mt(records: list[SystemRecord],
         frame = fleet_frame(records)
     if frame.n != len(records):
         raise ValueError("frame/records length mismatch")
+    if method not in ("auto", "pickle", "shm"):
+        raise ValueError(f"unknown method {method!r}; "
+                         "expected 'auto', 'pickle' or 'shm'")
+    if method == "auto" and _want_shm("auto", frame.n, max_workers):
+        method = "shm"
+    if method == "shm":
+        if not _want_shm("shm", frame.n, max_workers):
+            return embodied_batch(frame, model).values_mt
+        return _shm_batch_eval(frame, None, model,
+                               max_workers=max_workers).emb_mt
     factors = _resolve_embodied_factors(frame, model)
     array_ok, needs_scalar, cpu_idx, mem_idx = \
         _embodied_partition(frame, factors)
@@ -1421,6 +1529,191 @@ def parallel_batch_embodied_mt(records: list[SystemRecord],
     if not results:
         return np.full(0, np.nan)
     return np.concatenate(results)
+
+
+# ---------------------------------------------------------------------------
+# Shared-memory pool evaluation (zero-copy fan-out for large fleets)
+# ---------------------------------------------------------------------------
+
+#: Below this many records the ``"auto"`` policy stays serial: the
+#: recorded scaling curve (``results/BENCH_scaling.json``) shows the
+#: pool round trip and segment bookkeeping costing several serial
+#: runtimes until deep into the 10⁵ range, and the break-even needs
+#: real cores on top.  Conservative on purpose — callers who know
+#: their host can always pass ``parallel="shm"`` / ``method="shm"``.
+_SHM_MIN_N: int = 100_000
+
+
+@dataclass(frozen=True)
+class FleetBatch:
+    """Value/uncertainty arrays of one fleet evaluation (nan = uncovered).
+
+    The array-only product of assessing a fleet under both models —
+    what totals, coverage counts and Monte-Carlo bands are computed
+    from without materializing a single estimate object.  Fields are
+    ``None`` for a footprint that was not evaluated.
+    """
+
+    op_mt: np.ndarray | None
+    op_unc: np.ndarray | None
+    emb_mt: np.ndarray | None
+    emb_unc: np.ndarray | None
+
+
+def _operational_fallback_mask(frame: FleetFrame,
+                               model: OperationalModel) -> np.ndarray:
+    """Records the operational batch would send to the scalar model.
+
+    The *exact* partition the worker will recompute (it depends only
+    on frame columns and per-unique-device factor resolution, both
+    value-deterministic across the pickle boundary), resolved in the
+    parent so only these records — typically none, on well-formed
+    fleets — ship to pool workers as objects.
+    """
+    is_comp = frame.op_path == _OP_COMPONENT
+    if not bool(is_comp.any()):
+        return np.zeros(frame.n, dtype=bool)
+    factors = _resolve_component_factors(frame, model)
+    _, needs_scalar = _component_partition(frame, model, factors)
+    return needs_scalar
+
+
+def _embodied_fallback_mask(frame: FleetFrame,
+                            model: EmbodiedModel) -> np.ndarray:
+    """Records the embodied batch would send to the scalar model
+    (the embodied sibling of :func:`_operational_fallback_mask`)."""
+    factors = _resolve_embodied_factors(frame, model)
+    return _embodied_partition(frame, factors)[1]
+
+
+def _shm_eval_worker(task: tuple) -> None:
+    """Pool-worker body: evaluate one row chunk against the shared frame.
+
+    Attaches the frame's columns zero-copy (cached per process), runs
+    the ordinary in-process batch kernels on a column slice, and writes
+    the results into the shared output arrays — nothing but the model
+    configuration and the scarce fallback records was pickled in, and
+    nothing is pickled out.
+    """
+    handle, out_handle, start, stop, op_model, emb_model, items = task
+    from repro.parallel import shm as shm_mod
+
+    frame = shm_mod.attach_frame(
+        handle, records=SparseRecords(handle.n, dict(items)))
+    sub = frame.slice(start, stop)
+    out = shm_mod.attach(out_handle)
+    if op_model is not None:
+        opb = operational_batch(sub, op_model)
+        out["op_mt"][start:stop] = opb.values_mt
+        out["op_unc"][start:stop] = opb.uncertainty_frac
+    if emb_model is not None:
+        emb = embodied_batch(sub, emb_model)
+        out["emb_mt"][start:stop] = emb.values_mt
+        out["emb_unc"][start:stop] = emb.uncertainty_frac
+
+
+def _shm_batch_eval(frame: FleetFrame,
+                    op_model: OperationalModel | None,
+                    emb_model: EmbodiedModel | None, *,
+                    max_workers: int | None = None,
+                    chunks_per_worker: int = 1) -> FleetBatch:
+    """Evaluate a frame through the shared-memory worker pool.
+
+    The frame's columns are placed in shared memory once (pooled by
+    frame identity across calls); per call, one small output segment is
+    created and unlinked in ``finally``.  Callers are responsible for
+    checking pool/shm availability first.
+    """
+    from repro.parallel import pool as pool_mod
+    from repro.parallel import shm as shm_mod
+    from repro.parallel.chunking import chunk_indices
+
+    workers = max_workers or os.cpu_count() or 1
+    fallback = np.zeros(frame.n, dtype=bool)
+    if op_model is not None:
+        fallback |= _operational_fallback_mask(frame, op_model)
+    if emb_model is not None:
+        fallback |= _embodied_fallback_mask(frame, emb_model)
+
+    shared = shm_mod.shared_fleet_frame(frame)
+    out_arrays: dict[str, np.ndarray] = {}
+    if op_model is not None:
+        out_arrays["op_mt"] = np.full(frame.n, np.nan)
+        out_arrays["op_unc"] = np.full(frame.n, np.nan)
+    if emb_model is not None:
+        out_arrays["emb_mt"] = np.full(frame.n, np.nan)
+        out_arrays["emb_unc"] = np.full(frame.n, np.nan)
+    out_pack = shm_mod.SharedArrayPack.create(out_arrays)
+    try:
+        tasks = []
+        for start, stop in chunk_indices(frame.n,
+                                         max(workers * chunks_per_worker, 1)):
+            idx = np.flatnonzero(fallback[start:stop]) + start
+            items = tuple((int(i), frame.records[i]) for i in idx)
+            tasks.append((shared.handle, out_pack.handle, start, stop,
+                          op_model, emb_model, items))
+        pool_mod.pool_map(_shm_eval_worker, tasks, max_workers=max_workers)
+        out = out_pack.arrays()
+        batch = FleetBatch(
+            op_mt=np.array(out["op_mt"]) if op_model is not None else None,
+            op_unc=np.array(out["op_unc"]) if op_model is not None else None,
+            emb_mt=np.array(out["emb_mt"]) if emb_model is not None else None,
+            emb_unc=np.array(out["emb_unc"]) if emb_model is not None
+            else None,
+        )
+    finally:
+        out_pack.unlink()
+    return batch
+
+
+def _want_shm(parallel, n: int, max_workers: int | None) -> bool:
+    """Resolve a ``parallel`` policy against this host's capabilities."""
+    if parallel in (False, "never", "serial"):
+        return False
+    if parallel not in (True, "auto", "shm"):
+        raise ValueError(f"unknown parallel policy {parallel!r}; expected "
+                         "'auto', 'shm'/True, or 'never'/False")
+    if parallel == "auto" and n < _SHM_MIN_N:
+        return False
+    from repro.parallel import pool as pool_mod
+    from repro.parallel import shm as shm_mod
+    return shm_mod.shm_available() and pool_mod.pool_available(max_workers)
+
+
+def fleet_batch_arrays(records: Sequence[SystemRecord],
+                       operational_model: OperationalModel | None = None,
+                       embodied_model: EmbodiedModel | None = None, *,
+                       frame: FleetFrame | None = None,
+                       parallel: "bool | str" = "auto",
+                       max_workers: int | None = None) -> FleetBatch:
+    """Both footprints' value/uncertainty arrays for one fleet.
+
+    The portfolio-scale assessment entry point: one call evaluates
+    operational and embodied models over the fleet and returns plain
+    arrays (nan = uncovered) — what :func:`repro.fleets.assess_fleet`
+    and :func:`repro.fleets.assess_portfolio` build reports from.
+
+    ``parallel="auto"`` routes through the shared-memory worker pool
+    for fleets of ≥ ``_SHM_MIN_N`` records when the host supports it;
+    ``"shm"``/``True`` asks for the pool explicitly (with automatic
+    serial fallback when it is unavailable); ``"never"``/``False``
+    forces the in-process path.  All paths produce bit-identical
+    arrays (asserted in ``tests/parallel/test_shm.py``).
+    """
+    op_model = operational_model or OperationalModel()
+    emb_model = embodied_model or EmbodiedModel()
+    records = list(records)
+    if frame is None:
+        frame = fleet_frame(records)
+    if frame.n != len(records):
+        raise ValueError("frame/records length mismatch")
+    if _want_shm(parallel, frame.n, max_workers):
+        return _shm_batch_eval(frame, op_model, emb_model,
+                               max_workers=max_workers)
+    opb = operational_batch(frame, op_model)
+    emb = embodied_batch(frame, emb_model)
+    return FleetBatch(op_mt=opb.values_mt, op_unc=opb.uncertainty_frac,
+                      emb_mt=emb.values_mt, emb_unc=emb.uncertainty_frac)
 
 
 def fleet_total_mt(records: list[SystemRecord],

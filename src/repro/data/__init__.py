@@ -10,6 +10,10 @@ Two sources:
   :mod:`repro.data.missingness` — the synthetic list the *model path*
   runs EasyC on end-to-end, with missingness calibrated to Table I /
   Figure 2 and coverage calibrated to the paper's counts.
+
+:mod:`repro.data.synth_fleet` scales the synthetic list to arbitrary
+fleet sizes (deterministic replicate-and-perturb) for the 10⁵-system
+scaling benchmarks.
 """
 
 from repro.data.paper_table import (
@@ -22,6 +26,7 @@ from repro.data.paper_table import (
 from repro.data.top500 import Top500Dataset, generate_top500, default_dataset, DEFAULT_SEED
 from repro.data.truth import TrueSystem, rmax_for_rank, accel_probability
 from repro.data.missingness import MissingnessPlan, build_plan
+from repro.data.synth_fleet import synth_fleet
 
 __all__ = [
     "PaperSystem", "ScenarioValues", "load_paper_table",
@@ -29,4 +34,5 @@ __all__ = [
     "Top500Dataset", "generate_top500", "default_dataset", "DEFAULT_SEED",
     "TrueSystem", "rmax_for_rank", "accel_probability",
     "MissingnessPlan", "build_plan",
+    "synth_fleet",
 ]

@@ -1,0 +1,96 @@
+"""Deterministic synthetic fleet scaler: Top500-shaped records at any n.
+
+The paper's future-work section asks for whole national portfolios
+(ACCESS, DOE, EuroHPC) — fleets of 10⁴–10⁶ systems, not 500.  No such
+public list exists, so the scaling benchmarks need a fleet generator
+that is (a) deterministic, (b) shaped like real Top500 records
+(same missingness structure, same device vocabulary, same coverage
+fractions), and (c) cheap enough to build at n=200 000.
+
+:func:`synth_fleet` replicates the synthetic Top500's record views
+cyclically to any ``n`` and perturbs each clone's continuous fields by
+one multiplicative jitter factor.  Structure is preserved on purpose:
+
+* a field that is ``None`` in the base record stays ``None`` — the
+  coverage analysis of a synthetic fleet is exactly ``n/500`` copies
+  of the base fleet's;
+* ``rmax``/``rpeak`` scale by the *same* factor, so the record
+  invariant (Rmax ≤ Rpeak) holds by construction;
+* device identities (processor, accelerator, memory type, location)
+  are untouched, so the columnar engine's dictionary encoding stays
+  small however large the fleet — which is what makes the 10⁵-system
+  shared-memory benchmarks representative rather than adversarial.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.core.record import SystemRecord
+from repro.data.top500 import Top500Dataset, default_dataset
+
+__all__ = ["synth_fleet", "JITTERED_FIELDS"]
+
+#: Continuous fields the jitter factor multiplies (where present).
+JITTERED_FIELDS: tuple[str, ...] = (
+    "rmax_tflops", "rpeak_tflops", "power_kw", "annual_energy_kwh",
+    "memory_gb", "ssd_gb",
+)
+
+_RECORD_FIELDS: tuple[str, ...] = tuple(
+    f.name for f in dataclasses.fields(SystemRecord))
+
+
+def synth_fleet(n: int, seed: int = 0, *, scenario: str = "public",
+                jitter: float = 0.15,
+                dataset: Top500Dataset | None = None) -> list[SystemRecord]:
+    """A deterministic n-system fleet shaped like the Top500 list.
+
+    Args:
+        n: fleet size (any positive integer).
+        seed: jitter seed; ``synth_fleet(n, seed)`` is reproducible
+            bit-for-bit across runs and machines.
+        scenario: which record view to replicate — ``"public"``
+            (default; the Baseline+PublicInfo view the study assesses)
+            or ``"baseline"`` (top500.org fields only).
+        jitter: half-width of the uniform multiplicative perturbation
+            (0.15 → factors in [0.85, 1.15]); 0 disables it.
+        dataset: base dataset (the cached default when omitted).
+
+    Returns:
+        ``n`` fresh :class:`~repro.core.record.SystemRecord` objects,
+        ranked ``1..n``.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if not 0.0 <= jitter < 1.0:
+        raise ValueError(f"jitter must be in [0, 1), got {jitter}")
+    ds = dataset or default_dataset()
+    if scenario == "public":
+        base = ds.public_records()
+    elif scenario == "baseline":
+        base = ds.baseline_records()
+    else:
+        raise ValueError(f"unknown scenario {scenario!r}; "
+                         "expected 'public' or 'baseline'")
+
+    rng = np.random.default_rng(np.random.SeedSequence((seed, n)))
+    factors = rng.uniform(1.0 - jitter, 1.0 + jitter, size=n)
+
+    records: list[SystemRecord] = []
+    base_kwargs = [
+        {name: getattr(record, name) for name in _RECORD_FIELDS}
+        for record in base]
+    n_base = len(base_kwargs)
+    for i in range(n):
+        kwargs = dict(base_kwargs[i % n_base])
+        kwargs["rank"] = i + 1
+        factor = float(factors[i])
+        for field_name in JITTERED_FIELDS:
+            value = kwargs[field_name]
+            if value is not None:
+                kwargs[field_name] = value * factor
+        records.append(SystemRecord(**kwargs))
+    return records

@@ -15,13 +15,18 @@ real portfolio.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass, field
+from functools import cached_property
+
+import numpy as np
 
 from repro.core.easyc import EasyC
 from repro.core.equivalences import Equivalence, equivalences
 from repro.core.estimate import SystemAssessment
 from repro.core.record import SystemRecord
-from repro.core.uncertainty import UncertaintyBand, total_with_uncertainty
+from repro.core.uncertainty import UncertaintyBand, total_with_uncertainty_arrays
+from repro.core.vectorized import FleetBatch, fleet_batch_arrays, fleet_frame
 from repro.hardware.memory import MemoryType
 
 
@@ -39,42 +44,152 @@ class Fleet:
 
 @dataclass(frozen=True)
 class FleetReport:
-    """Assessment outcome for one fleet."""
+    """Assessment outcome for one fleet.
+
+    Totals, coverage counts and the Monte-Carlo band come straight
+    from the columnar engine's batch arrays; the full
+    :class:`~repro.core.estimate.SystemAssessment` objects are
+    materialized lazily on first access to :attr:`assessments` (the
+    same laziness :class:`~repro.study.Top500CarbonStudy` uses), so
+    portfolio-scale reports never build per-record estimate objects
+    unless somebody reads them.
+    """
 
     fleet: str
-    assessments: tuple[SystemAssessment, ...]
     operational_total_mt: float
     embodied_total_mt: float
+    n_systems: int
     n_operational_covered: int
     n_embodied_covered: int
     operational_band: UncertaintyBand | None
     operational_equivalence: Equivalence
+    _records: tuple[SystemRecord, ...] = field(repr=False)
+    _easyc: EasyC = field(repr=False)
 
-    @property
-    def n_systems(self) -> int:
-        return len(self.assessments)
+    @cached_property
+    def assessments(self) -> tuple[SystemAssessment, ...]:
+        """Full per-system assessments (materialized on first access)."""
+        return tuple(self._easyc.assess_fleet(list(self._records)))
+
+
+def _report_from_arrays(name: str, records: tuple[SystemRecord, ...],
+                        ez: EasyC, op_mt: np.ndarray, op_unc: np.ndarray,
+                        emb_mt: np.ndarray, emb_unc: np.ndarray,
+                        mc_samples: int) -> FleetReport:
+    """Build one report from batch-array slices (no estimate objects).
+
+    Totals left-fold the covered values in record order and the band
+    samples the same (value, uncertainty) pairs the estimate objects
+    would carry, so every number equals the materialized-assessment
+    construction bit-for-bit.
+    """
+    op_covered = ~np.isnan(op_mt)
+    emb_covered = ~np.isnan(emb_mt)
+    op_total = sum(op_mt[op_covered].tolist())
+    band = (total_with_uncertainty_arrays(op_mt, op_unc,
+                                          n_samples=mc_samples)
+            if bool(op_covered.any()) else None)
+    return FleetReport(
+        fleet=name,
+        operational_total_mt=op_total,
+        embodied_total_mt=sum(emb_mt[emb_covered].tolist()),
+        n_systems=len(records),
+        n_operational_covered=int(op_covered.sum()),
+        n_embodied_covered=int(emb_covered.sum()),
+        operational_band=band,
+        operational_equivalence=equivalences(op_total),
+        _records=records,
+        _easyc=ez,
+    )
 
 
 def assess_fleet(fleet: Fleet, easyc: EasyC | None = None,
-                 mc_samples: int = 2000) -> FleetReport:
-    """Assess a named fleet: coverage, totals, uncertainty, equivalences."""
+                 mc_samples: int = 2000, *,
+                 parallel: "bool | str" = "auto",
+                 max_workers: int | None = None) -> FleetReport:
+    """Assess a named fleet: coverage, totals, uncertainty, equivalences.
+
+    Runs both models over the fleet's cached
+    :class:`~repro.core.vectorized.FleetFrame` as batch arrays
+    (``parallel`` forwards to
+    :func:`~repro.core.vectorized.fleet_batch_arrays`, so fleets far
+    larger than the Top 500 fan out over the shared-memory pool);
+    assessments stay lazy on the report.
+    """
     ez = easyc or EasyC()
-    assessments = tuple(ez.assess_fleet(list(fleet.systems)))
-    op_estimates = [a.operational for a in assessments if a.operational]
-    emb_estimates = [a.embodied for a in assessments if a.embodied]
-    op_total = sum(e.value_mt for e in op_estimates)
-    band = (total_with_uncertainty(op_estimates, n_samples=mc_samples)
-            if op_estimates else None)
-    return FleetReport(
-        fleet=fleet.name,
-        assessments=assessments,
-        operational_total_mt=op_total,
-        embodied_total_mt=sum(e.value_mt for e in emb_estimates),
-        n_operational_covered=len(op_estimates),
-        n_embodied_covered=len(emb_estimates),
-        operational_band=band,
-        operational_equivalence=equivalences(op_total),
-    )
+    batch = fleet_batch_arrays(list(fleet.systems), ez.operational_model,
+                               ez.embodied_model, parallel=parallel,
+                               max_workers=max_workers)
+    return _report_from_arrays(fleet.name, fleet.systems, ez,
+                               batch.op_mt, batch.op_unc,
+                               batch.emb_mt, batch.emb_unc, mc_samples)
+
+
+@dataclass(frozen=True)
+class PortfolioReport:
+    """Per-fleet reports for a portfolio assessed through one pool."""
+
+    reports: tuple[FleetReport, ...]
+
+    @property
+    def n_fleets(self) -> int:
+        return len(self.reports)
+
+    @property
+    def n_systems(self) -> int:
+        return sum(r.n_systems for r in self.reports)
+
+    @property
+    def operational_total_mt(self) -> float:
+        return sum(r.operational_total_mt for r in self.reports)
+
+    @property
+    def embodied_total_mt(self) -> float:
+        return sum(r.embodied_total_mt for r in self.reports)
+
+    def report(self, fleet_name: str) -> FleetReport:
+        for r in self.reports:
+            if r.fleet == fleet_name:
+                return r
+        raise KeyError(f"no fleet named {fleet_name!r} in portfolio "
+                       f"(have {[r.fleet for r in self.reports]})")
+
+
+def assess_portfolio(fleets: Iterable[Fleet], easyc: EasyC | None = None, *,
+                     mc_samples: int = 2000,
+                     parallel: "bool | str" = "auto",
+                     max_workers: int | None = None) -> PortfolioReport:
+    """Assess many fleets as one batched evaluation.
+
+    The paper's future-work scale-out: rather than assessing each
+    fleet separately, every system of every fleet is concatenated into
+    one :class:`~repro.core.vectorized.FleetFrame` and evaluated in a
+    single batch pass — one frame extraction, one factor resolution
+    per unique device, and (for large portfolios) one shared-memory
+    placement feeding one persistent worker pool.  The combined arrays
+    are then sliced back into per-fleet :class:`FleetReport`\\ s whose
+    numbers are bit-identical to assessing each fleet alone (asserted
+    in ``tests/test_fleets_and_cli.py``).
+    """
+    fleets = tuple(fleets)
+    if not fleets:
+        raise ValueError("portfolio needs at least one fleet")
+    ez = easyc or EasyC()
+    all_records = [record for fleet in fleets for record in fleet.systems]
+    frame = fleet_frame(all_records)
+    batch = fleet_batch_arrays(all_records, ez.operational_model,
+                               ez.embodied_model, frame=frame,
+                               parallel=parallel, max_workers=max_workers)
+    reports = []
+    offset = 0
+    for fleet in fleets:
+        stop = offset + len(fleet.systems)
+        sl = slice(offset, stop)
+        reports.append(_report_from_arrays(
+            fleet.name, fleet.systems, ez, batch.op_mt[sl], batch.op_unc[sl],
+            batch.emb_mt[sl], batch.emb_unc[sl], mc_samples))
+        offset = stop
+    return PortfolioReport(reports=tuple(reports))
 
 
 def sweep_fleet(fleet: Fleet, specs, easyc: EasyC | None = None):

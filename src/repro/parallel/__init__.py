@@ -2,13 +2,44 @@
 
 Assessing one 500-system list is cheap, but the benchmark harness runs
 parameter sweeps (ablation grids × scenarios × Monte-Carlo missingness
-draws) that evaluate many thousands of fleets; this package provides a
-small, dependency-free chunked ``parallel_map`` over processes, plus
-the chunking arithmetic it uses (tested separately, since off-by-ones
-in chunking silently drop work items).
+draws) that evaluate many thousands of fleets, and the scale-out path
+assesses synthetic portfolios of 10⁴–10⁶ systems.  Three layers:
+
+* :mod:`repro.parallel.chunking` — chunking arithmetic (tested
+  separately, since off-by-ones silently drop work items);
+* :mod:`repro.parallel.executor` — the small, dependency-free chunked
+  ``parallel_map`` over short-lived process pools;
+* :mod:`repro.parallel.pool` + :mod:`repro.parallel.shm` — the
+  fleet-scale substrate: a persistent worker pool reused across calls,
+  and zero-copy shared-memory placement of
+  :class:`~repro.core.vectorized.FleetFrame` columns so workers attach
+  instead of unpickling column chunks per task.  Both fall back to the
+  serial path (identical results) when processes or ``/dev/shm`` are
+  unavailable.
 """
 
 from repro.parallel.chunking import chunk_indices, chunked
 from repro.parallel.executor import parallel_map, ExecutionStats
+from repro.parallel.pool import (
+    WorkerCrashError,
+    get_pool,
+    pool_available,
+    pool_map,
+    shutdown_pool,
+)
+from repro.parallel.shm import (
+    SharedArrayPack,
+    SharedFleetFrame,
+    live_owned_segments,
+    release_shared_frames,
+    shared_fleet_frame,
+    shm_available,
+)
 
-__all__ = ["chunk_indices", "chunked", "parallel_map", "ExecutionStats"]
+__all__ = [
+    "chunk_indices", "chunked", "parallel_map", "ExecutionStats",
+    "WorkerCrashError", "get_pool", "pool_available", "pool_map",
+    "shutdown_pool",
+    "SharedArrayPack", "SharedFleetFrame", "live_owned_segments",
+    "release_shared_frames", "shared_fleet_frame", "shm_available",
+]

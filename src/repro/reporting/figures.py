@@ -11,7 +11,7 @@ synthetic list via :class:`repro.study.Top500CarbonStudy`.
 from __future__ import annotations
 
 from repro.analysis.aggregate import totals_of
-from repro.analysis.sensitivity import compare_scenarios
+from repro.analysis.sensitivity import compare_scenarios, cube_sensitivity
 from repro.analysis.series import CarbonSeries
 from repro.core.equivalences import equivalences
 from repro.core.metrics import KeyMetric, metric_present
@@ -195,6 +195,47 @@ def figure9() -> str:
             f"total change {total_change:+,.0f} MT ({pct:+.2f}%) incl. "
             f"newly covered systems")
     return "\n".join(parts)
+
+
+def figure9_cube(cube, scenario, baseline=0,
+                 footprints=("operational", "embodied")) -> str:
+    """Fig-9-style sensitivity table for any two scenarios of a cube.
+
+    Figure 9 quantifies what the *data* scenario change (top500.org →
+    +public info) does to per-system estimates; this renders exactly
+    the same statistics for an arbitrary *model* scenario pair taken
+    from a :class:`~repro.scenarios.ScenarioCube` — "what does PUE 1.3
+    change?" reported in the paper's own terms, via
+    :func:`repro.analysis.sensitivity.cube_sensitivity`.
+
+    Args:
+        cube: a scenario cube from :func:`repro.scenarios.sweep`.
+        scenario: the changed scenario (cube index or name).
+        baseline: the reference scenario (default: the cube's first).
+        footprints: which footprints to tabulate.
+    """
+    base_name = cube.specs[cube.index(baseline)].name
+    scen_name = cube.specs[cube.index(scenario)].name
+    rows = []
+    for footprint in footprints:
+        sens = cube_sensitivity(cube, scenario, footprint,
+                                baseline=baseline)
+        rows.append((
+            footprint,
+            sens.n_both_covered,
+            sens.n_newly_covered,
+            round(sens.total_baseline_mt / 1e3, 1),
+            round(sens.total_public_mt / 1e3, 1),
+            f"{sens.total_change_percent:+.2f}",
+            f"{sens.max_increase_mt:+,.0f}",
+            f"{sens.max_decrease_mt:+,.0f}",
+            f"{100.0 * sens.max_relative_change:.1f}",
+        ))
+    return render_table(
+        ("Footprint", "# both", "# newly", "Base (kMT)", "Scenario (kMT)",
+         "Total Δ%", "Max +MT", "Max -MT", "Max |Δ|%"),
+        rows,
+        title=f"Fig 9-style scenario delta: {base_name!r} → {scen_name!r}")
 
 
 def figure10() -> str:

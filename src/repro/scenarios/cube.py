@@ -21,6 +21,8 @@ one-time footprint into a per-year figure comparable with operational.
 
 from __future__ import annotations
 
+import os
+import pickle
 from dataclasses import dataclass
 
 import numpy as np
@@ -37,6 +39,17 @@ __all__ = ["ScenarioCube", "FOOTPRINTS"]
 
 #: The reducible footprints of a cube.
 FOOTPRINTS = ("operational", "embodied", "embodied_annualized")
+
+
+def _npz_path(path) -> str:
+    """Normalize the ``.npz`` suffix once for both save and load.
+
+    ``np.savez_compressed`` appends ``.npz`` to suffix-less paths but
+    ``np.load`` opens paths verbatim; normalizing here keeps
+    ``load_npz(p)`` symmetric with ``save_npz(p)`` for any ``p``.
+    """
+    path = os.fspath(path)
+    return path if path.endswith(".npz") else path + ".npz"
 
 
 @dataclass(frozen=True)
@@ -174,6 +187,49 @@ class ScenarioCube:
         return {spec.name: self.band(i, footprint, n_samples=n_samples,
                                      seed=seed)
                 for i, spec in enumerate(self.specs)}
+
+    # -- persistence ---------------------------------------------------------
+
+    def save_npz(self, path) -> None:
+        """Persist the cube to one ``.npz`` file.
+
+        Large sweeps (10³ scenarios × 10⁵ systems) should not be
+        recomputed to be re-read: the value/uncertainty matrices are
+        stored as plain (lossless) npz arrays, and the labeled axes —
+        specs, ranks, names — as one pickled blob packed into a uint8
+        array, so :meth:`load_npz` never needs ``allow_pickle`` for
+        the numeric payload.  Round trips are exact:
+        ``load_npz(path) == cube`` field for field (asserted in
+        ``tests/scenarios``).
+        """
+        meta = pickle.dumps(
+            {"specs": self.specs, "ranks": self.ranks, "names": self.names},
+            protocol=pickle.HIGHEST_PROTOCOL)
+        np.savez_compressed(
+            _npz_path(path),
+            meta=np.frombuffer(meta, dtype=np.uint8),
+            operational_mt=self.operational_mt,
+            operational_unc=self.operational_unc,
+            embodied_mt=self.embodied_mt,
+            embodied_unc=self.embodied_unc,
+            lifetime_years=self.lifetime_years,
+        )
+
+    @classmethod
+    def load_npz(cls, path) -> "ScenarioCube":
+        """Reload a cube saved by :meth:`save_npz` (exact round trip)."""
+        with np.load(_npz_path(path)) as data:
+            meta = pickle.loads(data["meta"].tobytes())
+            return cls(
+                specs=tuple(meta["specs"]),
+                ranks=tuple(meta["ranks"]),
+                names=tuple(meta["names"]),
+                operational_mt=data["operational_mt"],
+                operational_unc=data["operational_unc"],
+                embodied_mt=data["embodied_mt"],
+                embodied_unc=data["embodied_unc"],
+                lifetime_years=data["lifetime_years"],
+            )
 
     def table_rows(self, footprint: str = "operational",
                    baseline: "int | str | ScenarioSpec | None" = 0,

@@ -1,0 +1,72 @@
+"""The synthetic fleet scaler: determinism, structure preservation."""
+
+import numpy as np
+import pytest
+
+from repro.core.vectorized import FleetFrame, batch_operational_mt
+from repro.data.synth_fleet import synth_fleet
+
+
+class TestSynthFleet:
+    def test_deterministic(self):
+        a = synth_fleet(137, seed=3)
+        b = synth_fleet(137, seed=3)
+        assert a == b
+
+    def test_seed_and_n_change_the_fleet(self):
+        base = synth_fleet(100, seed=0)
+        assert synth_fleet(100, seed=1) != base
+        assert synth_fleet(150, seed=0)[:100] != base
+
+    def test_ranks_and_size(self):
+        records = synth_fleet(1_234, seed=5)
+        assert len(records) == 1_234
+        assert [r.rank for r in records] == list(range(1, 1_235))
+
+    def test_structure_mirrors_base_cyclically(self, dataset):
+        base = dataset.public_records()
+        records = synth_fleet(1_100, seed=9, dataset=dataset)
+        for i in (0, 499, 500, 1_099):
+            source = base[i % 500]
+            record = records[i]
+            # Identity fields untouched; missingness preserved.
+            assert record.processor == source.processor
+            assert record.accelerator == source.accelerator
+            assert record.country == source.country
+            assert (record.power_kw is None) == (source.power_kw is None)
+            assert (record.memory_gb is None) == (source.memory_gb is None)
+
+    def test_coverage_scales_exactly(self, dataset):
+        """Jitter never flips coverage: an n=2x500 fleet covers exactly
+        twice the base fleet's operational count."""
+        base_covered = int(np.sum(~np.isnan(
+            batch_operational_mt(dataset.public_records()))))
+        records = synth_fleet(1_000, seed=11, dataset=dataset)
+        covered = int(np.sum(~np.isnan(batch_operational_mt(records))))
+        assert covered == 2 * base_covered
+
+    def test_dictionary_encoding_stays_small(self, dataset):
+        """Device/location vocabularies do not grow with n — the
+        property that keeps per-unique factor resolution O(1) in n."""
+        small = FleetFrame.from_records(synth_fleet(500, seed=2,
+                                                    dataset=dataset))
+        large = FleetFrame.from_records(synth_fleet(2_000, seed=2,
+                                                    dataset=dataset))
+        assert set(large.processors) == set(small.processors)
+        assert set(large.accelerators) == set(small.accelerators)
+        assert set(large.locations) == set(small.locations)
+
+    def test_baseline_scenario(self, dataset):
+        records = synth_fleet(600, seed=1, scenario="baseline",
+                              dataset=dataset)
+        assert len(records) == 600
+        # The baseline view has no utilization/energy enrichment.
+        assert all(r.annual_energy_kwh is None for r in records)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            synth_fleet(0)
+        with pytest.raises(ValueError):
+            synth_fleet(10, jitter=1.5)
+        with pytest.raises(ValueError):
+            synth_fleet(10, scenario="true")

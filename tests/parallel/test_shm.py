@@ -1,0 +1,219 @@
+"""Shared-memory pool layer: identity, fallback and failure modes.
+
+The scale-out contract: every dispatch method (serial, chunked-pickle,
+shm-pool) produces bit-identical arrays; every unavailability (no
+``/dev/shm``, no process spawning) degrades to the serial path with
+identical results; worker death raises cleanly; and no shared-memory
+segment outlives its owner's bookkeeping — even when a batch dies
+mid-flight.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.vectorized import (
+    SparseRecords,
+    batch_embodied_mt,
+    batch_operational_mt,
+    fleet_batch_arrays,
+    fleet_frame,
+    parallel_batch_embodied_mt,
+    parallel_batch_operational_mt,
+)
+from repro.parallel import pool as pool_mod
+from repro.parallel import shm as shm_mod
+from repro.parallel.pool import WorkerCrashError, pool_map
+from repro.parallel.shm import SharedArrayPack, attach, live_owned_segments
+
+WORKERS = 2
+
+
+@pytest.fixture()
+def records(study):
+    return list(study.public_records)
+
+
+@pytest.fixture(autouse=True)
+def _release_pooled_frames():
+    yield
+    shm_mod.release_shared_frames()
+
+
+def _pool_ready() -> bool:
+    return shm_mod.shm_available() and pool_mod.pool_available(WORKERS)
+
+
+# ---------------------------------------------------------------------------
+# SharedArrayPack
+# ---------------------------------------------------------------------------
+
+class TestSharedArrayPack:
+    @pytest.mark.skipif(not shm_mod.shm_available(), reason="no /dev/shm")
+    def test_round_trip_and_bookkeeping(self):
+        arrays = {
+            "floats": np.linspace(0.0, 1.0, 101),
+            "ints": np.arange(7, dtype=np.int64),
+            "bools": np.array([True, False, True]),
+            "matrix": np.arange(12, dtype=np.float64).reshape(3, 4),
+        }
+        pack = SharedArrayPack.create(arrays)
+        assert pack.handle.segment in live_owned_segments()
+        for name, source in arrays.items():
+            assert np.array_equal(pack.arrays()[name], source)
+            assert np.array_equal(attach(pack.handle)[name], source)
+        pack.unlink()
+        pack.unlink()                       # idempotent
+        assert pack.handle.segment not in live_owned_segments()
+        with pytest.raises(ValueError):
+            pack.arrays()
+
+    @pytest.mark.skipif(not shm_mod.shm_available(), reason="no /dev/shm")
+    def test_readonly_views(self):
+        pack = SharedArrayPack.create({"x": np.arange(4.0)}, readonly=True)
+        try:
+            view = attach(pack.handle)["x"]
+            with pytest.raises(ValueError):
+                view[0] = 99.0
+        finally:
+            pack.unlink()
+
+    @pytest.mark.skipif(not shm_mod.shm_available(), reason="no /dev/shm")
+    def test_context_manager_unlinks(self):
+        with SharedArrayPack.create({"x": np.zeros(8)}) as pack:
+            name = pack.handle.segment
+            assert name in live_owned_segments()
+        assert name not in live_owned_segments()
+
+    def test_disable_env_forces_unavailable(self, monkeypatch):
+        monkeypatch.setenv(shm_mod.DISABLE_ENV, "1")
+        assert not shm_mod.shm_available()
+
+
+class TestSparseRecords:
+    def test_len_get_and_slice(self, records):
+        sparse = SparseRecords(10, {3: records[3], 7: records[7]})
+        assert len(sparse) == 10
+        assert sparse[3] is records[3]
+        assert sparse[0] is None
+        assert sparse[-3] is records[7]
+        sub = sparse[2:8]
+        assert len(sub) == 6
+        assert sub[1] is records[3]
+        assert sub[5] is records[7]
+        with pytest.raises(IndexError):
+            sparse[10]
+
+
+# ---------------------------------------------------------------------------
+# Dispatch-method identity + serial fallback
+# ---------------------------------------------------------------------------
+
+class TestShmBatchIdentity:
+    @pytest.mark.skipif(not shm_mod.shm_available(), reason="no /dev/shm")
+    def test_shm_matches_serial(self, records):
+        if not _pool_ready():
+            pytest.skip("cannot spawn worker processes")
+        frame = fleet_frame(records)
+        assert np.array_equal(
+            batch_operational_mt(records, frame=frame),
+            parallel_batch_operational_mt(records, frame=frame,
+                                          max_workers=WORKERS, method="shm"),
+            equal_nan=True)
+        assert np.array_equal(
+            batch_embodied_mt(records, frame=frame),
+            parallel_batch_embodied_mt(records, frame=frame,
+                                       max_workers=WORKERS, method="shm"),
+            equal_nan=True)
+
+    def test_no_shm_falls_back_to_identical_serial(self, records,
+                                                   monkeypatch):
+        monkeypatch.setenv(shm_mod.DISABLE_ENV, "1")
+        frame = fleet_frame(records)
+        values = parallel_batch_operational_mt(records, frame=frame,
+                                               max_workers=WORKERS,
+                                               method="shm")
+        assert np.array_equal(values, batch_operational_mt(records,
+                                                           frame=frame),
+                              equal_nan=True)
+        assert live_owned_segments() == ()
+
+    def test_no_processes_falls_back_to_identical_serial(self, records,
+                                                         monkeypatch):
+        monkeypatch.setenv(pool_mod.DISABLE_ENV, "1")
+        frame = fleet_frame(records)
+        values = parallel_batch_embodied_mt(records, frame=frame,
+                                            max_workers=WORKERS,
+                                            method="shm")
+        assert np.array_equal(values, batch_embodied_mt(records,
+                                                        frame=frame),
+                              equal_nan=True)
+        assert live_owned_segments() == ()
+
+    def test_fleet_batch_arrays_policies_agree(self, records):
+        serial = fleet_batch_arrays(records, parallel="never")
+        if _pool_ready():
+            pooled = fleet_batch_arrays(records, parallel="shm",
+                                        max_workers=WORKERS)
+        else:
+            pooled = fleet_batch_arrays(records, parallel="shm")
+        for field in ("op_mt", "op_unc", "emb_mt", "emb_unc"):
+            assert np.array_equal(getattr(serial, field),
+                                  getattr(pooled, field), equal_nan=True)
+
+    def test_unknown_policies_rejected(self, records):
+        with pytest.raises(ValueError):
+            fleet_batch_arrays(records, parallel="bogus")
+        with pytest.raises(ValueError):
+            parallel_batch_operational_mt(records, method="bogus")
+
+
+# ---------------------------------------------------------------------------
+# Failure modes
+# ---------------------------------------------------------------------------
+
+def _die(_task) -> None:
+    os._exit(3)
+
+
+def _echo(task):
+    return task
+
+
+class TestFailureModes:
+    def test_worker_death_raises_cleanly_and_pool_recovers(self):
+        if not pool_mod.pool_available(WORKERS):
+            pytest.skip("cannot spawn worker processes")
+        with pytest.raises(WorkerCrashError):
+            pool_map(_die, [1, 2, 3, 4], max_workers=WORKERS)
+        # The broken pool was discarded; the next batch runs clean.
+        assert pool_map(_echo, [1, 2, 3], max_workers=WORKERS) == [1, 2, 3]
+
+    def test_ordinary_exceptions_propagate_unwrapped(self):
+        def boom(_):
+            raise RuntimeError("task failure")
+        with pytest.raises(RuntimeError, match="task failure"):
+            pool_map(boom, [1])
+
+    @pytest.mark.skipif(not shm_mod.shm_available(), reason="no /dev/shm")
+    def test_no_leaked_segments_after_midbatch_exception(self, records,
+                                                         monkeypatch):
+        if not _pool_ready():
+            pytest.skip("cannot spawn worker processes")
+        frame = fleet_frame(records)
+
+        def explode(*args, **kwargs):
+            raise RuntimeError("mid-batch death")
+
+        monkeypatch.setattr(pool_mod, "pool_map", explode)
+        with pytest.raises(RuntimeError, match="mid-batch death"):
+            parallel_batch_operational_mt(records, frame=frame,
+                                          max_workers=WORKERS, method="shm")
+        # The per-call output pack was unlinked by the finally; only
+        # the (deliberately pooled) frame segment remains, and
+        # releasing the pool drains the registry completely.
+        remaining = live_owned_segments()
+        assert len(remaining) <= 1
+        shm_mod.release_shared_frames()
+        assert live_owned_segments() == ()

@@ -5,8 +5,8 @@ import pytest
 from repro.reporting.charts import bar_chart, series_summary
 from repro.reporting.figures import (
     figure2, figure3, figure4, figure5, figure6, figure7, figure8,
-    figure9, figure10, figure11, headline, reference_series, table1,
-    table2_excerpt,
+    figure9, figure9_cube, figure10, figure11, headline, reference_series,
+    table1, table2_excerpt,
 )
 from repro.reporting.tables import render_table
 
@@ -104,6 +104,19 @@ class TestFigureFunctions:
         text = figure9()
         assert "+2.85%" in text
         assert "+670,481" in text.replace("−", "-") or "670,481" in text
+
+    def test_figure9_cube(self, study):
+        from repro.scenarios import aci_scale_axis
+
+        cube = study.scenario_sweep(aci_scale_axis((1.0, 0.5)))
+        text = figure9_cube(cube, "aci x0.5")
+        assert "Fig 9-style scenario delta" in text
+        assert "'aci x1'" in text and "'aci x0.5'" in text
+        assert "operational" in text and "embodied" in text
+        # Halving every grid intensity halves operational totals.
+        assert "-50.00" in text
+        # Embodied carbon is grid-independent: zero delta.
+        assert "+0.00" in text or "0.00" in text
 
     def test_figure10(self):
         text = figure10()

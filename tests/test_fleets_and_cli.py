@@ -11,6 +11,7 @@ from repro.fleets import (
     EUROHPC_LIKE_FLEET,
     Fleet,
     assess_fleet,
+    assess_portfolio,
 )
 
 
@@ -57,6 +58,53 @@ class TestFleets:
         report = assess_fleet(fleet)
         assert report.n_operational_covered == 1
         assert report.n_embodied_covered == 0
+
+    def test_report_matches_materialized_assessments(self):
+        """The array-backed report equals the estimate-object
+        construction it replaced — totals, counts and band."""
+        from repro.core.uncertainty import total_with_uncertainty
+
+        report = assess_fleet(EUROHPC_LIKE_FLEET)
+        assessments = report.assessments          # lazy; forces here
+        op = [a.operational for a in assessments if a.operational]
+        emb = [a.embodied for a in assessments if a.embodied]
+        assert report.n_systems == len(assessments)
+        assert report.n_operational_covered == len(op)
+        assert report.n_embodied_covered == len(emb)
+        assert report.operational_total_mt == sum(e.value_mt for e in op)
+        assert report.embodied_total_mt == sum(e.value_mt for e in emb)
+        assert report.operational_band == \
+            total_with_uncertainty(op, n_samples=2000)
+
+
+class TestPortfolio:
+    def test_portfolio_matches_per_fleet_reports(self):
+        """One batched portfolio pass slices back into reports that are
+        bit-identical to assessing each fleet alone."""
+        fleets = (ACCESS_LIKE_FLEET, DOE_LIKE_FLEET, EUROHPC_LIKE_FLEET)
+        portfolio = assess_portfolio(fleets)
+        assert portfolio.n_fleets == 3
+        assert portfolio.n_systems == sum(len(f.systems) for f in fleets)
+        for fleet in fleets:
+            combined = portfolio.report(fleet.name)
+            alone = assess_fleet(fleet)
+            assert combined.operational_total_mt == \
+                alone.operational_total_mt
+            assert combined.embodied_total_mt == alone.embodied_total_mt
+            assert combined.n_operational_covered == \
+                alone.n_operational_covered
+            assert combined.operational_band == alone.operational_band
+        assert portfolio.operational_total_mt == pytest.approx(
+            sum(assess_fleet(f).operational_total_mt for f in fleets))
+
+    def test_unknown_fleet_name(self):
+        portfolio = assess_portfolio((ACCESS_LIKE_FLEET,))
+        with pytest.raises(KeyError):
+            portfolio.report("nope")
+
+    def test_empty_portfolio_rejected(self):
+        with pytest.raises(ValueError):
+            assess_portfolio(())
 
 
 class TestCli:
