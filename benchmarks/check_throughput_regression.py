@@ -8,7 +8,10 @@ measured within one process on one machine:
 * ``speedup_vs_scalar_engine`` — the vectorized study against the
   scalar reference engine;
 * ``scenario_sweep.speedup_vs_batch_loop`` — the 2-D sweep kernel
-  against the per-scenario batch loop it replaced.
+  against the per-scenario batch loop it replaced;
+* ``projection_sweep.speedup_vs_per_year_loop`` — the temporal
+  projection engine (one base sweep + factorized year axis) against
+  re-running the 2-D sweep per projected year.
 
 A metric fails when it drops more than ``--max-regression`` (default
 20 %) below the committed value.  Metrics absent from the committed
@@ -60,6 +63,7 @@ def _metric(data: dict, dotted: str) -> float | None:
 METRICS = (
     "speedup_vs_scalar_engine",
     "scenario_sweep.speedup_vs_batch_loop",
+    "projection_sweep.speedup_vs_per_year_loop",
 )
 
 

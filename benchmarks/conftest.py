@@ -28,11 +28,20 @@ def study(dataset: Top500Dataset) -> StudyResult:
 
 
 @pytest.fixture(scope="session")
-def save_artifact():
-    """Writer for rendered figure text under results/."""
+def results_dir() -> pathlib.Path:
+    """The artifact directory — the one location every bench reads
+    and writes, so merge-over-existing logic (the shared
+    ``BENCH_throughput.json``) cannot diverge from where
+    ``save_artifact`` lands."""
     RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def save_artifact(results_dir):
+    """Writer for rendered figure text under results/."""
 
     def _save(name: str, text: str) -> None:
-        (RESULTS_DIR / name).write_text(text + "\n", encoding="utf-8")
+        (results_dir / name).write_text(text + "\n", encoding="utf-8")
 
     return _save

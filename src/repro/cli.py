@@ -6,10 +6,16 @@ Commands:
 * ``assess``    — assess one system from command-line metrics.
 * ``fleet``     — assess a built-in named fleet (access-like, doe-like,
   eurohpc-like).
-* ``project``   — print the 2024-2030 projection table.
+* ``project``   — the 2024-2030 projection table; with ``--scenarios``
+  a temporal sweep (growth-rate axes × decarbonization trajectories ×
+  refresh schedules) through the (scenario × year × system) engine,
+  over the Top500 study or a built-in fleet, with optional
+  Monte-Carlo bands (``--bands``).
 * ``scenarios`` — declarative scenario sweep (cartesian or zipped axes
   over ACI scale, PUE, utilization, lifetime, decarbonization years)
-  through the 2-D kernel, over the Top500 study or a built-in fleet.
+  through the 2-D kernel, over the Top500 study or a built-in fleet;
+  renders whole cubes (``--footprint all``, ``--bands``) and persists
+  or reloads them (``--save`` / ``--load``).
 
 The CLI is a thin veneer over the library; everything it prints comes
 from the same functions the benchmarks assert against.
@@ -56,17 +62,60 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("name", choices=["access-like", "doe-like",
                                         "eurohpc-like"])
 
-    project = sub.add_parser("project", help="2024-2030 projection table")
-    project.add_argument("--op-rate", type=float, default=0.103,
-                         help="annual operational growth (default 0.103)")
-    project.add_argument("--emb-rate", type=float, default=0.02,
-                         help="annual embodied growth (default 0.02)")
-
     def floats(text: str) -> list[float]:
         return [float(part) for part in text.split(",") if part]
 
     def ints(text: str) -> list[int]:
         return [int(part) for part in text.split(",") if part]
+
+    project = sub.add_parser(
+        "project",
+        help="temporal projection: 2024-2030 totals, or a scenario "
+             "sweep through the (scenario x year x system) engine")
+    project.add_argument("--op-rate", type=float, default=None,
+                         help="annual operational growth for the totals "
+                              "table (default 0.103)")
+    project.add_argument("--emb-rate", type=float, default=None,
+                         help="annual embodied growth for the totals "
+                              "table (default 0.02)")
+    project.add_argument("--scenarios", action="store_true",
+                         help="sweep scenario axes over the per-record "
+                              "temporal engine instead of projecting "
+                              "two pre-aggregated totals")
+    project.add_argument("--fleet", default=None,
+                         choices=["access-like", "doe-like", "eurohpc-like"],
+                         help="project a built-in fleet instead of the "
+                              "Top500 study (with --scenarios)")
+    project.add_argument("--op-growth", type=floats, default=None,
+                         metavar="G1,G2,...",
+                         help="operational growth-rate axis "
+                              "(0.103 = the paper's)")
+    project.add_argument("--emb-growth", type=floats, default=None,
+                         metavar="G1,G2,...",
+                         help="embodied growth-rate axis (0.02 = paper)")
+    project.add_argument("--decarbonize", type=floats, default=None,
+                         metavar="R1,R2,...",
+                         help="grid decarbonization trajectory axis "
+                              "(annual decline rates, resolved per year)")
+    project.add_argument("--refresh", type=floats, default=None,
+                         metavar="L1,L2,...",
+                         help="refresh-horizon axis (years; embodied "
+                              "re-spend on each system's schedule)")
+    project.add_argument("--aci-scale", type=floats, default=None,
+                         metavar="S1,S2,...",
+                         help="grid-intensity scale axis")
+    project.add_argument("--end-year", type=int, default=2030,
+                         help="last projected year (default 2030)")
+    project.add_argument("--base-year", type=int, default=2024,
+                         help="base year (default 2024)")
+    project.add_argument("--zip", action="store_true", dest="zip_axes",
+                         help="pair axes positionally instead of crossing")
+    project.add_argument("--footprint", default="operational",
+                         choices=["operational", "embodied",
+                                  "embodied_annualized"],
+                         help="which footprint the table reports")
+    project.add_argument("--bands", action="store_true",
+                         help="append end-year Monte-Carlo p5-p95 bands")
 
     scen = sub.add_parser(
         "scenarios",
@@ -96,8 +145,16 @@ def build_parser() -> argparse.ArgumentParser:
                       help="pair axes positionally instead of crossing them")
     scen.add_argument("--footprint", default="operational",
                       choices=["operational", "embodied",
-                               "embodied_annualized"],
-                      help="which footprint the table reports")
+                               "embodied_annualized", "all"],
+                      help="which footprint(s) the table reports "
+                           "('all' renders the whole cube)")
+    scen.add_argument("--bands", action="store_true",
+                      help="append per-scenario Monte-Carlo p5-p95 bands")
+    scen.add_argument("--save", default=None, metavar="PATH",
+                      help="persist the swept cube to PATH(.npz)")
+    scen.add_argument("--load", default=None, metavar="PATH",
+                      help="render a previously saved cube instead of "
+                           "sweeping (axis flags are ignored)")
     return parser
 
 
@@ -156,27 +213,105 @@ def cmd_fleet(name: str) -> int:
     return 0
 
 
-def cmd_project(op_rate: float, emb_rate: float) -> int:
+#: ``repro project`` flags only meaningful in one of its two modes,
+#: checked explicitly so a mode mismatch errors instead of silently
+#: projecting something other than what the user asked for.
+_PROJECT_SWEEP_ONLY = ("fleet", "op_growth", "emb_growth", "decarbonize",
+                       "refresh", "aci_scale", "zip_axes", "bands")
+_PROJECT_TOTALS_ONLY = ("op_rate", "emb_rate")
+
+
+def cmd_project(args: argparse.Namespace) -> int:
+    if args.scenarios:
+        stray = [name for name in _PROJECT_TOTALS_ONLY
+                 if getattr(args, name) is not None]
+        if stray:
+            print(f"--scenarios sweeps growth axes; "
+                  f"{', '.join('--' + s.replace('_', '-') for s in stray)} "
+                  "only applies to the totals table (use --op-growth / "
+                  "--emb-growth instead)", file=sys.stderr)
+            return 2
+        return _cmd_project_scenarios(args)
+    stray = [name for name in _PROJECT_SWEEP_ONLY if getattr(args, name)]
+    if stray:
+        flags = ", ".join("--zip" if s == "zip_axes"
+                          else "--" + s.replace("_", "-") for s in stray)
+        print(f"{flags} require(s) --scenarios (the temporal sweep mode)",
+              file=sys.stderr)
+        return 2
     from repro.data.paper_table import totals_mt
     from repro.projection.growth import CarbonProjection
     from repro.reporting.tables import render_table
     totals = totals_mt()
     projection = CarbonProjection(
-        base_year=2024,
+        base_year=args.base_year,
         base_operational_mt=totals["operational_interpolated"],
         base_embodied_mt=totals["embodied_interpolated"],
-        operational_rate=op_rate, embodied_rate=emb_rate)
+        operational_rate=0.103 if args.op_rate is None else args.op_rate,
+        embodied_rate=0.02 if args.emb_rate is None else args.emb_rate)
     rows = [(str(p.year), round(p.operational_mt / 1e3, 1),
-             round(p.embodied_mt / 1e3, 1)) for p in projection.series()]
+             round(p.embodied_mt / 1e3, 1))
+            for p in projection.series(args.end_year)]
     print(render_table(("Year", "Operational (kMT)", "Embodied (kMT)"),
                        rows, title="Top 500 carbon projection"))
+    return 0
+
+
+def _cmd_project_scenarios(args: argparse.Namespace) -> int:
+    """``repro project --scenarios``: the temporal sweep path."""
+    from repro import scenarios
+    from repro.grid.intensity import DecarbonizationTrajectory
+    from repro.reporting.figures import figure10_cube
+
+    if args.refresh and args.footprint == "embodied_annualized":
+        print("refresh re-spend is a cumulative schedule; "
+              "embodied_annualized is undefined for it — report "
+              "--footprint embodied instead", file=sys.stderr)
+        return 2
+    axes = []
+    if args.op_growth:
+        axes.append(scenarios.growth_axis(args.op_growth))
+    if args.emb_growth:
+        axes.append(scenarios.growth_axis(args.emb_growth,
+                                          footprint="embodied"))
+    if args.decarbonize:
+        axes.append(scenarios.trajectory_axis(tuple(
+            DecarbonizationTrajectory(base_year=args.base_year,
+                                      annual_decline=rate)
+            for rate in args.decarbonize)))
+    if args.refresh:
+        axes.append(scenarios.refresh_axis(args.refresh))
+    if args.aci_scale:
+        axes.append(scenarios.aci_scale_axis(args.aci_scale))
+    specs = None
+    if axes:
+        specs = (scenarios.ScenarioGrid.zipped(*axes) if args.zip_axes
+                 else scenarios.ScenarioGrid.cartesian(*axes))
+
+    if args.fleet:
+        from repro.fleets import BUILTIN_FLEETS, project_fleet
+        cube = project_fleet(BUILTIN_FLEETS[args.fleet], specs,
+                             years=range(args.base_year, args.end_year + 1))
+    else:
+        from repro.study import run_default_study
+        cube = run_default_study().project_sweep(
+            specs, years=range(args.base_year, args.end_year + 1))
+    print(figure10_cube(cube, args.footprint, bands=args.bands))
     return 0
 
 
 def cmd_scenarios(args: argparse.Namespace) -> int:
     from repro import scenarios
     from repro.grid.intensity import DecarbonizationTrajectory
+    from repro.reporting.figures import cube_table
     from repro.reporting.tables import render_table
+
+    if args.load:
+        cube = scenarios.ScenarioCube.load_npz(args.load)
+        footprints = (("operational", "embodied", "embodied_annualized")
+                      if args.footprint == "all" else (args.footprint,))
+        print(cube_table(cube, footprints, bands=args.bands))
+        return 0
 
     axes = []
     if args.aci_scale:
@@ -213,6 +348,13 @@ def cmd_scenarios(args: argparse.Namespace) -> int:
         subject = "Top500 study (+public info)"
         cube = run_default_study().scenario_sweep(grid)
 
+    if args.save:
+        cube.save_npz(args.save)
+    if args.footprint == "all" or args.bands:
+        footprints = (("operational", "embodied", "embodied_annualized")
+                      if args.footprint == "all" else (args.footprint,))
+        print(cube_table(cube, footprints, bands=args.bands))
+        return 0
     rows = [(name, round(total / 1e3, 1), f"{covered}/{cube.n_systems}",
              f"{delta:+.1f}%")
             for name, total, covered, delta in cube.table_rows(args.footprint)]
@@ -234,7 +376,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "fleet":
         return cmd_fleet(args.name)
     if args.command == "project":
-        return cmd_project(args.op_rate, args.emb_rate)
+        return cmd_project(args)
     if args.command == "scenarios":
         return cmd_scenarios(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover

@@ -60,6 +60,7 @@ from repro.core.record import SystemRecord
 from repro.errors import InsufficientDataError
 from repro.grid.intensity import GridIntensityDB, DEFAULT_GRID_DB
 from repro.hardware.memory import MemoryType
+from repro.parallel import tuning
 
 __all__ = [
     "COLUMN_FIELDS",
@@ -98,7 +99,8 @@ _CPU_FROM_NODES = op_mod.CPU_COUNT_FROM_NODES
 #: Every array column of a FleetFrame, in declaration order — the
 #: single source of truth for slicing and the shared-memory adapters.
 COLUMN_FIELDS: tuple[str, ...] = (
-    "ranks", "power_kw", "annual_energy_kwh", "utilization", "op_path",
+    "ranks", "install_year", "power_kw", "annual_energy_kwh",
+    "utilization", "op_path",
     "loc_code", "region_missing", "emb_covered", "emb_needs_scalar",
     "cpu_resolved", "n_cpus", "cpu_count_src", "cpu_code",
     "cpu_derived_cores", "n_gpus", "gpu_code", "n_nodes", "nodes_derived",
@@ -160,6 +162,7 @@ class FleetFrame:
     records: tuple[SystemRecord, ...]
     ranks: np.ndarray                  # (n,) int64
     names: tuple[str | None, ...]
+    install_year: np.ndarray           # (n,) float64, nan = not disclosed
 
     # -- operational columns ------------------------------------------------
     power_kw: np.ndarray               # (n,) float64, nan = missing
@@ -227,6 +230,7 @@ class FleetFrame:
         records = tuple(records)
         n = len(records)
         ranks = np.empty(n, dtype=np.int64)
+        install_year = np.full(n, np.nan)
         power = np.full(n, np.nan)
         energy = np.full(n, np.nan)
         util = np.full(n, np.nan)
@@ -278,6 +282,8 @@ class FleetFrame:
         for i, record in enumerate(records):
             ranks[i] = record.rank
             names.append(record.name)
+            if record.year is not None:
+                install_year[i] = record.year
 
             # ---- operational ------------------------------------------
             if record.country is not None:
@@ -325,6 +331,7 @@ class FleetFrame:
 
         return cls(
             records=records, ranks=ranks, names=tuple(names),
+            install_year=install_year,
             power_kw=power, annual_energy_kwh=energy, utilization=util,
             op_path=op_path, loc_code=loc_code,
             locations=tuple(locations), region_missing=region_missing,
@@ -1536,12 +1543,16 @@ def parallel_batch_embodied_mt(records: list[SystemRecord],
 # ---------------------------------------------------------------------------
 
 #: Below this many records the ``"auto"`` policy stays serial: the
-#: recorded scaling curve (``results/BENCH_scaling.json``) shows the
-#: pool round trip and segment bookkeeping costing several serial
-#: runtimes until deep into the 10⁵ range, and the break-even needs
-#: real cores on top.  Conservative on purpose — callers who know
-#: their host can always pass ``parallel="shm"`` / ``method="shm"``.
-_SHM_MIN_N: int = 100_000
+#: pool round trip and segment bookkeeping cost several serial
+#: runtimes until the fleet is large, and the break-even needs real
+#: cores on top.  The threshold is *adaptive*: derived at import from
+#: the recorded scaling curve (``results/BENCH_scaling.json`` —
+#: the shm-vs-serial crossover, log-log interpolated and clamped; see
+#: :mod:`repro.parallel.tuning`), overridable with ``REPRO_SHM_MIN_N``,
+#: and falling back to the old conservative 100 000 when no curve has
+#: been recorded.  Callers who know their host can always pass
+#: ``parallel="shm"`` / ``method="shm"`` explicitly.
+_SHM_MIN_N: int = tuning.shm_crossover_n()
 
 
 @dataclass(frozen=True)

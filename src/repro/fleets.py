@@ -211,6 +211,31 @@ def sweep_fleet(fleet: Fleet, specs, easyc: EasyC | None = None):
                  embodied_model=ez.embodied_model)
 
 
+def project_fleet(fleet: Fleet, specs=None, easyc: EasyC | None = None, *,
+                  years=None, end_year=None, turnover=None,
+                  parallel: str | None = None,
+                  max_workers: int | None = None):
+    """Temporal projection of a named fleet's footprints.
+
+    The portfolio planning entry point: "where do this fleet's
+    footprints land by 2030 under growth G, a grid decarbonizing at
+    rate R, and an L-year refresh cycle?".  ``specs`` is an iterable
+    of :class:`~repro.scenarios.ScenarioSpec` or a
+    :class:`~repro.scenarios.ScenarioGrid` (default: the paper's
+    baseline growth assumptions); returns a
+    :class:`~repro.projection.ProjectionCube` whose system axis is the
+    fleet's ranks.
+    """
+    from repro.projection import project_sweep
+
+    ez = easyc or EasyC()
+    return project_sweep(list(fleet.systems), specs,
+                         years=years, end_year=end_year, turnover=turnover,
+                         operational_model=ez.operational_model,
+                         embodied_model=ez.embodied_model,
+                         parallel=parallel, max_workers=max_workers)
+
+
 # ---------------------------------------------------------------------------
 # Illustrative built-in fleets (representative public configurations)
 # ---------------------------------------------------------------------------

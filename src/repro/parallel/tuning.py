@@ -1,0 +1,136 @@
+"""Host tuning derived from recorded benchmark curves.
+
+The ``parallel="auto"`` policy needs one number: the fleet size at
+which the shared-memory pool starts beating the serial kernels on this
+host.  PR 3 hardcoded a conservative 100 000; this module derives the
+crossover from the committed scaling curve
+(``results/BENCH_scaling.json``, written by
+``benchmarks/bench_scaling.py``) instead, so the threshold tracks what
+was actually measured:
+
+* the curve records ``shm_vs_serial`` (shm speedup over the serial
+  kernel, same run, same machine) at several fleet sizes;
+* the crossover is where that ratio reaches 1.0 — log-log
+  interpolated between the bracketing points, or extrapolated along
+  the last segment's slope when every recorded point is still below
+  1.0 (single-core runners never cross);
+* the result is clamped to ``[FLOOR_N, CEILING_N]`` and falls back to
+  the old conservative default when no usable curve exists.
+
+``REPRO_SHM_MIN_N`` overrides everything (operators who know their
+host), and the curve path can be pointed elsewhere with
+``REPRO_BENCH_SCALING_PATH``.  The derivation runs once at import of
+:mod:`repro.core.vectorized` — it is a few dict lookups and two
+logarithms, not a benchmark.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import pathlib
+import warnings
+
+__all__ = ["DEFAULT_MIN_N", "FLOOR_N", "CEILING_N", "shm_crossover_n",
+           "default_scaling_path"]
+
+#: The pre-adaptive conservative threshold (used when no curve exists).
+DEFAULT_MIN_N: int = 100_000
+
+#: Clamp bounds for the derived crossover.  The floor keeps a
+#: fast-host curve from routing tiny fleets through the pool (the
+#: round-trip cost is real even when the ratio crosses early); the
+#: ceiling keeps a single-core extrapolation from pushing the
+#: threshold beyond any fleet this library will ever see, which would
+#: make ``"auto"`` indistinguishable from ``"never"``.
+FLOOR_N: int = 5_000
+CEILING_N: int = 1_000_000
+
+ENV_OVERRIDE = "REPRO_SHM_MIN_N"
+ENV_CURVE_PATH = "REPRO_BENCH_SCALING_PATH"
+
+
+def default_scaling_path() -> pathlib.Path:
+    """The committed curve location (repo ``results/`` next to ``src/``)."""
+    return pathlib.Path(__file__).resolve().parents[3] \
+        / "results" / "BENCH_scaling.json"
+
+
+def _curve_points(data: dict) -> list[tuple[float, float]]:
+    """Usable ``(n, shm_vs_serial)`` points, ascending in n."""
+    if not (data.get("shm_available") and data.get("pool_available")):
+        return []
+    by_n: dict[float, float] = {}
+    for point in data.get("curve", ()):
+        n, ratio = point.get("n"), point.get("shm_vs_serial")
+        if isinstance(n, (int, float)) and n > 0 \
+                and isinstance(ratio, (int, float)) and ratio > 0:
+            # Last point wins on duplicate n (re-measured curves), and
+            # deduping keeps the log-log slope well-defined.
+            by_n[float(n)] = float(ratio)
+    return sorted(by_n.items())
+
+
+def _crossover_from_points(points: list[tuple[float, float]]) -> float:
+    """The n where ``shm_vs_serial`` reaches 1.0 (log-log geometry).
+
+    The recorded ratios grow roughly as a power law in n (the shm
+    path's fixed costs amortize), so interpolation and extrapolation
+    both happen in log-log space.
+    """
+    if points[0][1] >= 1.0:
+        return points[0][0]
+    for (n0, r0), (n1, r1) in zip(points, points[1:]):
+        if r1 >= 1.0:
+            # Bracketed: interpolate log n against log ratio.
+            t = (0.0 - math.log(r0)) / (math.log(r1) - math.log(r0))
+            return math.exp(math.log(n0) + t * (math.log(n1) - math.log(n0)))
+    # Every point below 1.0: extrapolate along the last segment.  A
+    # flat or falling tail means this host never crosses.
+    if len(points) < 2:
+        return float("inf")
+    (n0, r0), (n1, r1) = points[-2], points[-1]
+    slope = (math.log(r1) - math.log(r0)) / (math.log(n1) - math.log(n0))
+    if slope <= 0.0:
+        return float("inf")
+    return math.exp(math.log(n1) + (0.0 - math.log(r1)) / slope)
+
+
+def shm_crossover_n(path: "str | os.PathLike | None" = None) -> int:
+    """The ``"auto"``-policy shm threshold for this host.
+
+    Resolution order: ``REPRO_SHM_MIN_N`` (verbatim) → the recorded
+    scaling curve (interpolated/extrapolated crossover, clamped) →
+    :data:`DEFAULT_MIN_N`.
+
+    Never raises: this runs at import of :mod:`repro.core.vectorized`,
+    and a typo in a tuning knob must not make ``import repro``
+    unimportable — malformed inputs warn and fall through to the next
+    resolution step.
+    """
+    override = os.environ.get(ENV_OVERRIDE)
+    if override:
+        try:
+            value = int(override)
+        except ValueError:
+            value = 0
+        if value >= 1:
+            return value
+        warnings.warn(
+            f"{ENV_OVERRIDE}={override!r} is not a positive integer; "
+            "ignoring the override", RuntimeWarning, stacklevel=2)
+    if path is None:
+        path = os.environ.get(ENV_CURVE_PATH) or default_scaling_path()
+    try:
+        with open(path, encoding="utf-8") as fh:
+            data = json.load(fh)
+        points = _curve_points(data)
+        if not points:
+            return DEFAULT_MIN_N
+        crossover = _crossover_from_points(points)
+    except (OSError, ValueError, TypeError, ZeroDivisionError):
+        return DEFAULT_MIN_N
+    if not math.isfinite(crossover):
+        return CEILING_N
+    return int(min(max(crossover, FLOOR_N), CEILING_N))

@@ -4,29 +4,53 @@
   systems replaced per cycle, entering systems bigger/hungrier than the
   ones they displace, yielding +5 % operational / +1 % embodied per
   cycle (10.3 % / 2 % annualized).
-* :mod:`repro.projection.growth` — compound projection of the totals
-  (Figure 10).
+* :mod:`repro.projection.engine` — the temporal engine:
+  :func:`project_sweep` lowers a scenario grid × a year range onto the
+  cached :class:`~repro.core.vectorized.FleetFrame` and returns a
+  ``(scenario × year × system)`` :class:`ProjectionCube` (per-record
+  growth compounding, per-year decarbonization, refresh re-spend,
+  Monte-Carlo bands).
+* :mod:`repro.projection.growth` — the scalar totals wrapper
+  (Figure 10): :class:`CarbonProjection`, bit-identical to the
+  engine's paper-defaults scenario.
 * :mod:`repro.projection.perf_carbon` — performance-per-carbon
-  trajectory against the ideal 2×/18-months line (Figure 11).
+  trajectory against the ideal 2×/18-months line (Figure 11), seeded
+  from engine cubes.
 """
 
 from repro.projection.turnover import TurnoverModel, TurnoverObservation
+from repro.projection.engine import (
+    ProjectionCube,
+    ProjectionReference,
+    growth_factor,
+    project_scalar_reference,
+    project_sweep,
+    project_totals,
+)
 from repro.projection.growth import (
     CarbonProjection,
     ProjectionPoint,
+    BASE_YEAR,
+    END_YEAR,
     OPERATIONAL_ANNUAL_GROWTH,
     EMBODIED_ANNUAL_GROWTH,
 )
 from repro.projection.perf_carbon import (
     PerfCarbonProjection,
     perf_carbon_projection,
+    perf_carbon_from_cube,
     IDEAL_DOUBLING_MONTHS,
 )
 
 __all__ = [
     "TurnoverModel", "TurnoverObservation",
+    "ProjectionCube", "ProjectionReference",
+    "growth_factor", "project_sweep", "project_scalar_reference",
+    "project_totals",
     "CarbonProjection", "ProjectionPoint",
+    "BASE_YEAR", "END_YEAR",
     "OPERATIONAL_ANNUAL_GROWTH", "EMBODIED_ANNUAL_GROWTH",
     "PerfCarbonProjection", "perf_carbon_projection",
+    "perf_carbon_from_cube",
     "IDEAL_DOUBLING_MONTHS",
 ]

@@ -3,22 +3,39 @@
 Starting from the 2024 assessment (interpolated full-500 totals), the
 operational footprint compounds at 10.3 %/year and the embodied at
 2 %/year — reaching ≈1.8× and ≈1.1× their 2024 levels by 2030.
+
+:class:`CarbonProjection` is the *scalar reference wrapper* over the
+temporal engine (:mod:`repro.projection.engine`): its per-year
+arithmetic is the engine's shared :func:`~repro.projection.engine
+.growth_factor` applied to two totals, and :meth:`CarbonProjection
+.cube` exposes the same projection as a
+:class:`~repro.projection.engine.ProjectionCube` so figure code,
+bands and tables run through one code path.  The engine's
+paper-defaults scenario reproduces this wrapper's totals
+bit-identically year by year (asserted in ``tests/projection``);
+record-level sweeps — growth-rate axes, per-year decarbonization,
+refresh re-spend — live in :func:`~repro.projection.engine
+.project_sweep`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro import units
+from repro.projection import engine
+from repro.projection.engine import (
+    BASE_YEAR,
+    EMBODIED_ANNUAL_GROWTH,
+    END_YEAR,
+    OPERATIONAL_ANNUAL_GROWTH,
+)
 from repro.projection.turnover import TurnoverModel
 
-#: The paper's annualized growth rates.
-OPERATIONAL_ANNUAL_GROWTH: float = 0.103
-EMBODIED_ANNUAL_GROWTH: float = 0.02
-
-#: Projection window.
-BASE_YEAR: int = 2024
-END_YEAR: int = 2030
+__all__ = [
+    "BASE_YEAR", "END_YEAR",
+    "OPERATIONAL_ANNUAL_GROWTH", "EMBODIED_ANNUAL_GROWTH",
+    "ProjectionPoint", "CarbonProjection",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -69,16 +86,21 @@ class CarbonProjection:
                    embodied_rate=model.embodied_annual)
 
     def at(self, year: int) -> ProjectionPoint:
-        """Projected totals for one year (>= base year)."""
+        """Projected totals for one year (>= base year).
+
+        One multiply per footprint by the engine's shared growth
+        factor — the float-op order
+        :meth:`~repro.projection.engine.ProjectionCube.totals` also
+        uses, which is what keeps wrapper and engine bit-identical.
+        """
         if year < self.base_year:
             raise ValueError(f"year {year} precedes base year {self.base_year}")
-        dt = year - self.base_year
         return ProjectionPoint(
             year=year,
-            operational_mt=units.compound(self.base_operational_mt,
-                                          self.operational_rate, dt),
-            embodied_mt=units.compound(self.base_embodied_mt,
-                                       self.embodied_rate, dt),
+            operational_mt=self.base_operational_mt * engine.growth_factor(
+                self.operational_rate, self.base_year, year),
+            embodied_mt=self.base_embodied_mt * engine.growth_factor(
+                self.embodied_rate, self.base_year, year),
         )
 
     def series(self, end_year: int = END_YEAR) -> list[ProjectionPoint]:
@@ -90,3 +112,16 @@ class CarbonProjection:
         point = self.at(year)
         return (point.operational_mt / self.base_operational_mt,
                 point.embodied_mt / self.base_embodied_mt)
+
+    def cube(self, end_year: int = END_YEAR) -> "engine.ProjectionCube":
+        """This projection as a (1-scenario, Y, 1-system) engine cube.
+
+        Totals equal :meth:`at`/:meth:`series` bit-for-bit; figure
+        code renders from the cube so the figure and the model share
+        one arithmetic path.
+        """
+        return engine.project_totals(
+            self.base_operational_mt, self.base_embodied_mt,
+            operational_rate=self.operational_rate,
+            embodied_rate=self.embodied_rate,
+            base_year=self.base_year, end_year=end_year)

@@ -5,6 +5,13 @@ thousand MT CO2e.  The paper projects the achieved ratio rising at
 ≈0.2 PFlop/s per kMT CO2e per year — glacial next to the Dennard-era
 ideal of 2× performance per unit power every 18 months, which is drawn
 alongside for contrast (hence the log axis reaching 10^18).
+
+Like :mod:`repro.projection.growth`, this is a thin scalar wrapper
+over the temporal engine's outputs: the base ratio is seeded from a
+:class:`~repro.projection.engine.ProjectionCube`'s base-year totals
+(:func:`perf_carbon_from_cube` /
+:meth:`~repro.projection.engine.ProjectionCube.perf_carbon`), so the
+Fig. 11 lines and the carbon model they divide by cannot drift apart.
 """
 
 from __future__ import annotations
@@ -84,3 +91,24 @@ def perf_carbon_projection(total_rmax_tflops: float, total_carbon_mt: float,
         / units.mt_to_thousand_mt(total_carbon_mt)
     return PerfCarbonProjection(footprint=footprint, base_year=base_year,
                                 base_ratio=base_ratio, slope=slope)
+
+
+def perf_carbon_from_cube(cube, total_rmax_tflops: float, scenario=0,
+                          footprint: str = "operational", *,
+                          slope: float = PROJECTED_RATIO_SLOPE,
+                          ) -> PerfCarbonProjection:
+    """Seed the Figure 11 projection from a temporal-engine cube.
+
+    The carbon denominator is the cube's base-year covered total for
+    the chosen scenario — whatever grid, utilization or growth
+    assumptions that scenario carries — so Fig. 11 variants come from
+    the same sweep that produced Fig. 10.
+
+    Args:
+        cube: a :class:`~repro.projection.engine.ProjectionCube`.
+        total_rmax_tflops: summed Rmax of the fleet, TFlop/s.
+        scenario: cube scenario (index, name, or spec).
+        footprint: ``"operational"`` or ``"embodied"``.
+    """
+    return cube.perf_carbon(total_rmax_tflops, scenario, footprint,
+                            slope=slope)

@@ -20,7 +20,6 @@ from repro.coverage.rank_ranges import coverage_by_rank_range
 from repro.data.paper_table import load_paper_table
 from repro.ghg.protocol import GhgProtocolCalculator
 from repro.projection.growth import CarbonProjection
-from repro.projection.perf_carbon import perf_carbon_projection
 from repro.reporting.charts import bar_chart, series_summary
 from repro.reporting.tables import render_table
 from repro.study import StudyResult
@@ -238,27 +237,131 @@ def figure9_cube(cube, scenario, baseline=0,
         title=f"Fig 9-style scenario delta: {base_name!r} → {scen_name!r}")
 
 
-def figure10() -> str:
-    """Projected totals 2024-2030."""
+def cube_table(cube, footprints=("operational", "embodied"),
+               baseline=0, *, bands: bool = False,
+               n_samples: int = 4000) -> str:
+    """Render a whole :class:`~repro.scenarios.ScenarioCube` as one table.
+
+    The multi-scenario view `figure9_cube` deliberately is not: every
+    scenario of the cube, every requested footprint, totals + coverage
+    + delta against the baseline scenario, optionally with per-scenario
+    Monte-Carlo p5-p95 bands.  This is what ``repro scenarios`` prints.
+
+    Args:
+        cube: a scenario cube from :func:`repro.scenarios.sweep`.
+        footprints: which footprints to column-ize.
+        baseline: the delta reference scenario (index/name/spec), or
+            ``None`` to suppress delta columns.
+        bands: append a p5-p95 band column per footprint (operational
+            and embodied share the cube's uncertainty machinery).
+        n_samples: Monte-Carlo draws per band.
+    """
+    headers = ["Scenario", "Covered"]
+    for footprint in footprints:
+        headers.append(f"{footprint} (kMT)")
+        if baseline is not None:
+            headers.append("Δ%")
+        if bands:
+            headers.append("p5-p95 (kMT)")
+    rows = []
+    per_footprint = {fp: cube.table_rows(fp, baseline) for fp in footprints}
+    for s, spec in enumerate(cube.specs):
+        row: list[object] = [spec.name,
+                             f"{cube.n_covered(s)}/{cube.n_systems}"]
+        for footprint in footprints:
+            _, total, _, delta = per_footprint[footprint][s]
+            row.append(round(total / 1e3, 1))
+            if baseline is not None:
+                row.append(f"{delta:+.1f}")
+            if bands:
+                band = cube.band(s, footprint, n_samples=n_samples)
+                row.append(f"{band.p5_mt / 1e3:,.1f} - "
+                           f"{band.p95_mt / 1e3:,.1f}")
+        rows.append(tuple(row))
+    return render_table(
+        tuple(headers), rows,
+        title=f"Scenario cube: {cube.n_scenarios} scenarios x "
+              f"{cube.n_systems} systems")
+
+
+def _reference_projection_cube():
+    """The paper-defaults engine cube over the reference-path totals.
+
+    Both Fig. 10 and Fig. 11 render from this one
+    :class:`~repro.projection.ProjectionCube`, so the figures and the
+    temporal engine cannot drift: the cube's totals are bit-identical
+    to ``CarbonProjection.paper_defaults`` (asserted in
+    ``tests/projection``) and any change to the engine's paper-defaults
+    scenario shows up in the rendered tables immediately.
+    """
     op_total = reference_series("operational", "interpolated").total_mt()
     emb_total = reference_series("embodied", "interpolated").total_mt()
-    projection = CarbonProjection.paper_defaults(op_total, emb_total)
-    rows = [(str(p.year), round(p.operational_mt / 1e3, 1),
-             round(p.embodied_mt / 1e3, 1)) for p in projection.series()]
-    op_x, emb_x = projection.multiplier_at(2030)
+    return CarbonProjection.paper_defaults(op_total, emb_total).cube()
+
+
+def figure10() -> str:
+    """Projected totals 2024-2030 (through the temporal engine)."""
+    cube = _reference_projection_cube()
+    op = cube.totals("operational")[0]
+    emb = cube.totals("embodied")[0]
+    rows = [(str(year), round(op[yi] / 1e3, 1), round(emb[yi] / 1e3, 1))
+            for yi, year in enumerate(cube.years)]
+    op_x, emb_x = cube.multiplier_at(0, 2030)
     return render_table(
         ("Year", "Operational (kMT)", "Embodied (kMT)"), rows,
         title=f"Fig 10: projected Top 500 carbon (2030 multiples: "
               f"operational {op_x:.2f}x, embodied {emb_x:.2f}x of 2024)")
 
 
+def figure10_cube(cube, footprint: str = "operational", *,
+                  bands: bool = False, n_samples: int = 4000) -> str:
+    """Fig-10-style projection table for any temporal-engine cube.
+
+    One row per scenario, one column per projected year (totals in
+    kMT), closing with the end-year multiple of the base year — the
+    Fig. 10 bands generalized to arbitrary scenario grids (growth-rate
+    axes × decarbonization trajectories × refresh schedules).
+
+    Args:
+        cube: a :class:`~repro.projection.ProjectionCube` from
+            :func:`repro.projection.project_sweep` (or
+            ``StudyResult.project_sweep`` / ``fleets.project_fleet``).
+        footprint: which footprint to tabulate.
+        bands: append the end-year Monte-Carlo p5-p95 band (kMT),
+            sampled via the array-native uncertainty path.
+        n_samples: Monte-Carlo draws per band.
+    """
+    headers = ["Scenario"] + [str(y) for y in cube.years] \
+        + [f"{cube.years[-1]}x"]
+    if bands:
+        headers.append(f"p5-p95@{cube.years[-1]} (kMT)")
+    rows = []
+    for name, yearly, multiple in cube.table_rows(footprint):
+        row = [name] + [round(v, 1) for v in yearly] + [round(multiple, 2)]
+        if bands:
+            band = cube.band(name, cube.years[-1], footprint,
+                             n_samples=n_samples)
+            row.append(f"{band.p5_mt / 1e3:,.1f} - {band.p95_mt / 1e3:,.1f}")
+        rows.append(tuple(row))
+    return render_table(
+        tuple(headers), rows,
+        title=f"Fig 10-style projection: {cube.n_scenarios} scenarios x "
+              f"{cube.n_years} years x {cube.n_systems} systems "
+              f"({footprint}, kMT)")
+
+
 def figure11() -> str:
-    """Performance-per-carbon projection vs the ideal scaling line."""
+    """Performance-per-carbon projection vs the ideal scaling line.
+
+    Fed from the temporal engine: the base ratios come from the same
+    projection cube Fig. 10 renders, via
+    :meth:`~repro.projection.ProjectionCube.perf_carbon`.
+    """
+    cube = _reference_projection_cube()
     parts = []
     for footprint in ("operational", "embodied"):
-        total = reference_series(footprint, "interpolated").total_mt()
-        projection = perf_carbon_projection(
-            REFERENCE_TOTAL_RMAX_TFLOPS, total, footprint)
+        projection = cube.perf_carbon(REFERENCE_TOTAL_RMAX_TFLOPS,
+                                      footprint=footprint)
         rows = [(str(p.year), round(p.projected_pflops_per_kmt, 2),
                  round(p.ideal_pflops_per_kmt, 2))
                 for p in projection.series()]

@@ -39,8 +39,11 @@ from repro.scenarios.spec import (
     aci_scale_axis,
     baseline_spec,
     decarbonization_axis,
+    growth_axis,
     lifetime_axis,
     pue_axis,
+    refresh_axis,
+    trajectory_axis,
     utilization_axis,
 )
 from repro.scenarios.sweep import sweep, sweep_scalar_reference
@@ -53,8 +56,11 @@ __all__ = [
     "aci_scale_axis",
     "baseline_spec",
     "decarbonization_axis",
+    "growth_axis",
     "lifetime_axis",
     "pue_axis",
+    "refresh_axis",
+    "trajectory_axis",
     "utilization_axis",
     "sweep",
     "sweep_scalar_reference",

@@ -44,6 +44,9 @@ __all__ = [
     "pue_axis",
     "utilization_axis",
     "lifetime_axis",
+    "growth_axis",
+    "refresh_axis",
+    "trajectory_axis",
 ]
 
 #: Fields where composition is "the later spec wins".
@@ -51,6 +54,7 @@ _OVERRIDE_FIELDS = (
     "grid", "trajectory", "year", "pue", "measured_power_pue",
     "component_power_pue", "measured_power_utilization",
     "component_utilization", "catalog", "fab_yield", "lifetime_years",
+    "operational_growth", "embodied_growth", "refresh_embodied",
 )
 
 #: Multiplicative fields: composing two specs multiplies the factors.
@@ -70,6 +74,19 @@ _SCALED_GRID_CACHE: dict[
 _DERIVED_CATALOG_CACHE: dict[
     tuple[int, float | None, float | None],
     tuple[object, HardwareCatalog]] = {}
+
+
+def validate_growth_rate(field_name: str, value: float) -> float:
+    """The shared plausibility bound for annual growth rates.
+
+    One rule for every temporal entry point — spec construction,
+    ``project_sweep``'s default-rate arguments, ``project_totals`` —
+    mirroring the historical ``CarbonProjection`` bounds.
+    """
+    if not -0.5 <= value <= 1.0:
+        raise ValueError(
+            f"implausible {field_name} {value} (expected [-0.5, 1])")
+    return value
 
 
 def _cached(cache: dict, key, source, build):
@@ -112,7 +129,19 @@ class ScenarioSpec:
             kg/GB factors of every memory/storage spec in the catalog.
         fab_yield: logic-die manufacturing yield override.
         lifetime_years: hardware refresh horizon used by the cube's
-            annualized-embodied reduction (embodied ÷ lifetime).
+            annualized-embodied reduction (embodied ÷ lifetime) and,
+            with ``refresh_embodied``, by the temporal engine's
+            re-spend schedule.
+        operational_growth / embodied_growth: annual compound growth
+            rates for the temporal projection engine
+            (:func:`repro.projection.project_sweep`); ``None`` defers
+            to the sweep's defaults (the paper's 10.3 % / 2 %).
+            Atemporal sweeps ignore them.
+        refresh_embodied: temporal embodied accounting mode — instead
+            of uniform compound growth, each system re-spends its
+            embodied carbon every ``lifetime_years`` after its install
+            year (entrant intensity growing at ``embodied_growth``).
+            Requires ``lifetime_years``; atemporal sweeps ignore it.
     """
 
     name: str = "baseline"
@@ -138,6 +167,11 @@ class ScenarioSpec:
     fab_yield: float | None = None
     lifetime_years: float | None = None
 
+    # -- temporal (projection engine) -----------------------------------------
+    operational_growth: float | None = None
+    embodied_growth: float | None = None
+    refresh_embodied: bool | None = None
+
     def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("scenario needs a non-empty name")
@@ -154,10 +188,14 @@ class ScenarioSpec:
                     f"{field_name} out of range (0, 1.5]: {value}")
         if self.fab_yield is not None and not 0.0 < self.fab_yield <= 1.0:
             raise ValueError(f"fab_yield must be in (0, 1], got {self.fab_yield}")
-        if self.trajectory is not None and self.year is None:
+        for field_name in ("operational_growth", "embodied_growth"):
+            value = getattr(self, field_name)
+            if value is not None:
+                validate_growth_rate(field_name, value)
+        if self.refresh_embodied and self.lifetime_years is None:
             raise ValueError(
-                f"scenario {self.name!r} has a decarbonization trajectory "
-                "but no target year")
+                f"scenario {self.name!r} sets refresh_embodied but no "
+                "lifetime_years to schedule refreshes from")
 
     # -- lowering -------------------------------------------------------------
 
@@ -168,9 +206,22 @@ class ScenarioSpec:
                    for f in (*_OVERRIDE_FIELDS, *_SCALE_FIELDS))
 
     def grid_scale_factor(self) -> float:
-        """Combined multiplicative grid factor (trajectory × scale)."""
+        """Combined multiplicative grid factor (trajectory × scale).
+
+        A trajectory needs a year to resolve: either the spec's own
+        ``year`` (atemporal sweeps pin one) or the year axis of a
+        temporal sweep, which strips the trajectory before lowering
+        and applies its factor per year.  Reaching this method with a
+        trajectory but no year means the spec was built for the
+        temporal engine and handed to an atemporal sweep.
+        """
         factor = 1.0
         if self.trajectory is not None:
+            if self.year is None:
+                raise ValueError(
+                    f"scenario {self.name!r} has a decarbonization "
+                    "trajectory but no target year; pin `year` or sweep "
+                    "it through repro.projection.project_sweep")
             factor *= self.trajectory.factor(self.year)
         if self.aci_scale is not None:
             factor *= self.aci_scale
@@ -348,6 +399,59 @@ def lifetime_axis(years: Sequence[float]) -> tuple[ScenarioSpec, ...]:
     """One spec per hardware-refresh horizon (annualized embodied)."""
     return tuple(ScenarioSpec(name=f"life={y:g}y", lifetime_years=y)
                  for y in years)
+
+
+def growth_axis(rates: Sequence[float], *,
+                footprint: str = "operational") -> tuple[ScenarioSpec, ...]:
+    """One spec per annual growth rate, for the temporal engine.
+
+    The Fig. 10 band lever: sweep the compound growth assumption
+    itself (the paper's 10.3 %/2 % are one point of the axis).
+
+    Args:
+        rates: annual growth rates (0.103 = the paper's operational).
+        footprint: ``"operational"`` or ``"embodied"`` — which
+            footprint's growth the axis varies.
+    """
+    if footprint == "operational":
+        return tuple(ScenarioSpec(name=f"grow={r:+.1%}",
+                                  operational_growth=r) for r in rates)
+    if footprint == "embodied":
+        return tuple(ScenarioSpec(name=f"emb-grow={r:+.1%}",
+                                  embodied_growth=r) for r in rates)
+    raise ValueError(f"unknown growth footprint {footprint!r}")
+
+
+def refresh_axis(lifetimes: Sequence[float]) -> tuple[ScenarioSpec, ...]:
+    """One spec per refresh horizon with embodied re-spend enabled.
+
+    Temporal-engine semantics: each system re-purchases its embodied
+    carbon every ``lifetime`` years after its install year (see
+    :mod:`repro.projection.engine`); the same ``lifetime_years`` field
+    still drives the cube's ``embodied_annualized`` reduction.
+    """
+    return tuple(ScenarioSpec(name=f"refresh@{y:g}y", lifetime_years=y,
+                              refresh_embodied=True)
+                 for y in lifetimes)
+
+
+def trajectory_axis(trajectories: Sequence[DecarbonizationTrajectory],
+                    names: Sequence[str] | None = None,
+                    ) -> tuple[ScenarioSpec, ...]:
+    """One spec per decarbonization trajectory, year left open.
+
+    Unlike :func:`decarbonization_axis` (which pins one target year
+    per spec for atemporal sweeps), these specs carry the trajectory
+    *unresolved* — the temporal engine's year axis supplies the year,
+    so one spec yields a whole grid-decline curve.
+    """
+    if names is None:
+        names = tuple(f"decarb={t.annual_decline:g}/yr"
+                      for t in trajectories)
+    if len(names) != len(trajectories):
+        raise ValueError("need one name per trajectory")
+    return tuple(ScenarioSpec(name=name, trajectory=trajectory)
+                 for name, trajectory in zip(names, trajectories))
 
 
 # ---------------------------------------------------------------------------

@@ -142,6 +142,48 @@ class StudyResult:
                      operational_model=self.easyc.operational_model,
                      embodied_model=self.easyc.embodied_model)
 
+    def project_sweep(self, specs=None, *, years=None, end_year=None,
+                      data_scenario: str = "public",
+                      use_turnover: bool = False,
+                      parallel: str | None = None,
+                      max_workers: int | None = None):
+        """Temporal projection of this study's fleet (Fig. 10, per record).
+
+        Lowers a scenario grid × a year axis onto the study's cached
+        frame via :func:`repro.projection.project_sweep`: per-record
+        growth compounding, per-year decarbonization, refresh
+        re-spend.  With no arguments this is the paper's Fig. 10
+        configuration — the returned
+        :class:`~repro.projection.ProjectionCube`'s totals reproduce
+        :attr:`projection` (``CarbonProjection.paper_defaults``)
+        bit-identically year by year, but over the *model-path*
+        records rather than two pre-aggregated totals.
+
+        Args:
+            specs: scenario specs or grid (default: baseline).
+            years / end_year: the year axis (default 2024-2030).
+            data_scenario: ``"public"`` or ``"baseline"`` record view.
+            use_turnover: derive default growth rates from this
+                study's measured :attr:`turnover` model instead of the
+                paper's constants.
+            parallel / max_workers: forwarded to the base sweep
+                (``"scenario-block"`` fans over the shm pool).
+        """
+        from repro.projection import project_sweep
+        if data_scenario == "public":
+            records = list(self.public_records)
+        elif data_scenario == "baseline":
+            records = list(self.baseline_records)
+        else:
+            raise ValueError(f"unknown data scenario {data_scenario!r}; "
+                             "expected 'public' or 'baseline'")
+        return project_sweep(
+            records, specs, years=years, end_year=end_year,
+            turnover=self.turnover if use_turnover else None,
+            operational_model=self.easyc.operational_model,
+            embodied_model=self.easyc.embodied_model,
+            parallel=parallel, max_workers=max_workers)
+
     def perf_carbon(self, footprint: str) -> PerfCarbonProjection:
         series = self.op_full[0] if footprint == "operational" else self.emb_full[0]
         return perf_carbon_projection(self.total_rmax_tflops,

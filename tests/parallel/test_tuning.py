@@ -1,0 +1,96 @@
+"""Adaptive shm threshold: derived from the recorded scaling curve."""
+
+import json
+
+import pytest
+
+from repro.parallel import tuning
+from repro.parallel.tuning import (
+    CEILING_N,
+    DEFAULT_MIN_N,
+    FLOOR_N,
+    shm_crossover_n,
+)
+
+
+def write_curve(tmp_path, points, *, shm=True, pool=True):
+    path = tmp_path / "BENCH_scaling.json"
+    path.write_text(json.dumps({
+        "shm_available": shm,
+        "pool_available": pool,
+        "curve": [{"n": n, "shm_vs_serial": r} for n, r in points],
+    }))
+    return path
+
+
+class TestCrossover:
+    def test_bracketed_crossing_interpolates(self, tmp_path):
+        # Ratio crosses 1.0 between n=10k (0.5) and n=100k (2.0): the
+        # log-log midpoint of a 4x ratio span at 0.5→1.0 is 10^4.5.
+        path = write_curve(tmp_path, [(10_000, 0.5), (100_000, 2.0)])
+        n = shm_crossover_n(path)
+        assert n == pytest.approx(31_623, rel=0.01)
+
+    def test_all_below_extrapolates_and_clamps(self, tmp_path):
+        # The committed single-core shape: rising but never crossing.
+        path = write_curve(tmp_path, [(500, 0.05), (5_000, 0.15),
+                                      (50_000, 0.31)])
+        assert FLOOR_N <= shm_crossover_n(path) <= CEILING_N
+
+    def test_committed_curve_is_usable(self):
+        """The real results/BENCH_scaling.json parses to a sane value."""
+        n = shm_crossover_n(tuning.default_scaling_path())
+        assert FLOOR_N <= n <= CEILING_N
+
+    def test_already_crossed_clamps_to_floor(self, tmp_path):
+        path = write_curve(tmp_path, [(500, 1.5), (5_000, 3.0)])
+        assert shm_crossover_n(path) == FLOOR_N
+
+    def test_flat_tail_means_never(self, tmp_path):
+        path = write_curve(tmp_path, [(5_000, 0.5), (50_000, 0.5)])
+        assert shm_crossover_n(path) == CEILING_N
+
+    def test_missing_file_falls_back(self, tmp_path):
+        assert shm_crossover_n(tmp_path / "nope.json") == DEFAULT_MIN_N
+
+    def test_incapable_host_curve_falls_back(self, tmp_path):
+        path = write_curve(tmp_path, [(10_000, 0.5), (100_000, 2.0)],
+                           shm=False)
+        assert shm_crossover_n(path) == DEFAULT_MIN_N
+
+    def test_malformed_json_falls_back(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        assert shm_crossover_n(path) == DEFAULT_MIN_N
+
+
+class TestEnvOverride:
+    def test_env_wins_over_curve(self, tmp_path, monkeypatch):
+        path = write_curve(tmp_path, [(10_000, 0.5), (100_000, 2.0)])
+        monkeypatch.setenv(tuning.ENV_OVERRIDE, "12345")
+        assert shm_crossover_n(path) == 12345
+
+    def test_env_path_redirects_curve(self, tmp_path, monkeypatch):
+        path = write_curve(tmp_path, [(10_000, 0.5), (100_000, 2.0)])
+        monkeypatch.setenv(tuning.ENV_CURVE_PATH, str(path))
+        assert shm_crossover_n() == pytest.approx(31_623, rel=0.01)
+
+    def test_invalid_env_warns_and_falls_through(self, tmp_path,
+                                                 monkeypatch):
+        # The derivation runs at `import repro.core.vectorized`: a
+        # typo in the knob must degrade, never break the import.
+        path = write_curve(tmp_path, [(10_000, 0.5), (100_000, 2.0)])
+        for bad in ("many", "0", "-3"):
+            monkeypatch.setenv(tuning.ENV_OVERRIDE, bad)
+            with pytest.warns(RuntimeWarning):
+                assert shm_crossover_n(path) == \
+                    pytest.approx(31_623, rel=0.01)
+
+    def test_duplicate_n_points_do_not_break_slope(self, tmp_path):
+        path = write_curve(tmp_path, [(50_000, 0.2), (50_000, 0.3),
+                                      (5_000, 0.1)])
+        assert FLOOR_N <= shm_crossover_n(path) <= CEILING_N
+
+    def test_vectorized_threshold_uses_tuning(self):
+        from repro.core import vectorized
+        assert vectorized._SHM_MIN_N == shm_crossover_n()

@@ -84,9 +84,18 @@ class TestScenarioSpec:
         with pytest.raises(ValueError):
             ScenarioSpec(name="bad", lifetime_years=-1)
         with pytest.raises(ValueError):
-            # A trajectory without a target year is unresolvable.
-            ScenarioSpec(name="bad", trajectory=DecarbonizationTrajectory(
+            ScenarioSpec(name="bad", operational_growth=1.5)
+        with pytest.raises(ValueError):
+            # Re-spend needs a refresh horizon to schedule from.
+            ScenarioSpec(name="bad", refresh_embodied=True)
+        # A trajectory without a target year is *constructible* (the
+        # temporal engine's year axis resolves it) but unresolvable in
+        # an atemporal sweep: lowering must raise.
+        open_ended = ScenarioSpec(
+            name="temporal", trajectory=DecarbonizationTrajectory(
                 base_year=2024, annual_decline=0.05))
+        with pytest.raises(ValueError):
+            open_ended.operational_model(OperationalModel())
 
     def test_compose_override_and_scale_fields(self):
         a = ScenarioSpec(name="a", aci_scale=0.5, component_utilization=0.6)
@@ -147,6 +156,37 @@ class TestGridBuilders:
         factors = [spec.grid_scale_factor() for spec in specs]
         assert factors == sorted(factors, reverse=True)
         assert factors[0] == pytest.approx(0.95)
+
+    def test_growth_axis_families(self):
+        op = scenarios.growth_axis((0.05, 0.103))
+        assert [s.operational_growth for s in op] == [0.05, 0.103]
+        emb = scenarios.growth_axis((0.01,), footprint="embodied")
+        assert emb[0].embodied_growth == 0.01
+        with pytest.raises(ValueError):
+            scenarios.growth_axis((0.05,), footprint="total")
+
+    def test_refresh_axis_sets_horizon_and_mode(self):
+        specs = scenarios.refresh_axis((4.0, 6.0))
+        assert all(s.refresh_embodied for s in specs)
+        assert [s.lifetime_years for s in specs] == [4.0, 6.0]
+
+    def test_trajectory_axis_leaves_year_open(self):
+        trajectory = DecarbonizationTrajectory(base_year=2024,
+                                               annual_decline=0.06)
+        (spec,) = scenarios.trajectory_axis((trajectory,))
+        assert spec.trajectory is trajectory and spec.year is None
+        with pytest.raises(ValueError):
+            scenarios.trajectory_axis((trajectory,), names=("a", "b"))
+
+    def test_temporal_fields_compose_last_wins(self):
+        a = ScenarioSpec(name="a", operational_growth=0.05)
+        b = ScenarioSpec(name="b", operational_growth=0.103,
+                         lifetime_years=4.0, refresh_embodied=True)
+        c = a | b
+        assert c.operational_growth == 0.103
+        assert c.refresh_embodied is True
+        # Atemporal lowering ignores the temporal fields entirely.
+        assert c.operational_model(OperationalModel()) is not None
 
 
 # ---------------------------------------------------------------------------

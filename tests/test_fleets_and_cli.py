@@ -155,3 +155,54 @@ class TestCli:
         assert code == 0
         # Flat projection: 2030 equals 2024.
         assert out.count("1,393.7") == 7
+
+    def test_project_scenarios_fleet(self, capsys):
+        code = main(["project", "--scenarios", "--fleet", "doe-like",
+                     "--op-growth", "0.0,0.103", "--decarbonize", "0.06",
+                     "--bands"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "7 years" in out and "2030" in out
+        assert "grow=+0.0%+decarb=0.06/yr" in out
+        assert "p5-p95@2030" in out
+
+    def test_project_mode_mismatch_rejected(self, capsys):
+        # Sweep-only flags without --scenarios must error, not
+        # silently project something else.
+        code = main(["project", "--fleet", "doe-like", "--bands"])
+        assert code == 2
+        assert "--scenarios" in capsys.readouterr().err
+        # Totals-only flags with --scenarios likewise.
+        code = main(["project", "--scenarios", "--op-rate", "0.2"])
+        assert code == 2
+        assert "--op-growth" in capsys.readouterr().err
+        # Annualizing a cumulative refresh schedule is undefined.
+        code = main(["project", "--scenarios", "--refresh", "4",
+                     "--footprint", "embodied_annualized"])
+        assert code == 2
+
+    def test_project_scenarios_refresh_axis(self, capsys):
+        code = main(["project", "--scenarios", "--fleet", "eurohpc-like",
+                     "--refresh", "4", "--footprint", "embodied"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "refresh@4y" in out
+
+    def test_scenarios_whole_cube_with_bands(self, capsys):
+        code = main(["scenarios", "--fleet", "doe-like",
+                     "--aci-scale", "1.0,0.8", "--footprint", "all",
+                     "--bands"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "embodied_annualized" in out and "p5-p95" in out
+
+    def test_scenarios_save_and_load_round_trip(self, capsys, tmp_path):
+        path = str(tmp_path / "cube")
+        code = main(["scenarios", "--fleet", "doe-like",
+                     "--aci-scale", "1.0,0.5", "--save", path])
+        assert code == 0
+        first = capsys.readouterr().out
+        code = main(["scenarios", "--load", path])
+        assert code == 0
+        reloaded = capsys.readouterr().out
+        assert "aci x0.5" in first and "aci x0.5" in reloaded
