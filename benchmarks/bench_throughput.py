@@ -117,6 +117,22 @@ def test_throughput_scenario_sweep_64(benchmark, study):
     assert cube.n_covered(0, "operational") == 490
 
 
+def test_throughput_mc_bands(benchmark, study):
+    """The whole 64-scenario band table from one batched draw.
+
+    Pinned to ``method="serial"`` so the timing measures the in-process
+    kernel on every host (the same machine-normalization reasoning as
+    the gated ``mc_bands`` metric below).
+    """
+    records = list(study.public_records)
+    cube = scenarios.sweep(records, _scenario_grid_64(),
+                           frame=fleet_frame(records))
+    stack = benchmark(lambda: cube.band_stack("operational",
+                                              n_samples=1000,
+                                              method="serial"))
+    assert stack.shape == (64,)
+
+
 def test_throughput_study_end_to_end(benchmark, dataset):
     from repro.study import Top500CarbonStudy
 
@@ -190,6 +206,41 @@ def test_throughput_engine_speedup(dataset, save_artifact, results_dir):
     loop_s = best_of_fn(batch_loop)
     sweep_speedup = loop_s / kernel_s
 
+    # --- MC band acceptance: 64 scenarios x 7 years, one draw kernel ---
+    from repro.projection.engine import project_sweep
+    from repro.uncertainty.mc import band_scalar_reference
+
+    proj = project_sweep(records, specs, frame=frame)
+    mc_samples = 4000
+
+    def band_loop():
+        """The status quo ante: one RNG setup and one (S, n) value
+        materialization per (scenario, year) band — what the Fig. 10
+        band tables and ``ScenarioCube.bands()`` did before the
+        batched engine."""
+        return [band_scalar_reference(proj.values("operational", year)[s],
+                                      proj.uncertainty("operational")[s],
+                                      n_samples=mc_samples)
+                for s in range(proj.n_scenarios) for year in proj.years]
+
+    def band_kernel():
+        # method="serial": the gated ratio isolates the batching win
+        # (one stream draw + fused per-cell arithmetic) from pool
+        # parallelism, so it stays machine-normalized like the other
+        # gated speedups — docs/uncertainty.md makes the same claim.
+        return proj.band_stack("operational", n_samples=mc_samples,
+                               method="serial")
+
+    stack = band_kernel()                                # warm
+    loop_bands = band_loop()
+    for s in range(proj.n_scenarios):                    # bit-identity
+        for yi in range(proj.n_years):
+            assert stack.band(s, yi) == loop_bands[s * proj.n_years + yi]
+
+    bands_kernel_s = best_of_fn(band_kernel, rounds=3)
+    bands_loop_s = best_of_fn(band_loop, rounds=2)
+    mc_speedup = bands_loop_s / bands_kernel_s
+
     # BENCH_throughput.json is shared with bench_projection.py (the
     # "projection_sweep" key): merge over the existing file so neither
     # bench clobbers the other's recorded metrics.
@@ -209,20 +260,35 @@ def test_throughput_engine_speedup(dataset, save_artifact, results_dir):
             "batch_loop_ms": loop_s * 1e3,
             "speedup_vs_batch_loop": sweep_speedup,
         },
+        "mc_bands": {
+            "n_scenarios": proj.n_scenarios,
+            "n_years": proj.n_years,
+            "n_samples": mc_samples,
+            "kernel_ms": bands_kernel_s * 1e3,
+            "band_loop_ms": bands_loop_s * 1e3,
+            "speedup_vs_band_loop": mc_speedup,
+        },
         "note": ("scalar engine here already shares the interned audit "
                  "notes and memoized record views; against the original "
                  "per-record path (pre-FleetFrame) the same workload "
                  "measured ~5x.  scenario_sweep compares the repro."
                  "scenarios 2-D kernel against the per-scenario loop "
-                 "over batch_*_mt it replaced."),
+                 "over batch_*_mt it replaced; mc_bands compares the "
+                 "batched Monte-Carlo band kernel against the "
+                 "per-(scenario, year) reference draw loop on the "
+                 "64x7 projection band table."),
     }
     save_artifact("BENCH_throughput.json", json.dumps(baseline, indent=2))
 
     # The columnar engine must clearly beat per-record dispatch on the
-    # study, and the 2-D sweep kernel must clearly beat the per-scenario
-    # batch loop.  Typically measured ~3x / ~5x; the asserted floors are
-    # generous because this also runs in CI's --benchmark-disable smoke
-    # step on noisy shared runners — the real numbers live in the JSON
-    # baseline.
+    # study, the 2-D sweep kernel must clearly beat the per-scenario
+    # batch loop, and the batched band kernel must clearly beat the
+    # per-cell draw loop.  Typically measured ~3x / ~5x / ~5x; the
+    # asserted floors are generous because this also runs in CI's
+    # --benchmark-disable smoke step on noisy shared runners — the real
+    # numbers live in the JSON baseline (the ISSUE-5 >=5x acceptance is
+    # recorded there and regression-gated by
+    # check_throughput_regression.py).
     assert speedup > 1.5, baseline
     assert sweep_speedup > 1.5, baseline
+    assert mc_speedup > 1.5, baseline

@@ -11,7 +11,10 @@ measured within one process on one machine:
   against the per-scenario batch loop it replaced;
 * ``projection_sweep.speedup_vs_per_year_loop`` — the temporal
   projection engine (one base sweep + factorized year axis) against
-  re-running the 2-D sweep per projected year.
+  re-running the 2-D sweep per projected year;
+* ``mc_bands.speedup_vs_band_loop`` — the batched Monte-Carlo band
+  kernel (one stream draw for the whole (scenario × year) stack)
+  against the per-cell reference draw loop it replaced.
 
 A metric fails when it drops more than ``--max-regression`` (default
 20 %) below the committed value.  Metrics absent from the committed
@@ -64,6 +67,7 @@ METRICS = (
     "speedup_vs_scalar_engine",
     "scenario_sweep.speedup_vs_batch_loop",
     "projection_sweep.speedup_vs_per_year_loop",
+    "mc_bands.speedup_vs_band_loop",
 )
 
 

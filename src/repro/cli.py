@@ -116,6 +116,14 @@ def build_parser() -> argparse.ArgumentParser:
                          help="which footprint the table reports")
     project.add_argument("--bands", action="store_true",
                          help="append end-year Monte-Carlo p5-p95 bands")
+    project.add_argument("--mc-samples", type=int, default=None,
+                         metavar="N",
+                         help="Monte-Carlo draws per band (default: the "
+                              "library-wide DEFAULT_MC_SAMPLES)")
+    project.add_argument("--band-kind", default=None,
+                         choices=["quantile", "normal"],
+                         help="band flavor: sampled percentiles, or the "
+                              "mean +/- 1.645 sigma normal approximation")
 
     scen = sub.add_parser(
         "scenarios",
@@ -150,6 +158,13 @@ def build_parser() -> argparse.ArgumentParser:
                            "('all' renders the whole cube)")
     scen.add_argument("--bands", action="store_true",
                       help="append per-scenario Monte-Carlo p5-p95 bands")
+    scen.add_argument("--mc-samples", type=int, default=None, metavar="N",
+                      help="Monte-Carlo draws per band (default: the "
+                           "library-wide DEFAULT_MC_SAMPLES)")
+    scen.add_argument("--band-kind", default=None,
+                      choices=["quantile", "normal"],
+                      help="band flavor: sampled percentiles, or the "
+                           "mean +/- 1.645 sigma normal approximation")
     scen.add_argument("--save", default=None, metavar="PATH",
                       help="persist the swept cube to PATH(.npz)")
     scen.add_argument("--load", default=None, metavar="PATH",
@@ -217,7 +232,8 @@ def cmd_fleet(name: str) -> int:
 #: checked explicitly so a mode mismatch errors instead of silently
 #: projecting something other than what the user asked for.
 _PROJECT_SWEEP_ONLY = ("fleet", "op_growth", "emb_growth", "decarbonize",
-                       "refresh", "aci_scale", "zip_axes", "bands")
+                       "refresh", "aci_scale", "zip_axes", "bands",
+                       "mc_samples", "band_kind")
 _PROJECT_TOTALS_ONLY = ("op_rate", "emb_rate")
 
 
@@ -232,7 +248,12 @@ def cmd_project(args: argparse.Namespace) -> int:
                   "--emb-growth instead)", file=sys.stderr)
             return 2
         return _cmd_project_scenarios(args)
-    stray = [name for name in _PROJECT_SWEEP_ONLY if getattr(args, name)]
+    # Identity checks: the sweep-only set mixes store_true flags with
+    # value-bearing options whose 0 must still count as "given" (and
+    # `0 == False`, so a membership test would drop it).
+    stray = [name for name in _PROJECT_SWEEP_ONLY
+             if getattr(args, name) is not None
+             and getattr(args, name) is not False]
     if stray:
         flags = ", ".join("--zip" if s == "zip_axes"
                           else "--" + s.replace("_", "-") for s in stray)
@@ -257,12 +278,29 @@ def cmd_project(args: argparse.Namespace) -> int:
     return 0
 
 
+def _check_band_flags(args: argparse.Namespace) -> str | None:
+    """Band-detail flags are meaningless without ``--bands`` — error
+    instead of silently rendering a table with no bands."""
+    stray = [flag for flag, value in (("--mc-samples", args.mc_samples),
+                                      ("--band-kind", args.band_kind))
+             if value is not None]
+    if stray and not args.bands:
+        return f"{', '.join(stray)} require(s) --bands"
+    if args.mc_samples is not None and args.mc_samples <= 0:
+        return f"--mc-samples must be positive, got {args.mc_samples}"
+    return None
+
+
 def _cmd_project_scenarios(args: argparse.Namespace) -> int:
     """``repro project --scenarios``: the temporal sweep path."""
     from repro import scenarios
     from repro.grid.intensity import DecarbonizationTrajectory
     from repro.reporting.figures import figure10_cube
 
+    problem = _check_band_flags(args)
+    if problem:
+        print(problem, file=sys.stderr)
+        return 2
     if args.refresh and args.footprint == "embodied_annualized":
         print("refresh re-spend is a cumulative schedule; "
               "embodied_annualized is undefined for it — report "
@@ -296,8 +334,16 @@ def _cmd_project_scenarios(args: argparse.Namespace) -> int:
         from repro.study import run_default_study
         cube = run_default_study().project_sweep(
             specs, years=range(args.base_year, args.end_year + 1))
-    print(figure10_cube(cube, args.footprint, bands=args.bands))
+    print(figure10_cube(cube, args.footprint, bands=args.bands,
+                        n_samples=_mc_samples(args),
+                        band_kind=args.band_kind or "quantile"))
     return 0
+
+
+def _mc_samples(args: argparse.Namespace) -> int:
+    """``--mc-samples`` resolved against the library-wide default."""
+    from repro.core.uncertainty import DEFAULT_MC_SAMPLES
+    return DEFAULT_MC_SAMPLES if args.mc_samples is None else args.mc_samples
 
 
 def cmd_scenarios(args: argparse.Namespace) -> int:
@@ -306,11 +352,17 @@ def cmd_scenarios(args: argparse.Namespace) -> int:
     from repro.reporting.figures import cube_table
     from repro.reporting.tables import render_table
 
+    problem = _check_band_flags(args)
+    if problem:
+        print(problem, file=sys.stderr)
+        return 2
     if args.load:
         cube = scenarios.ScenarioCube.load_npz(args.load)
         footprints = (("operational", "embodied", "embodied_annualized")
                       if args.footprint == "all" else (args.footprint,))
-        print(cube_table(cube, footprints, bands=args.bands))
+        print(cube_table(cube, footprints, bands=args.bands,
+                         n_samples=_mc_samples(args),
+                         band_kind=args.band_kind or "quantile"))
         return 0
 
     axes = []
@@ -353,7 +405,9 @@ def cmd_scenarios(args: argparse.Namespace) -> int:
     if args.footprint == "all" or args.bands:
         footprints = (("operational", "embodied", "embodied_annualized")
                       if args.footprint == "all" else (args.footprint,))
-        print(cube_table(cube, footprints, bands=args.bands))
+        print(cube_table(cube, footprints, bands=args.bands,
+                         n_samples=_mc_samples(args),
+                         band_kind=args.band_kind or "quantile"))
         return 0
     rows = [(name, round(total / 1e3, 1), f"{covered}/{cube.n_systems}",
              f"{delta:+.1f}%")

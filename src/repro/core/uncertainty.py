@@ -14,6 +14,14 @@ and reporting percentile bands for the total.  It directly supports the
 paper's accuracy discussion (§V.C): the GHG protocol's ~50 error-bearing
 inputs per system give no reason to expect cancellation, whereas
 EasyC's few modeled terms make the error structure explicit.
+
+This module owns the *semantics* — the band dataclass, the default
+seed and sample count, the entry points that take estimates or arrays.
+The sampling itself runs on the batched engine in
+:mod:`repro.uncertainty.mc`, which draws whole ``(scenario[, year])``
+stacks of bands from one stream; the entry points here are the
+single-fleet wrappers over it (see ``docs/uncertainty.md`` for the
+seed-stream contract that keeps both bit-identical).
 """
 
 from __future__ import annotations
@@ -27,10 +35,20 @@ from repro.core.estimate import CarbonEstimate
 #: Default seed: reproducible bands in docs and tests.
 DEFAULT_MC_SEED: int = 4242
 
+#: Default Monte-Carlo draws per band — the one definition every band
+#: path (cube reductions, figure tables, the CLI) threads through.
+DEFAULT_MC_SAMPLES: int = 4000
+
 
 @dataclass(frozen=True, slots=True)
 class UncertaintyBand:
-    """Percentile band for a fleet-total distribution."""
+    """Percentile band for a fleet-total distribution.
+
+    ``std_mt`` carries the sample standard deviation of the total
+    draws alongside the percentiles, so the normal-approximation
+    ``mean ± 1.645·σ`` reading (``kind="normal"`` on the batched
+    engine) needs no re-draw.
+    """
 
     mean_mt: float
     p5_mt: float
@@ -38,6 +56,7 @@ class UncertaintyBand:
     p95_mt: float
     n_samples: int
     n_estimates: int
+    std_mt: float | None = None
 
     @property
     def halfwidth_frac(self) -> float:
@@ -49,7 +68,7 @@ class UncertaintyBand:
 
 def total_with_uncertainty_arrays(values_mt: "np.ndarray | list[float]",
                                   uncertainty_fracs: "np.ndarray | list[float]",
-                                  n_samples: int = 4000,
+                                  n_samples: int = DEFAULT_MC_SAMPLES,
                                   seed: int = DEFAULT_MC_SEED,
                                   ) -> UncertaintyBand:
     """Monte-Carlo band for a fleet total, straight from arrays.
@@ -62,40 +81,30 @@ def total_with_uncertainty_arrays(values_mt: "np.ndarray | list[float]",
     :func:`~repro.core.vectorized.embodied_batch` can be passed in
     without materializing a single estimate object.
 
+    A thin wrapper over the batched engine
+    (:func:`repro.uncertainty.mc.mc_band_stack` with one cell): the
+    band is bit-identical to the frozen reference draw
+    (:func:`repro.uncertainty.mc.band_scalar_reference`) and to any
+    batched call that includes this fleet as a cell.
+
     Raises:
         ValueError: when no covered estimate remains or on non-positive
             samples / mismatched array lengths.
     """
-    if n_samples <= 0:
-        raise ValueError(f"n_samples must be positive, got {n_samples}")
+    from repro.uncertainty.mc import mc_band_stack
+
     values = np.asarray(values_mt, dtype=np.float64)
     fracs = np.asarray(uncertainty_fracs, dtype=np.float64)
     if values.shape != fracs.shape:
         raise ValueError(f"shape mismatch: values {values.shape} "
                          f"vs uncertainties {fracs.shape}")
-    covered = ~np.isnan(values)
-    values = values[covered]
-    fracs = fracs[covered]
-    if values.size == 0:
-        raise ValueError("need at least one estimate")
-
-    sigmas = values * fracs / 1.645        # band ≈ 90% normal interval
-    rng = np.random.default_rng(seed)
-    draws = rng.normal(loc=values, scale=sigmas,
-                       size=(n_samples, values.size))
-    np.clip(draws, 0.0, None, out=draws)   # carbon cannot go negative
-    totals = draws.sum(axis=1)
-
-    p5, p50, p95 = np.percentile(totals, [5.0, 50.0, 95.0])
-    return UncertaintyBand(
-        mean_mt=float(totals.mean()),
-        p5_mt=float(p5), p50_mt=float(p50), p95_mt=float(p95),
-        n_samples=n_samples, n_estimates=int(values.size),
-    )
+    stack = mc_band_stack(values.reshape(1, -1), fracs.reshape(1, -1),
+                          n_samples=n_samples, seed=seed, method="serial")
+    return stack.band(0)
 
 
 def total_with_uncertainty(estimates: list[CarbonEstimate],
-                           n_samples: int = 4000,
+                           n_samples: int = DEFAULT_MC_SAMPLES,
                            seed: int = DEFAULT_MC_SEED) -> UncertaintyBand:
     """Monte-Carlo band for the sum of independent estimates.
 
@@ -117,32 +126,36 @@ def total_with_uncertainty(estimates: list[CarbonEstimate],
 
 
 def fleet_bands(records, operational_model=None, embodied_model=None, *,
-                frame=None, n_samples: int = 4000,
-                seed: int = DEFAULT_MC_SEED,
+                frame=None, n_samples: int = DEFAULT_MC_SAMPLES,
+                seed: int = DEFAULT_MC_SEED, method: str = "serial",
                 ) -> tuple[UncertaintyBand, UncertaintyBand]:
     """(operational, embodied) fleet-total bands via the columnar engine.
 
     Evaluates both models over the fleet's
-    :class:`~repro.core.vectorized.FleetFrame` and samples the bands
-    from batch arrays — the sweep-friendly path: no estimate objects,
-    and the frame is reused across calls with different models.
+    :class:`~repro.core.vectorized.FleetFrame` and samples both bands
+    from batch arrays as one two-cell stack on the batched engine —
+    the sweep-friendly path: no estimate objects, one stream draw for
+    both footprints, and the frame is reused across calls with
+    different models.  ``method`` forwards to
+    :func:`repro.uncertainty.mc.mc_band_stack` (identical output
+    either way).
     """
     from repro.core import vectorized as vz
+    from repro.uncertainty.mc import mc_band_stack
 
     if frame is None:
         frame = vz.fleet_frame(list(records))
     op = vz.operational_batch(frame, operational_model)
     emb = vz.embodied_batch(frame, embodied_model)
-    return (
-        total_with_uncertainty_arrays(op.values_mt, op.uncertainty_frac,
-                                      n_samples=n_samples, seed=seed),
-        total_with_uncertainty_arrays(emb.values_mt, emb.uncertainty_frac,
-                                      n_samples=n_samples, seed=seed),
-    )
+    stack = mc_band_stack(
+        np.stack([op.values_mt, emb.values_mt]),
+        np.stack([op.uncertainty_frac, emb.uncertainty_frac]),
+        n_samples=n_samples, seed=seed, method=method)
+    return stack.band(0), stack.band(1)
 
 
 def error_cancellation_ratio(estimates: list[CarbonEstimate],
-                             n_samples: int = 4000,
+                             n_samples: int = DEFAULT_MC_SAMPLES,
                              seed: int = DEFAULT_MC_SEED) -> float:
     """How much independent errors cancel in the fleet total.
 

@@ -67,6 +67,7 @@ from repro.core.embodied import EmbodiedModel
 from repro.core.operational import OperationalModel
 from repro.core.record import SystemRecord
 from repro.core.uncertainty import (
+    DEFAULT_MC_SAMPLES,
     DEFAULT_MC_SEED,
     UncertaintyBand,
     total_with_uncertainty_arrays,
@@ -478,26 +479,85 @@ class ProjectionCube:
         )
 
     def band(self, scenario, year: int, footprint: str = "operational", *,
-             n_samples: int = 4000,
+             n_samples: int = DEFAULT_MC_SAMPLES,
              seed: int = DEFAULT_MC_SEED) -> UncertaintyBand:
         """Monte-Carlo fleet-total band for one (scenario, year).
 
         The array-native path: samples drawn straight from the
         projected value row and the (year-invariant) uncertainty row —
         the Fig. 10 band machinery for arbitrary scenario grids.
+        Bit-identical to the same cell of the batched
+        :meth:`band_stack`.
         """
         s = self.index(scenario)
         return total_with_uncertainty_arrays(
             self.values(footprint, year)[s], self.uncertainty(footprint)[s],
             n_samples=n_samples, seed=seed)
 
+    def band_stack(self, footprint: str = "operational",
+                   year: int | None = None, *,
+                   n_samples: int = DEFAULT_MC_SAMPLES,
+                   seed: int = DEFAULT_MC_SEED, method: str = "auto",
+                   max_workers: int | None = None):
+        """Band statistics for the whole cube from one batched draw.
+
+        Returns a :class:`repro.uncertainty.mc.BandStack` — shape
+        ``(S, Y)`` for the full cube, ``(S,)`` when ``year`` is given —
+        with every cell bit-identical to the per-cell :meth:`band`
+        call (the uncertainty rows are year-invariant, so they
+        broadcast along the year axis before sampling).  ``method``
+        forwards to :func:`repro.uncertainty.mc.mc_band_stack`;
+        ``"shm"`` fans (scenario, year) blocks over the shared-memory
+        pool with serial-fallback identity.
+        """
+        from repro.uncertainty.mc import mc_band_stack
+
+        values = self.values(footprint, year)
+        unc = self.uncertainty(footprint)
+        if year is None:
+            unc = np.broadcast_to(unc[:, None, :], values.shape)
+        return mc_band_stack(values, unc, n_samples=n_samples, seed=seed,
+                             method=method, max_workers=max_workers)
+
+    def bands(self, footprint: str = "operational",
+              year: int | None = None, *,
+              n_samples: int = DEFAULT_MC_SAMPLES,
+              seed: int = DEFAULT_MC_SEED, method: str = "auto",
+              kind: str = "quantile", max_workers: int | None = None,
+              ) -> dict[str, UncertaintyBand]:
+        """Per-scenario bands at one year (default: the end year).
+
+        The batched Fig. 10 band table: one draw kernel for all
+        scenarios, keyed by scenario name, bit-identical to per-cell
+        :meth:`band` calls for ``kind="quantile"``.
+        """
+        year = self.years[-1] if year is None else year
+        stack = self.band_stack(footprint, year, n_samples=n_samples,
+                                seed=seed, method=method,
+                                max_workers=max_workers)
+        return {spec.name: stack.band(s, kind=kind)
+                for s, spec in enumerate(self.base.specs)}
+
     def band_series(self, scenario, footprint: str = "operational", *,
-                    n_samples: int = 4000, seed: int = DEFAULT_MC_SEED,
+                    n_samples: int = DEFAULT_MC_SAMPLES,
+                    seed: int = DEFAULT_MC_SEED, method: str = "auto",
+                    kind: str = "quantile",
                     ) -> dict[int, UncertaintyBand]:
-        """Per-year Monte-Carlo bands for one scenario (Fig. 10 bands)."""
-        return {year: self.band(scenario, year, footprint,
-                                n_samples=n_samples, seed=seed)
-                for year in self.years}
+        """Per-year Monte-Carlo bands for one scenario (Fig. 10 bands).
+
+        All years drawn from one batched kernel; each entry is
+        bit-identical to :meth:`band` for that year.
+        """
+        from repro.uncertainty.mc import mc_band_stack
+
+        s = self.index(scenario)
+        values = self.values(footprint)[s]          # (Y, n)
+        unc = np.broadcast_to(self.uncertainty(footprint)[s][None, :],
+                              values.shape)
+        stack = mc_band_stack(values, unc, n_samples=n_samples, seed=seed,
+                              method=method)
+        return {year: stack.band(yi, kind=kind)
+                for yi, year in enumerate(self.years)}
 
     def perf_carbon(self, total_rmax_tflops: float, scenario=0,
                     footprint: str = "operational", *,

@@ -15,6 +15,7 @@ from repro.analysis.sensitivity import compare_scenarios, cube_sensitivity
 from repro.analysis.series import CarbonSeries
 from repro.core.equivalences import equivalences
 from repro.core.metrics import KeyMetric, metric_present
+from repro.core.uncertainty import DEFAULT_MC_SAMPLES
 from repro.coverage.analyzer import missing_items_histogram
 from repro.coverage.rank_ranges import coverage_by_rank_range
 from repro.data.paper_table import load_paper_table
@@ -239,7 +240,8 @@ def figure9_cube(cube, scenario, baseline=0,
 
 def cube_table(cube, footprints=("operational", "embodied"),
                baseline=0, *, bands: bool = False,
-               n_samples: int = 4000) -> str:
+               n_samples: int = DEFAULT_MC_SAMPLES,
+               band_kind: str = "quantile") -> str:
     """Render a whole :class:`~repro.scenarios.ScenarioCube` as one table.
 
     The multi-scenario view `figure9_cube` deliberately is not: every
@@ -253,8 +255,12 @@ def cube_table(cube, footprints=("operational", "embodied"),
         baseline: the delta reference scenario (index/name/spec), or
             ``None`` to suppress delta columns.
         bands: append a p5-p95 band column per footprint (operational
-            and embodied share the cube's uncertainty machinery).
+            and embodied share the cube's uncertainty machinery); all
+            scenarios of a footprint are drawn as one batched kernel
+            (:meth:`~repro.scenarios.ScenarioCube.band_stack`).
         n_samples: Monte-Carlo draws per band.
+        band_kind: ``"quantile"`` (sampled percentiles — the reference
+            semantics) or ``"normal"`` (``mean ± 1.645·σ``).
     """
     headers = ["Scenario", "Covered"]
     for footprint in footprints:
@@ -265,6 +271,8 @@ def cube_table(cube, footprints=("operational", "embodied"),
             headers.append("p5-p95 (kMT)")
     rows = []
     per_footprint = {fp: cube.table_rows(fp, baseline) for fp in footprints}
+    stacks = {fp: cube.band_stack(fp, n_samples=n_samples)
+              for fp in footprints} if bands else {}
     for s, spec in enumerate(cube.specs):
         row: list[object] = [spec.name,
                              f"{cube.n_covered(s)}/{cube.n_systems}"]
@@ -274,7 +282,7 @@ def cube_table(cube, footprints=("operational", "embodied"),
             if baseline is not None:
                 row.append(f"{delta:+.1f}")
             if bands:
-                band = cube.band(s, footprint, n_samples=n_samples)
+                band = stacks[footprint].band(s, kind=band_kind)
                 row.append(f"{band.p5_mt / 1e3:,.1f} - "
                            f"{band.p95_mt / 1e3:,.1f}")
         rows.append(tuple(row))
@@ -314,7 +322,9 @@ def figure10() -> str:
 
 
 def figure10_cube(cube, footprint: str = "operational", *,
-                  bands: bool = False, n_samples: int = 4000) -> str:
+                  bands: bool = False,
+                  n_samples: int = DEFAULT_MC_SAMPLES,
+                  band_kind: str = "quantile") -> str:
     """Fig-10-style projection table for any temporal-engine cube.
 
     One row per scenario, one column per projected year (totals in
@@ -327,20 +337,24 @@ def figure10_cube(cube, footprint: str = "operational", *,
             :func:`repro.projection.project_sweep` (or
             ``StudyResult.project_sweep`` / ``fleets.project_fleet``).
         footprint: which footprint to tabulate.
-        bands: append the end-year Monte-Carlo p5-p95 band (kMT),
-            sampled via the array-native uncertainty path.
+        bands: append the end-year Monte-Carlo p5-p95 band (kMT) — all
+            scenarios sampled as one batched kernel
+            (:meth:`~repro.projection.ProjectionCube.band_stack`).
         n_samples: Monte-Carlo draws per band.
+        band_kind: ``"quantile"`` (sampled percentiles — the reference
+            semantics) or ``"normal"`` (``mean ± 1.645·σ``).
     """
     headers = ["Scenario"] + [str(y) for y in cube.years] \
         + [f"{cube.years[-1]}x"]
     if bands:
         headers.append(f"p5-p95@{cube.years[-1]} (kMT)")
     rows = []
-    for name, yearly, multiple in cube.table_rows(footprint):
+    stack = cube.band_stack(footprint, cube.years[-1],
+                            n_samples=n_samples) if bands else None
+    for s, (name, yearly, multiple) in enumerate(cube.table_rows(footprint)):
         row = [name] + [round(v, 1) for v in yearly] + [round(multiple, 2)]
         if bands:
-            band = cube.band(name, cube.years[-1], footprint,
-                             n_samples=n_samples)
+            band = stack.band(s, kind=band_kind)
             row.append(f"{band.p5_mt / 1e3:,.1f} - {band.p95_mt / 1e3:,.1f}")
         rows.append(tuple(row))
     return render_table(

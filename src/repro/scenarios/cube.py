@@ -10,9 +10,14 @@ axis by Top500 ranks.  Reductions go three ways:
 * per-scenario totals / coverage counts / deltas against a named
   baseline scenario via :meth:`totals`, :meth:`n_covered`,
   :meth:`delta_totals`;
-* per-scenario Monte-Carlo fleet bands via :meth:`band`, sampled by
-  :func:`~repro.core.uncertainty.total_with_uncertainty_arrays`
-  straight from the cube's arrays — no estimate objects.
+* per-scenario Monte-Carlo fleet bands via :meth:`band` /
+  :meth:`bands`, sampled straight from the cube's arrays — no
+  estimate objects.  :meth:`bands` draws every scenario from one
+  batched kernel (:func:`repro.uncertainty.mc.mc_band_stack`,
+  optionally fanned out over the shared-memory pool) and is
+  bit-identical to calling
+  :func:`~repro.core.uncertainty.total_with_uncertainty_arrays` per
+  scenario; :meth:`band_stack` exposes the raw statistics.
 
 The ``embodied_annualized`` footprint divides embodied carbon by each
 scenario's hardware lifetime (the refresh-horizon lever), turning the
@@ -29,6 +34,7 @@ import numpy as np
 
 from repro.analysis.series import CarbonSeries
 from repro.core.uncertainty import (
+    DEFAULT_MC_SAMPLES,
     DEFAULT_MC_SEED,
     UncertaintyBand,
     total_with_uncertainty_arrays,
@@ -166,26 +172,59 @@ class ScenarioCube:
         )
 
     def band(self, scenario: "int | str | ScenarioSpec",
-             footprint: str = "operational", *, n_samples: int = 4000,
+             footprint: str = "operational", *,
+             n_samples: int = DEFAULT_MC_SAMPLES,
              seed: int = DEFAULT_MC_SEED) -> UncertaintyBand:
         """Monte-Carlo fleet-total band for one scenario.
 
         Sampled straight from the cube's value/uncertainty rows via
         :func:`~repro.core.uncertainty.total_with_uncertainty_arrays` —
         bit-identical to sampling the scalar per-scenario loop's
-        estimates with the same seed.
+        estimates with the same seed, and to the same scenario's entry
+        in the batched :meth:`bands`.
         """
         s = self.index(scenario)
         return total_with_uncertainty_arrays(
             self.values(footprint)[s], self.uncertainty(footprint)[s],
             n_samples=n_samples, seed=seed)
 
+    def band_stack(self, footprint: str = "operational", *,
+                   n_samples: int = DEFAULT_MC_SAMPLES,
+                   seed: int = DEFAULT_MC_SEED, method: str = "auto",
+                   max_workers: int | None = None):
+        """All scenarios' band statistics from one batched draw.
+
+        Returns a :class:`repro.uncertainty.mc.BandStack` of shape
+        ``(n_scenarios,)``; each cell is bit-identical to the
+        per-scenario :meth:`band` call with the same seed (the
+        seed-stream contract, ``docs/uncertainty.md``).  ``method``
+        forwards to :func:`repro.uncertainty.mc.mc_band_stack` —
+        ``"shm"`` fans scenario blocks over the shared-memory pool
+        with serial-fallback identity.
+        """
+        from repro.uncertainty.mc import mc_band_stack
+
+        return mc_band_stack(self.values(footprint),
+                             self.uncertainty(footprint),
+                             n_samples=n_samples, seed=seed,
+                             method=method, max_workers=max_workers)
+
     def bands(self, footprint: str = "operational", *,
-              n_samples: int = 4000, seed: int = DEFAULT_MC_SEED,
+              n_samples: int = DEFAULT_MC_SAMPLES,
+              seed: int = DEFAULT_MC_SEED, method: str = "auto",
+              kind: str = "quantile", max_workers: int | None = None,
               ) -> dict[str, UncertaintyBand]:
-        """Per-scenario Monte-Carlo bands, keyed by scenario name."""
-        return {spec.name: self.band(i, footprint, n_samples=n_samples,
-                                     seed=seed)
+        """Per-scenario Monte-Carlo bands, keyed by scenario name.
+
+        One batched kernel for the whole cube (no per-scenario RNG
+        setups); ``kind="quantile"`` (the default) reproduces the
+        per-scenario loop bit-for-bit, ``kind="normal"`` reports the
+        ``mean ± 1.645·σ`` normal-approximation band from the same
+        draws.
+        """
+        stack = self.band_stack(footprint, n_samples=n_samples, seed=seed,
+                                method=method, max_workers=max_workers)
+        return {spec.name: stack.band(i, kind=kind)
                 for i, spec in enumerate(self.specs)}
 
     # -- persistence ---------------------------------------------------------

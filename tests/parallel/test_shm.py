@@ -217,3 +217,99 @@ class TestFailureModes:
         assert len(remaining) <= 1
         shm_mod.release_shared_frames()
         assert live_owned_segments() == ()
+
+
+# ---------------------------------------------------------------------------
+# Monte-Carlo band fan-out: fallback identity + failure modes
+# ---------------------------------------------------------------------------
+
+def _band_cube(study):
+    """A small real cube whose bands exercise the mc fan-out."""
+    from repro import scenarios
+    grid = scenarios.ScenarioGrid.cartesian(
+        scenarios.aci_scale_axis((1.0, 0.8)),
+        scenarios.pue_axis((1.0, 1.2)),
+    )
+    return study.scenario_sweep(grid)
+
+
+class TestMcBandFanOut:
+    """The batched band sampler over the pool: serial-fallback identity
+    under every disable knob, WorkerCrashError on worker death, and no
+    leaked segments either way (the ISSUE-5 negative paths)."""
+
+    def test_no_shm_falls_back_to_identical_bands(self, study, monkeypatch):
+        cube = _band_cube(study)
+        serial = cube.bands("operational", n_samples=300, method="serial")
+        monkeypatch.setenv(shm_mod.DISABLE_ENV, "1")
+        fallback = cube.bands("operational", n_samples=300, method="shm")
+        assert fallback == serial
+        assert live_owned_segments() == ()
+
+    def test_no_processes_falls_back_to_identical_bands(self, study,
+                                                        monkeypatch):
+        cube = _band_cube(study)
+        serial = cube.bands("operational", n_samples=300, method="serial")
+        monkeypatch.setenv(pool_mod.DISABLE_ENV, "1")
+        fallback = cube.bands("operational", n_samples=300, method="shm")
+        assert fallback == serial
+        assert live_owned_segments() == ()
+
+    @pytest.mark.skipif(not shm_mod.shm_available(), reason="no /dev/shm")
+    def test_shm_bands_match_serial(self, study):
+        if not _pool_ready():
+            pytest.skip("cannot spawn worker processes")
+        cube = _band_cube(study)
+        serial = cube.bands("embodied", n_samples=300, method="serial")
+        pooled = cube.bands("embodied", n_samples=300, method="shm",
+                            max_workers=WORKERS)
+        assert pooled == serial
+
+    @pytest.mark.skipif(not shm_mod.shm_available(), reason="no /dev/shm")
+    def test_worker_crash_mid_draw_block_raises_and_leaks_nothing(
+            self, study, monkeypatch):
+        if not _pool_ready():
+            pytest.skip("cannot spawn worker processes")
+        from repro.uncertainty import mc
+
+        cube = _band_cube(study)
+
+        def crash(fn, tasks, *, max_workers=None):
+            # The dispatch a dying worker produces: pool_map discards
+            # the broken pool and raises WorkerCrashError.
+            raise WorkerCrashError("a worker process died mid-batch")
+
+        monkeypatch.setattr(pool_mod, "pool_map", crash)
+        with pytest.raises(WorkerCrashError):
+            mc.mc_band_stack(cube.operational_mt, cube.operational_unc,
+                             n_samples=100, method="shm",
+                             max_workers=WORKERS)
+        # Both per-call segments (input stack + output stats) were
+        # unlinked by the finally blocks.
+        assert live_owned_segments() == ()
+
+    @pytest.mark.skipif(not shm_mod.shm_available(), reason="no /dev/shm")
+    def test_real_worker_death_raises_worker_crash_error(self):
+        """End-to-end: a draw-block task whose worker actually dies."""
+        if not _pool_ready():
+            pytest.skip("cannot spawn worker processes")
+        from repro.uncertainty import mc
+
+        values = np.abs(np.random.default_rng(0).normal(100, 10, (4, 50)))
+        unc = np.full((4, 50), 0.2)
+        in_pack = SharedArrayPack.create({"values": values, "unc": unc})
+        out_pack = SharedArrayPack.create({"stats": np.empty((4, 5))})
+        try:
+            tasks = [(in_pack.handle, out_pack.handle, 0, 2, 100, 1),
+                     (in_pack.handle, out_pack.handle, 2, 4, 100, 1)]
+            with pytest.raises(WorkerCrashError):
+                pool_map(_die, tasks, max_workers=WORKERS)
+            # The engine's own entry point still works afterwards: the
+            # broken pool was discarded and a fresh one spawns.
+            stack = mc.mc_band_stack(values, unc, n_samples=100,
+                                     method="shm", max_workers=WORKERS)
+            assert stack.shape == (4,)
+        finally:
+            in_pack.unlink()
+            out_pack.unlink()
+        assert live_owned_segments() == ()

@@ -1,0 +1,77 @@
+"""Golden-band anchors: the paper-defaults Fig. 7/8 band values, frozen.
+
+Figures 7 and 8 report the study's fleet totals with their Monte-Carlo
+uncertainty bands.  These tests pin the default-seed band values as
+literals so that any future refactor of the RNG stream — a different
+generator, a re-ordered draw, a per-scenario ``SeedSequence.spawn``
+scheme — fails *loudly* here instead of silently shifting published
+numbers.  (Bit-identity of the batched engine against the reference
+draw lives in ``tests/uncertainty``; this file is about the concrete
+values.)
+
+If a change to the *model* (not the sampler) legitimately moves the
+totals, re-freeze: run ``fleet_bands`` on the default study at
+``DEFAULT_MC_SEED`` / ``DEFAULT_MC_SAMPLES`` and update the literals
+in the same commit that changes the model, with the movement called
+out in the commit message.
+"""
+
+import pytest
+
+from repro.core.uncertainty import (
+    DEFAULT_MC_SAMPLES,
+    DEFAULT_MC_SEED,
+    fleet_bands,
+)
+
+#: repr() round-trips float64 exactly; approx(rel=1e-12) only forgives
+#: last-ulp reassociation, never a different draw.
+EXACT = dict(rel=1e-12)
+
+#: Fig. 7/8 operational band, +public-info scenario, paper defaults.
+GOLDEN_OPERATIONAL = {
+    "mean_mt": 1633951.7842501183,
+    "p5_mt": 1546114.2715227848,
+    "p50_mt": 1634569.5939684198,
+    "p95_mt": 1720617.6158773152,
+    "std_mt": 53511.823157251536,
+    "n_estimates": 490,
+}
+
+#: Fig. 7/8 embodied band, +public-info scenario, paper defaults.
+GOLDEN_EMBODIED = {
+    "mean_mt": 786305.4062954392,
+    "p5_mt": 704916.6960596511,
+    "p50_mt": 787099.5950111371,
+    "p95_mt": 863354.0906162548,
+    "std_mt": 47855.53418494043,
+    "n_estimates": 404,
+}
+
+
+@pytest.fixture(scope="module")
+def default_bands(study):
+    return fleet_bands(list(study.public_records),
+                       n_samples=DEFAULT_MC_SAMPLES, seed=DEFAULT_MC_SEED)
+
+
+@pytest.mark.parametrize("which,golden", [
+    (0, GOLDEN_OPERATIONAL),
+    (1, GOLDEN_EMBODIED),
+], ids=["operational", "embodied"])
+def test_default_seed_band_values_are_frozen(default_bands, which, golden):
+    band = default_bands[which]
+    assert band.n_samples == DEFAULT_MC_SAMPLES
+    assert band.n_estimates == golden["n_estimates"]
+    for field in ("mean_mt", "p5_mt", "p50_mt", "p95_mt", "std_mt"):
+        assert getattr(band, field) == pytest.approx(golden[field], **EXACT), \
+            (f"{field} moved from the frozen default-seed value — an RNG "
+             "stream change, or a deliberate model change that must "
+             "re-freeze these literals")
+
+
+def test_band_ordering_and_width_sanity(default_bands):
+    """The frozen values must stay a plausible band, not just a hash."""
+    for band in default_bands:
+        assert band.p5_mt < band.p50_mt < band.p95_mt
+        assert 0.0 < band.halfwidth_frac < 0.15

@@ -196,6 +196,36 @@ class TestCli:
         assert code == 0
         assert "embodied_annualized" in out and "p5-p95" in out
 
+    def test_scenarios_band_flags(self, capsys):
+        code = main(["scenarios", "--fleet", "doe-like",
+                     "--aci-scale", "1.0,0.8", "--bands",
+                     "--mc-samples", "200", "--band-kind", "normal"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "p5-p95" in out
+
+    def test_band_flags_require_bands(self, capsys):
+        code = main(["scenarios", "--fleet", "doe-like",
+                     "--aci-scale", "1.0,0.8", "--band-kind", "normal"])
+        assert code == 2
+        assert "--bands" in capsys.readouterr().err
+        code = main(["project", "--scenarios", "--fleet", "doe-like",
+                     "--mc-samples", "100"])
+        assert code == 2
+        assert "--bands" in capsys.readouterr().err
+
+    def test_non_positive_mc_samples_rejected(self, capsys):
+        code = main(["scenarios", "--fleet", "doe-like",
+                     "--aci-scale", "1.0,0.8", "--bands",
+                     "--mc-samples", "0"])
+        assert code == 2
+        assert "positive" in capsys.readouterr().err
+        # Even 0 counts as "given" for the project mode check (0 is
+        # falsy but the flag was passed).
+        code = main(["project", "--mc-samples", "0"])
+        assert code == 2
+        assert "--scenarios" in capsys.readouterr().err
+
     def test_scenarios_save_and_load_round_trip(self, capsys, tmp_path):
         path = str(tmp_path / "cube")
         code = main(["scenarios", "--fleet", "doe-like",
