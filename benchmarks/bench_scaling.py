@@ -42,6 +42,7 @@ from repro.core.vectorized import (
     parallel_batch_operational_mt,
 )
 from repro.data.synth_fleet import synth_fleet
+from repro.envflags import env_flag
 from repro.parallel import pool as pool_mod
 from repro.parallel import shm as shm_mod
 
@@ -49,7 +50,7 @@ from repro.parallel import shm as shm_mod
 #: hosts; the recorded JSON carries both this and the host cpu count.
 WORKERS = max(2, min(4, os.cpu_count() or 1))
 
-FULL = os.environ.get("REPRO_BENCH_SCALING_FULL") == "1"
+FULL = env_flag("REPRO_BENCH_SCALING_FULL")
 CURVE_NS = (500, 5_000, 50_000, 200_000) if FULL else (500, 5_000, 50_000)
 
 #: The n the regression gate reads: large enough that dispatch costs

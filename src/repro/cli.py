@@ -16,6 +16,9 @@ Commands:
   through the 2-D kernel, over the Top500 study or a built-in fleet;
   renders whole cubes (``--footprint all``, ``--bands``) and persists
   or reloads them (``--save`` / ``--load``).
+* ``doctor``    — parallel-substrate health check: reports pool/shm
+  availability and degradation-ladder state, and sweeps
+  shared-memory segments orphaned by crashed runs.
 
 The CLI is a thin veneer over the library; everything it prints comes
 from the same functions the benchmarks assert against.
@@ -170,6 +173,15 @@ def build_parser() -> argparse.ArgumentParser:
     scen.add_argument("--load", default=None, metavar="PATH",
                       help="render a previously saved cube instead of "
                            "sweeping (axis flags are ignored)")
+
+    doctor = sub.add_parser(
+        "doctor",
+        help="check the parallel substrate and sweep orphaned "
+             "shared-memory segments")
+    doctor.add_argument("--registry-dir", default=None, metavar="DIR",
+                        help="segment-registry directory to sweep "
+                             "(default: the live registry location, "
+                             "REPRO_SHM_REGISTRY_DIR or /dev/shm)")
     return parser
 
 
@@ -421,6 +433,45 @@ def cmd_scenarios(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_doctor(args: argparse.Namespace) -> int:
+    """Substrate health check + shm janitor pass.
+
+    Prints what the parallel stack would actually use on this host
+    (process pool, shared memory, degradation-ladder state, fault
+    plan) and unlinks any shared-memory segment whose owner process is
+    dead — the recovery tool for hosts where a previous run was
+    SIGKILLed before its ``atexit`` cleanup could run.
+    """
+    from repro.parallel import faults as faults_mod
+    from repro.parallel import pool as pool_mod
+    from repro.parallel import resilience
+    from repro.parallel import shm as shm_mod
+
+    lines = ["repro doctor — parallel substrate", ""]
+    lines.append(f"  process pool : "
+                 f"{'available' if pool_mod.pool_available(None) else 'unavailable'}"
+                 f"{' (disabled by env)' if pool_mod.processes_disabled() else ''}")
+    lines.append(f"  shared memory: "
+                 f"{'available' if shm_mod.shm_available() else 'unavailable'}")
+    lines.append(f"  registry dir : {shm_mod.registry_path().parent}")
+    lines.append(f"  live segments: {len(shm_mod.live_owned_segments())} "
+                 f"owned by this process")
+    latched = resilience.latched_rungs()
+    lines.append(f"  ladder state : "
+                 f"{('latched: ' + ', '.join(sorted(latched))) if latched else 'clean'}")
+    plan = faults_mod.active_plan()
+    plan_desc = f"{len(plan.rules)} rule(s) active" if plan.rules else "none"
+    lines.append(f"  fault plan   : {plan_desc}")
+    swept = shm_mod.sweep_orphaned_segments(registry_dir=args.registry_dir)
+    if swept:
+        lines.append(f"  janitor      : unlinked {len(swept)} orphaned "
+                     f"segment(s): {', '.join(swept)}")
+    else:
+        lines.append("  janitor      : no orphaned segments")
+    print("\n".join(lines))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "report":
@@ -433,6 +484,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_project(args)
     if args.command == "scenarios":
         return cmd_scenarios(args)
+    if args.command == "doctor":
+        return cmd_doctor(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
 
 

@@ -1410,10 +1410,12 @@ def parallel_batch_operational_mt(records: list[SystemRecord],
       memory or process spawning is unavailable.
 
     ``"auto"`` picks ``"shm"`` for large fleets on capable hosts and
-    ``"pickle"`` otherwise.
+    ``"pickle"`` otherwise.  Whatever the method, execution runs under
+    the supervised dispatcher: crashed or hung shm blocks are retried,
+    and a rung that keeps failing degrades ``shm → pickle → serial``
+    with bit-identical results (see ``docs/robustness.md``).
     """
-    from repro.parallel.chunking import chunk_indices
-    from repro.parallel.executor import parallel_map
+    from repro.parallel import resilience
 
     model = model or OperationalModel()
     if frame is None:
@@ -1425,11 +1427,34 @@ def parallel_batch_operational_mt(records: list[SystemRecord],
                          "expected 'auto', 'pickle' or 'shm'")
     if method == "auto" and _want_shm("auto", frame.n, max_workers):
         method = "shm"
+    rungs = []
     if method == "shm":
         if not _want_shm("shm", frame.n, max_workers):
             return operational_batch(frame, model).values_mt
-        return _shm_batch_eval(frame, model, None,
-                               max_workers=max_workers).op_mt
+        rungs.append(("shm", lambda: _shm_batch_eval(
+            frame, model, None, max_workers=max_workers).op_mt))
+    rungs.append(("pickle", lambda: _op_pickle_fanout(
+        frame, model, max_workers, chunks_per_worker)))
+    rungs.append(("serial",
+                  lambda: operational_batch(frame, model).values_mt))
+    return resilience.run_ladder(rungs, label="operational-batch")
+
+
+def _op_pickle_fanout(frame: FleetFrame, model: OperationalModel,
+                      max_workers: int | None,
+                      chunks_per_worker: int) -> np.ndarray | None:
+    """The ``"pickle"`` rung: column chunks over a short-lived pool.
+
+    Declines (returns ``None``) when worker processes are disabled —
+    the ladder then falls through to serial instead of spawning
+    processes the operator forbade.
+    """
+    from repro.parallel import pool as pool_mod
+    from repro.parallel.chunking import chunk_indices
+    from repro.parallel.executor import parallel_map
+
+    if pool_mod.processes_disabled():
+        return None
     aci = frame.aci(model.grid)
     needs_scalar = (frame.op_path == _OP_COMPONENT) & ~np.isnan(aci)
 
@@ -1493,10 +1518,10 @@ def parallel_batch_embodied_mt(records: list[SystemRecord],
     frame zero-copy and only the model and scarce scalar-fallback
     records are pickled.  Equivalent to :func:`batch_embodied_mt`
     (asserted in tests), with automatic serial fallback when shared
-    memory or process spawning is unavailable.
+    memory or process spawning is unavailable, and supervised recovery
+    (retries + the ``shm → pickle → serial`` ladder) on failures.
     """
-    from repro.parallel.chunking import chunk_indices
-    from repro.parallel.executor import parallel_map
+    from repro.parallel import resilience
 
     model = model or EmbodiedModel()
     if frame is None:
@@ -1508,11 +1533,30 @@ def parallel_batch_embodied_mt(records: list[SystemRecord],
                          "expected 'auto', 'pickle' or 'shm'")
     if method == "auto" and _want_shm("auto", frame.n, max_workers):
         method = "shm"
+    rungs = []
     if method == "shm":
         if not _want_shm("shm", frame.n, max_workers):
             return embodied_batch(frame, model).values_mt
-        return _shm_batch_eval(frame, None, model,
-                               max_workers=max_workers).emb_mt
+        rungs.append(("shm", lambda: _shm_batch_eval(
+            frame, None, model, max_workers=max_workers).emb_mt))
+    rungs.append(("pickle", lambda: _emb_pickle_fanout(
+        frame, model, max_workers, chunks_per_worker)))
+    rungs.append(("serial",
+                  lambda: embodied_batch(frame, model).values_mt))
+    return resilience.run_ladder(rungs, label="embodied-batch")
+
+
+def _emb_pickle_fanout(frame: FleetFrame, model: EmbodiedModel,
+                       max_workers: int | None,
+                       chunks_per_worker: int) -> np.ndarray | None:
+    """The embodied ``"pickle"`` rung (declines when processes are
+    disabled, like :func:`_op_pickle_fanout`)."""
+    from repro.parallel import pool as pool_mod
+    from repro.parallel.chunking import chunk_indices
+    from repro.parallel.executor import parallel_map
+
+    if pool_mod.processes_disabled():
+        return None
     factors = _resolve_embodied_factors(frame, model)
     array_ok, needs_scalar, cpu_idx, mem_idx = \
         _embodied_partition(frame, factors)
@@ -1634,8 +1678,14 @@ def _shm_batch_eval(frame: FleetFrame,
     frame identity across calls); per call, one small output segment is
     created and unlinked in ``finally``.  Callers are responsible for
     checking pool/shm availability first.
+
+    Dispatch is supervised: a worker crash retries only the lost row
+    chunks against a rebuilt pool, and a chunk missing its deadline
+    kills the pool and retries — every chunk is a pure function of its
+    inputs writing a disjoint output slice, so recovery preserves
+    bit-identity.
     """
-    from repro.parallel import pool as pool_mod
+    from repro.parallel import resilience
     from repro.parallel import shm as shm_mod
     from repro.parallel.chunking import chunk_indices
 
@@ -1663,7 +1713,9 @@ def _shm_batch_eval(frame: FleetFrame,
             items = tuple((int(i), frame.records[i]) for i in idx)
             tasks.append((shared.handle, out_pack.handle, start, stop,
                           op_model, emb_model, items))
-        pool_mod.pool_map(_shm_eval_worker, tasks, max_workers=max_workers)
+        resilience.supervised_map(_shm_eval_worker, tasks,
+                                  max_workers=max_workers,
+                                  label="fleet-batch")
         out = out_pack.arrays()
         batch = FleetBatch(
             op_mt=np.array(out["op_mt"]) if op_model is not None else None,
@@ -1718,13 +1770,20 @@ def fleet_batch_arrays(records: Sequence[SystemRecord],
         frame = fleet_frame(records)
     if frame.n != len(records):
         raise ValueError("frame/records length mismatch")
+    def _serial_batch() -> FleetBatch:
+        opb = operational_batch(frame, op_model)
+        emb = embodied_batch(frame, emb_model)
+        return FleetBatch(op_mt=opb.values_mt, op_unc=opb.uncertainty_frac,
+                          emb_mt=emb.values_mt, emb_unc=emb.uncertainty_frac)
+
     if _want_shm(parallel, frame.n, max_workers):
-        return _shm_batch_eval(frame, op_model, emb_model,
-                               max_workers=max_workers)
-    opb = operational_batch(frame, op_model)
-    emb = embodied_batch(frame, emb_model)
-    return FleetBatch(op_mt=opb.values_mt, op_unc=opb.uncertainty_frac,
-                      emb_mt=emb.values_mt, emb_unc=emb.uncertainty_frac)
+        from repro.parallel import resilience
+        return resilience.run_ladder(
+            (("shm", lambda: _shm_batch_eval(frame, op_model, emb_model,
+                                             max_workers=max_workers)),
+             ("serial", _serial_batch)),
+            label="fleet-batch")
+    return _serial_batch()
 
 
 def fleet_total_mt(records: list[SystemRecord],

@@ -1,0 +1,55 @@
+"""Normalized parsing of boolean ``REPRO_*`` environment flags.
+
+Before this module, each flag was read with a bare
+``os.environ.get(name)`` truthiness test, so ``REPRO_DISABLE_SHM=0``
+*disabled* shared memory — any non-empty string counted as true.
+:func:`env_flag` gives every flag one grammar:
+
+* true: ``1``, ``true``, ``yes``, ``on`` (case-insensitive);
+* false: ``0``, ``false``, ``no``, ``off``, or the empty string;
+* unset: the caller's ``default``;
+* anything else: a :class:`RuntimeWarning` (once per distinct
+  name/value pair, mirroring how :mod:`repro.parallel.tuning` treats
+  malformed numeric overrides) and the caller's ``default``.
+
+Like every environment knob in this library, parsing never raises —
+a typo in a tuning flag must not make ``import repro`` unimportable.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+
+__all__ = ["env_flag"]
+
+_TRUE = frozenset({"1", "true", "yes", "on"})
+_FALSE = frozenset({"0", "false", "no", "off", ""})
+
+#: (name, raw value) pairs already warned about, so a flag consulted on
+#: every dispatch (the pool/shm disables) warns exactly once.
+_WARNED: set[tuple[str, str]] = set()
+
+
+def env_flag(name: str, default: bool = False) -> bool:
+    """The boolean value of environment flag ``name``.
+
+    Unset returns ``default``; malformed values warn once and return
+    ``default``.
+    """
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    value = raw.strip().lower()
+    if value in _TRUE:
+        return True
+    if value in _FALSE:
+        return False
+    key = (name, raw)
+    if key not in _WARNED:
+        _WARNED.add(key)
+        warnings.warn(
+            f"{name}={raw!r} is not a recognized boolean "
+            "(use 1/true/yes/on or 0/false/no/off); "
+            f"treating it as {default}", RuntimeWarning, stacklevel=2)
+    return default

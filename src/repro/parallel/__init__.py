@@ -3,7 +3,7 @@
 Assessing one 500-system list is cheap, but the benchmark harness runs
 parameter sweeps (ablation grids × scenarios × Monte-Carlo missingness
 draws) that evaluate many thousands of fleets, and the scale-out path
-assesses synthetic portfolios of 10⁴–10⁶ systems.  Three layers:
+assesses synthetic portfolios of 10⁴–10⁶ systems.  Five layers:
 
 * :mod:`repro.parallel.chunking` — chunking arithmetic (tested
   separately, since off-by-ones silently drop work items);
@@ -15,17 +15,38 @@ assesses synthetic portfolios of 10⁴–10⁶ systems.  Three layers:
   :class:`~repro.core.vectorized.FleetFrame` columns so workers attach
   instead of unpickling column chunks per task.  Both fall back to the
   serial path (identical results) when processes or ``/dev/shm`` are
-  unavailable.
+  unavailable, and an shm *janitor* sweeps segments orphaned by
+  crashed owners;
+* :mod:`repro.parallel.resilience` — the supervised dispatcher every
+  fan-out caller routes through: per-block retries with deterministic
+  backoff after worker crashes, per-block deadlines with hung-worker
+  detection, and the ``shm → pickle → serial`` degradation ladder
+  (bit-identical at every rung; see ``docs/robustness.md``);
+* :mod:`repro.parallel.faults` — deterministic fault injection
+  (``REPRO_FAULT_SPEC``) so every one of those recovery paths is
+  testable end-to-end, in-process and in CI.
 """
 
 from repro.parallel.chunking import chunk_indices, chunked
 from repro.parallel.executor import parallel_map, ExecutionStats
+from repro.parallel.faults import FaultPlan, FaultRule, InjectedFault
 from repro.parallel.pool import (
     WorkerCrashError,
     get_pool,
+    kill_pool,
     pool_available,
     pool_map,
+    processes_disabled,
+    reset_pool,
     shutdown_pool,
+)
+from repro.parallel.resilience import (
+    DegradedFanOutWarning,
+    RetryPolicy,
+    latched_rungs,
+    reset_ladder_state,
+    run_ladder,
+    supervised_map,
 )
 from repro.parallel.shm import (
     SharedArrayPack,
@@ -34,12 +55,17 @@ from repro.parallel.shm import (
     release_shared_frames,
     shared_fleet_frame,
     shm_available,
+    sweep_orphaned_segments,
 )
 
 __all__ = [
     "chunk_indices", "chunked", "parallel_map", "ExecutionStats",
-    "WorkerCrashError", "get_pool", "pool_available", "pool_map",
-    "shutdown_pool",
+    "FaultPlan", "FaultRule", "InjectedFault",
+    "WorkerCrashError", "get_pool", "kill_pool", "pool_available",
+    "pool_map", "processes_disabled", "reset_pool", "shutdown_pool",
+    "DegradedFanOutWarning", "RetryPolicy", "latched_rungs",
+    "reset_ladder_state", "run_ladder", "supervised_map",
     "SharedArrayPack", "SharedFleetFrame", "live_owned_segments",
     "release_shared_frames", "shared_fleet_frame", "shm_available",
+    "sweep_orphaned_segments",
 ]

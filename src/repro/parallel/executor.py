@@ -77,6 +77,12 @@ def parallel_map(fn: Callable[[T], R], items: Sequence[T], *,
         max_workers = os.cpu_count() or 1
     if max_workers < 1:
         raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+    from repro.parallel.pool import processes_disabled
+    if processes_disabled():
+        # One flag means serial everywhere: the short-lived executor
+        # honors REPRO_DISABLE_PROCESS_POOL exactly like the
+        # persistent pool does.
+        max_workers = 1
     if chunks_per_worker < 1:
         raise ValueError(f"chunks_per_worker must be >= 1, got {chunks_per_worker}")
     if min_items is None:

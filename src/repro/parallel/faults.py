@@ -1,0 +1,200 @@
+"""Deterministic fault injection for the parallel substrate.
+
+Every recovery path in :mod:`repro.parallel.resilience` exists because
+of a real failure mode — workers killed by the OOM killer, workers
+wedged on a dying filesystem, ``/dev/shm`` attach races, segment
+creation failing on full tmpfs.  None of those are reproducible on
+demand, so this module makes them *injectable*: the worker and
+shared-memory layers consult named **fault points**, and a
+:class:`FaultPlan` parsed from the ``REPRO_FAULT_SPEC`` environment
+variable decides deterministically whether each consultation fires.
+
+Spec grammar (comma-separated entries)::
+
+    ACTION@POINT[=SELECTOR][:ARG][*FIRES]
+
+    kill@block=3          worker evaluating block 3 dies (os._exit)
+    hang@block=1:5s       worker evaluating block 1 sleeps 5 seconds
+    raise@attach          shm attach raises InjectedFault
+    fail@segment-create   shm segment creation raises InjectedFault
+    kill@block=0*2        block 0's worker dies on attempts 0 AND 1
+
+Fault points currently consulted:
+
+* ``block`` — in the supervised dispatcher's worker wrapper, before the
+  block body runs; ``SELECTOR`` is the block index, and the *attempt*
+  number threaded in by the dispatcher bounds how often the fault
+  fires (``*FIRES``, default 1 — so a retried block succeeds, exactly
+  like a transient real-world fault).
+* ``attach`` — :func:`repro.parallel.shm.attach`, worker side.
+* ``segment-create`` — :class:`repro.parallel.shm.SharedArrayPack.create`,
+  owner side (fires before any segment is allocated, so nothing leaks).
+
+Actions: ``kill`` (``os._exit``), ``hang`` (sleep ``ARG`` seconds,
+default 30), ``raise`` / ``fail`` (synonyms: raise
+:class:`InjectedFault`).  ``attach`` and ``segment-create`` have no
+attempt counter — their faults fire on every consultation, which is
+what exercises the degradation ladder rather than the retry loop.
+
+Parsing never raises: malformed entries warn once and are dropped, so
+a typo in the spec cannot take down the process it was meant to test.
+The plan is re-parsed whenever the environment value changes (workers
+inherit the spec through the fork/spawn environment).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import warnings
+from dataclasses import dataclass
+
+__all__ = ["FAULT_SPEC_ENV", "InjectedFault", "FaultRule", "FaultPlan",
+           "active_plan", "fire"]
+
+FAULT_SPEC_ENV = "REPRO_FAULT_SPEC"
+
+_ACTIONS = ("kill", "hang", "raise", "fail")
+_POINTS = ("block", "attach", "segment-create")
+_DEFAULT_HANG_S = 30.0
+
+
+class InjectedFault(RuntimeError):
+    """The exception a ``raise``/``fail`` fault rule throws.
+
+    A plain, picklable ``RuntimeError`` subclass so it crosses the
+    process boundary intact; the resilience layer treats it like any
+    other infrastructure failure (degrade, never mask a real bug with
+    it).
+    """
+
+    def __init__(self, point: str, detail: str = ""):
+        self.point = point
+        super().__init__(
+            f"injected fault at {point!r}" + (f" ({detail})" if detail
+                                              else ""))
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One parsed spec entry."""
+
+    action: str                 # kill | hang | raise | fail
+    point: str                  # block | attach | segment-create
+    selector: int | None = None  # block index, or None = every block
+    arg_s: float | None = None   # hang duration
+    fires: int = 1               # fire while attempt < fires
+
+    def matches(self, point: str, index: int | None, attempt: int) -> bool:
+        return (self.point == point
+                and (self.selector is None or self.selector == index)
+                and attempt < self.fires)
+
+
+def _parse_duration(text: str) -> float:
+    """``"5s"`` / ``"250ms"`` / ``"1.5"`` → seconds."""
+    text = text.strip().lower()
+    if text.endswith("ms"):
+        return float(text[:-2]) / 1000.0
+    if text.endswith("s"):
+        return float(text[:-1])
+    return float(text)
+
+
+def _parse_entry(entry: str) -> FaultRule:
+    action, _, rest = entry.partition("@")
+    action = action.strip().lower()
+    if action not in _ACTIONS:
+        raise ValueError(f"unknown action {action!r}")
+    if not rest:
+        raise ValueError("missing fault point after '@'")
+    fires = 1
+    if "*" in rest:
+        rest, _, repeat = rest.rpartition("*")
+        fires = int(repeat)
+        if fires < 1:
+            raise ValueError(f"fire count must be >= 1, got {fires}")
+    arg_s: float | None = None
+    if ":" in rest:
+        rest, _, arg = rest.partition(":")
+        arg_s = _parse_duration(arg)
+    selector: int | None = None
+    if "=" in rest:
+        rest, _, sel = rest.partition("=")
+        selector = int(sel)
+    point = rest.strip().lower()
+    if point not in _POINTS:
+        raise ValueError(f"unknown fault point {point!r}")
+    return FaultRule(action=action, point=point, selector=selector,
+                     arg_s=arg_s, fires=fires)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Every rule parsed from one spec string."""
+
+    rules: tuple[FaultRule, ...]
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Parse a spec, warning about (and dropping) malformed entries."""
+        rules: list[FaultRule] = []
+        for entry in spec.split(","):
+            entry = entry.strip()
+            if not entry:
+                continue
+            try:
+                rules.append(_parse_entry(entry))
+            except ValueError as exc:
+                _warn_once(spec, entry, str(exc))
+        return cls(rules=tuple(rules))
+
+
+_WARNED: set[tuple[str, str]] = set()
+
+
+def _warn_once(spec: str, entry: str, problem: str) -> None:
+    key = (spec, entry)
+    if key not in _WARNED:
+        _WARNED.add(key)
+        warnings.warn(
+            f"{FAULT_SPEC_ENV}: dropping malformed entry {entry!r} "
+            f"({problem})", RuntimeWarning, stacklevel=3)
+
+
+# Parsed-plan cache, keyed by the raw env value so a changed spec (or a
+# cleared one) re-parses while the per-dispatch cost stays two dict
+# lookups.
+_CACHE: dict[str, FaultPlan] = {}
+_EMPTY = FaultPlan(rules=())
+
+
+def active_plan() -> FaultPlan:
+    """The plan for the current ``REPRO_FAULT_SPEC`` value (cached)."""
+    spec = os.environ.get(FAULT_SPEC_ENV, "")
+    if not spec.strip():
+        return _EMPTY
+    plan = _CACHE.get(spec)
+    if plan is None:
+        plan = _CACHE[spec] = FaultPlan.parse(spec)
+    return plan
+
+
+def fire(point: str, *, index: int | None = None, attempt: int = 0) -> None:
+    """Consult fault point ``point``; execute any matching rule.
+
+    Free when no spec is set.  ``kill`` never returns; ``hang`` sleeps
+    then returns (the dispatcher's deadline decides whether that was
+    fatal); ``raise``/``fail`` throw :class:`InjectedFault`.
+    """
+    plan = active_plan()
+    for rule in plan.rules:
+        if not rule.matches(point, index, attempt):
+            continue
+        if rule.action == "kill":
+            os._exit(86)
+        if rule.action == "hang":
+            time.sleep(rule.arg_s if rule.arg_s is not None
+                       else _DEFAULT_HANG_S)
+            continue
+        raise InjectedFault(point, detail=f"index={index} attempt={attempt}")

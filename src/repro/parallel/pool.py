@@ -37,25 +37,34 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import TypeVar
 
+from repro.envflags import env_flag
+
 T = TypeVar("T")
 R = TypeVar("R")
 
 __all__ = [
     "WorkerCrashError",
     "pool_available",
+    "processes_disabled",
     "get_pool",
     "pool_map",
     "shutdown_pool",
+    "kill_pool",
+    "reset_pool",
 ]
 
-#: Set to any non-empty value to force the serial fallback everywhere.
+#: Set truthy (1/true/yes/on) to force the serial fallback everywhere.
 DISABLE_ENV = "REPRO_DISABLE_PROCESS_POOL"
 
 _POOL: ProcessPoolExecutor | None = None
 _POOL_WORKERS: int = 0
 _POOL_PID: int = -1
-#: Latched after a failed spawn probe so later calls fall back fast.
+#: Latched after a failed spawn probe so later calls fall back fast;
+#: cleared by :func:`reset_pool` (a transient sandbox failure must not
+#: disable parallelism for the rest of the process).
 _SPAWN_FAILED: bool = False
+#: One orphaned-segment sweep per process, on first pool construction.
+_JANITOR_RAN: bool = False
 
 
 class WorkerCrashError(RuntimeError):
@@ -88,6 +97,16 @@ def pool_available(max_workers: int | None = None) -> bool:
     return get_pool(max_workers) is not None
 
 
+def processes_disabled() -> bool:
+    """Whether ``REPRO_DISABLE_PROCESS_POOL`` forbids worker processes.
+
+    Consulted by every process-spawning path — the persistent pool here
+    *and* the short-lived chunked executor — so one flag really does
+    mean "serial everywhere".
+    """
+    return env_flag(DISABLE_ENV)
+
+
 def get_pool(max_workers: int | None = None) -> ProcessPoolExecutor | None:
     """The persistent pool, or ``None`` when serial is the right path.
 
@@ -97,8 +116,8 @@ def get_pool(max_workers: int | None = None) -> ProcessPoolExecutor | None:
     when only one worker would run (serial is strictly better), or
     when spawning fails on this host (latched after one probe).
     """
-    global _POOL, _POOL_WORKERS, _POOL_PID, _SPAWN_FAILED
-    if os.environ.get(DISABLE_ENV):
+    global _POOL, _POOL_WORKERS, _POOL_PID, _SPAWN_FAILED, _JANITOR_RAN
+    if processes_disabled():
         return None
     workers = _effective_workers(max_workers)
     if workers < 2 or _SPAWN_FAILED:
@@ -131,6 +150,17 @@ def get_pool(max_workers: int | None = None) -> ProcessPoolExecutor | None:
             pass
         return None
     _POOL, _POOL_WORKERS, _POOL_PID = pool, workers, os.getpid()
+    if not _JANITOR_RAN:
+        # First pool of this process: sweep /dev/shm segments whose
+        # owner died between create and unlink (see the shm janitor).
+        # Best-effort — a broken registry directory must not block
+        # pool construction.
+        _JANITOR_RAN = True
+        try:
+            from repro.parallel import shm as shm_mod
+            shm_mod.sweep_orphaned_segments()
+        except Exception:
+            pass
     return pool
 
 
@@ -158,7 +188,12 @@ def pool_map(fn: Callable[[T], R], tasks: Sequence[T], *,
 
 
 def shutdown_pool() -> None:
-    """Tear down the persistent pool (no-op without one, or in a fork)."""
+    """Tear down the persistent pool (no-op without one, or in a fork).
+
+    Leaves the spawn-failure latch untouched: tearing down a working
+    pool says nothing about whether the next one would spawn, and
+    :func:`reset_pool` exists for the latched case.
+    """
     global _POOL, _POOL_WORKERS
     if _POOL is None or _POOL_PID != os.getpid():
         return
@@ -167,6 +202,44 @@ def shutdown_pool() -> None:
         pool.shutdown(wait=True, cancel_futures=True)
     except Exception:
         pass
+
+
+def kill_pool() -> None:
+    """Forcibly terminate the pool's workers and discard it.
+
+    The hung-worker path: a wedged worker never returns, so the
+    ordinary ``shutdown(wait=True)`` would wedge with it.  Terminate
+    every worker process, then reap the executor without waiting.
+    No-op without a pool, or in a forked child (PID-guarded like every
+    other teardown).
+    """
+    global _POOL, _POOL_WORKERS
+    if _POOL is None or _POOL_PID != os.getpid():
+        return
+    pool, _POOL, _POOL_WORKERS = _POOL, None, 0
+    for process in list(getattr(pool, "_processes", {}).values()):
+        try:
+            process.terminate()
+        except Exception:
+            pass
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:
+        pass
+
+
+def reset_pool() -> None:
+    """Clear the spawn-failure latch and probe state.
+
+    A failed spawn probe latches ``None``-forever so steady-state
+    callers fall back fast — but the failure may have been transient
+    (a sandbox being set up, a ulimit briefly exhausted).  After
+    ``reset_pool()`` the next :func:`get_pool` call re-probes from
+    scratch.  Also tears down any live pool, so the reset is total.
+    """
+    global _SPAWN_FAILED
+    shutdown_pool()
+    _SPAWN_FAILED = False
 
 
 atexit.register(shutdown_pool)

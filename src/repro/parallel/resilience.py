@@ -1,0 +1,405 @@
+"""Supervised fan-out: retries, deadlines, and a degradation ladder.
+
+Before this module every fan-out failure was terminal: a worker dying
+mid-batch raised :class:`~repro.parallel.pool.WorkerCrashError` and the
+caller lost the whole sweep, a hung worker blocked forever, and the
+only "recovery" was the caller rerunning everything from scratch.  A
+long-lived assessment service cannot stand on that substrate, so the
+four fan-out callers (the shm batch evaluator in
+:mod:`repro.core.vectorized`, the scenario-block sweep, the projection
+engine riding on it, and the Monte-Carlo band fan-out in
+:mod:`repro.uncertainty.mc`) now route through two layers here:
+
+* :func:`supervised_map` replaces ``pool_map`` inside a rung: each
+  task block becomes its own future; a worker crash discards only the
+  *lost* blocks (completed results are kept) and re-dispatches them
+  against a rebuilt pool with bounded attempts and deterministic
+  exponential backoff (:class:`RetryPolicy` — jitter-free, because
+  every block is a pure function of its inputs and bit-identity must
+  survive the retry); a block missing its deadline kills the pool
+  (hung workers never return), counts as a crash, and retries.
+* :func:`run_ladder` degrades *across* rungs — ``shm → pickle →
+  serial`` where all three exist — when a whole rung keeps failing
+  (segment creation failing, attach raising, retries exhausted).
+  Every rung produces bit-identical results by contract, so degrading
+  trades only wall clock, never correctness.  After
+  :data:`LATCH_AFTER` failures a rung latches off for the rest of the
+  process (one :class:`DegradedFanOutWarning`), so a flaky host stops
+  paying the failed-dispatch tax; ``REPRO_FORCE_METHOD`` pins one rung
+  for operators who already know their host.
+
+Fault points from :mod:`repro.parallel.faults` are consulted in the
+worker wrapper, which is how the chaos suite
+(``tests/parallel/test_faults.py``) drives every one of these paths
+deterministically in CI.  See ``docs/robustness.md`` for the contract.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import warnings
+from collections.abc import Callable, Sequence
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Any, TypeVar
+
+from repro.errors import (
+    BlockTimeoutError,
+    FanOutError,
+    FanOutExhaustedError,
+    LadderExhaustedError,
+)
+from repro.parallel import faults
+from repro.parallel import pool as pool_mod
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+__all__ = [
+    "RetryPolicy",
+    "DegradedFanOutWarning",
+    "supervised_map",
+    "run_ladder",
+    "default_policy",
+    "latched_rungs",
+    "rung_failures",
+    "reset_ladder_state",
+    "FORCE_METHOD_ENV",
+    "ATTEMPTS_ENV",
+    "TIMEOUT_ENV",
+    "BACKOFF_ENV",
+]
+
+#: Pin one ladder rung (``shm`` / ``pickle`` / ``serial``) process-wide.
+FORCE_METHOD_ENV = "REPRO_FORCE_METHOD"
+#: Per-block attempt budget override (positive integer).
+ATTEMPTS_ENV = "REPRO_FANOUT_ATTEMPTS"
+#: Per-block deadline override, seconds (``0`` disables deadlines).
+TIMEOUT_ENV = "REPRO_FANOUT_TIMEOUT_S"
+#: First-retry backoff override, seconds.
+BACKOFF_ENV = "REPRO_FANOUT_BACKOFF_S"
+
+#: Failures at one rung before it latches off for this process.
+LATCH_AFTER: int = 3
+
+#: Default per-block deadline.  Generous — the largest recorded block
+#: (a 10⁵-system shm chunk) completes in single-digit seconds, so a
+#: block holding a core for ten minutes is wedged, not slow.
+DEFAULT_TIMEOUT_S: float = 600.0
+DEFAULT_ATTEMPTS: int = 3
+DEFAULT_BACKOFF_S: float = 0.05
+_BACKOFF_FACTOR: float = 2.0
+_BACKOFF_CAP_S: float = 2.0
+
+
+class DegradedFanOutWarning(RuntimeWarning):
+    """A fan-out rung latched off after repeated failures."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded, deterministic retry behavior for one dispatch.
+
+    ``attempts`` is the per-block budget (an attempt is one submission
+    of that block, whether it crashed, hung, or was collateral damage
+    of a pool that broke under it).  Backoff between retry rounds is
+    ``backoff_s * backoff_factor**(round - 1)``, capped at
+    ``_BACKOFF_CAP_S`` — exponential and jitter-free, so a failing run
+    replays identically.  ``timeout_s`` is the per-block deadline;
+    ``None`` disables hung-worker detection (discouraged).
+    """
+
+    attempts: int = DEFAULT_ATTEMPTS
+    backoff_s: float = DEFAULT_BACKOFF_S
+    backoff_factor: float = _BACKOFF_FACTOR
+    timeout_s: float | None = DEFAULT_TIMEOUT_S
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {self.attempts}")
+        if self.backoff_s < 0:
+            raise ValueError(
+                f"backoff_s must be >= 0, got {self.backoff_s}")
+        if self.backoff_factor < 1.0:
+            raise ValueError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError(
+                f"timeout_s must be positive or None, got {self.timeout_s}")
+
+
+def _env_float(name: str) -> float | None:
+    raw = os.environ.get(name)
+    if not raw:
+        return None
+    try:
+        return float(raw)
+    except ValueError:
+        warnings.warn(f"{name}={raw!r} is not a number; ignoring the "
+                      "override", RuntimeWarning, stacklevel=3)
+        return None
+
+
+def default_policy() -> RetryPolicy:
+    """The policy every library dispatch uses, after env overrides.
+
+    ``REPRO_FANOUT_ATTEMPTS`` / ``REPRO_FANOUT_TIMEOUT_S`` /
+    ``REPRO_FANOUT_BACKOFF_S`` override the defaults (malformed values
+    warn and fall through, like every other tuning knob).  A timeout
+    of ``0`` disables deadlines.
+    """
+    attempts = DEFAULT_ATTEMPTS
+    raw_attempts = _env_float(ATTEMPTS_ENV)
+    if raw_attempts is not None:
+        if raw_attempts >= 1:
+            attempts = int(raw_attempts)
+        else:
+            warnings.warn(
+                f"{ATTEMPTS_ENV} must be >= 1; ignoring the override",
+                RuntimeWarning, stacklevel=2)
+    timeout: float | None = DEFAULT_TIMEOUT_S
+    raw_timeout = _env_float(TIMEOUT_ENV)
+    if raw_timeout is not None:
+        timeout = raw_timeout if raw_timeout > 0 else None
+    backoff = DEFAULT_BACKOFF_S
+    raw_backoff = _env_float(BACKOFF_ENV)
+    if raw_backoff is not None and raw_backoff >= 0:
+        backoff = raw_backoff
+    return RetryPolicy(attempts=attempts, backoff_s=backoff,
+                       timeout_s=timeout)
+
+
+def _run_block(fn: Callable[[T], R], task: T, block: int,
+               attempt: int) -> R:
+    """Worker wrapper: consult the ``block`` fault point, then run.
+
+    Module-level so it pickles; this is the *only* place the dispatcher
+    adds to the worker body, which keeps the supervised path's results
+    byte-for-byte those of the bare ``pool_map`` path.
+    """
+    faults.fire("block", index=block, attempt=attempt)
+    return fn(task)
+
+
+def supervised_map(fn: Callable[[T], R], tasks: Sequence[T], *,
+                   max_workers: int | None = None,
+                   policy: RetryPolicy | None = None,
+                   label: str = "fan-out") -> list[R]:
+    """Map ``fn`` over task blocks with supervision, preserving order.
+
+    The resilient replacement for :func:`repro.parallel.pool.pool_map`:
+    identical results (every block is a pure function of its inputs),
+    but a worker crash or hang costs one retry round for the *lost*
+    blocks instead of the whole batch.  Falls back to an inline loop
+    when no pool is available.  Ordinary exceptions raised *by* ``fn``
+    propagate unchanged — supervision never retries a deterministic
+    task error, which would mask a real bug.
+
+    Raises:
+        repro.errors.FanOutExhaustedError: when blocks keep crashing or
+            hanging after ``policy.attempts`` submissions each.
+    """
+    tasks = list(tasks)
+    if not tasks:
+        return []
+    policy = policy or default_policy()
+    results: list[Any] = [None] * len(tasks)
+    pending = list(range(len(tasks)))
+    attempts = [0] * len(tasks)
+    last_failure: Exception | None = None
+    round_no = 0
+
+    while pending:
+        over_budget = tuple(i for i in pending
+                            if attempts[i] >= policy.attempts)
+        if over_budget:
+            pool_mod.kill_pool()
+            raise FanOutExhaustedError(
+                label=label, blocks=over_budget,
+                attempts=policy.attempts) from last_failure
+        pool = pool_mod.get_pool(max_workers)
+        if pool is None or len(tasks) <= 1:
+            # Serial is the floor of every ladder: run the remaining
+            # blocks inline (no fault wrapper — kill/hang faults model
+            # *worker* failures, and there is no worker here).
+            for i in pending:
+                results[i] = fn(tasks[i])
+            return results
+        if round_no:
+            time.sleep(min(
+                policy.backoff_s * policy.backoff_factor ** (round_no - 1),
+                _BACKOFF_CAP_S))
+        try:
+            futures = {i: pool.submit(_run_block, fn, tasks[i], i,
+                                      attempts[i])
+                       for i in pending}
+        except Exception as exc:
+            # The pool died between probe and submit (it can only have
+            # been broken from under us): count an attempt so a pool
+            # that keeps dying at submit cannot loop forever.
+            last_failure = exc
+            for i in pending:
+                attempts[i] += 1
+            pool_mod.kill_pool()
+            round_no += 1
+            continue
+        for i in pending:
+            attempts[i] += 1
+        deadline = (None if policy.timeout_s is None
+                    else time.monotonic() + policy.timeout_s)
+        infrastructure_failed = False
+        for i in list(pending):
+            future = futures[i]
+            try:
+                remaining = (None if deadline is None
+                             else max(deadline - time.monotonic(), 0.0))
+                results[i] = future.result(timeout=remaining)
+                pending.remove(i)
+            except FutureTimeoutError:
+                last_failure = BlockTimeoutError(
+                    label=label, block=i,
+                    timeout_s=policy.timeout_s or 0.0)
+                infrastructure_failed = True
+                break
+            except BrokenProcessPool as exc:
+                last_failure = exc
+                infrastructure_failed = True
+                break
+            except Exception:
+                # A deterministic task error: retrying would reproduce
+                # it bit-identically, so propagate it unchanged.
+                for other in futures.values():
+                    other.cancel()
+                raise
+        if infrastructure_failed:
+            # Harvest blocks that finished cleanly before the failure
+            # was noticed — their results are results; only genuinely
+            # lost blocks pay the retry.
+            for j in list(pending):
+                future = futures[j]
+                if future.done() and not future.cancelled():
+                    try:
+                        results[j] = future.result(timeout=0)
+                        pending.remove(j)
+                    except Exception:
+                        pass  # lost with the pool; stays pending
+            pool_mod.kill_pool()
+            round_no += 1
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Degradation ladder
+# ---------------------------------------------------------------------------
+
+#: Exceptions that count as *infrastructure* failure at a rung.  A
+#: rung raising anything else (a genuine task bug) propagates — the
+#: ladder must never convert a correctness error into a silent retry
+#: on a slower path.
+_RUNG_FAILURES_CAUGHT = (FanOutError, pool_mod.WorkerCrashError,
+                         faults.InjectedFault, BrokenProcessPool,
+                         OSError, MemoryError)
+
+_FAILURE_COUNTS: dict[str, int] = {}
+_LATCHED: set[str] = set()
+_WARNED_FORCE: set[str] = set()
+
+
+def latched_rungs() -> tuple[str, ...]:
+    """Rungs latched off for this process (diagnostics / ``repro doctor``)."""
+    return tuple(sorted(_LATCHED))
+
+
+def rung_failures() -> dict[str, int]:
+    """Current per-rung failure counts (resets on rung success)."""
+    return dict(_FAILURE_COUNTS)
+
+
+def reset_ladder_state() -> None:
+    """Clear latches and failure counts (tests; operator recovery)."""
+    _FAILURE_COUNTS.clear()
+    _LATCHED.clear()
+
+
+def _forced_method() -> str | None:
+    raw = os.environ.get(FORCE_METHOD_ENV)
+    if not raw:
+        return None
+    value = raw.strip().lower()
+    if value in ("shm", "pickle", "serial"):
+        return value
+    if raw not in _WARNED_FORCE:
+        _WARNED_FORCE.add(raw)
+        warnings.warn(
+            f"{FORCE_METHOD_ENV}={raw!r} is not one of shm/pickle/serial; "
+            "ignoring it", RuntimeWarning, stacklevel=3)
+    return None
+
+
+def _record_failure(name: str, label: str, exc: Exception) -> None:
+    count = _FAILURE_COUNTS.get(name, 0) + 1
+    _FAILURE_COUNTS[name] = count
+    if count >= LATCH_AFTER and name not in _LATCHED:
+        _LATCHED.add(name)
+        warnings.warn(
+            f"parallel rung {name!r} failed {count} time(s) "
+            f"(last: {label}: {exc}); latching it off for this process — "
+            "evaluation continues on slower-but-correct rungs "
+            f"(override with {FORCE_METHOD_ENV}, or call "
+            "repro.parallel.resilience.reset_ladder_state())",
+            DegradedFanOutWarning, stacklevel=4)
+
+
+def run_ladder(rungs: Sequence[tuple[str, Callable[[], Any]]], *,
+               label: str = "fan-out") -> Any:
+    """Run the first rung that produces a result, degrading on failure.
+
+    ``rungs`` is an ordered sequence of ``(name, thunk)`` — fastest
+    first, ``"serial"`` last.  A thunk may *decline* by returning
+    ``None`` (substrate unavailable: not a failure, nothing is
+    counted); it *fails* by raising an infrastructure error (counted
+    toward the rung's latch, execution degrades to the next rung).
+    Every rung must produce bit-identical results — the ladder trades
+    wall clock, never output.
+
+    ``REPRO_FORCE_METHOD`` pins one rung by name when that rung is in
+    the ladder: only it runs, failures propagate, nothing latches.
+
+    Raises:
+        repro.errors.LadderExhaustedError: every rung declined (the
+            final rung must not — give it an always-available serial
+            thunk).
+    """
+    rungs = list(rungs)
+    forced = _forced_method()
+    if forced is not None and any(name == forced for name, _ in rungs):
+        rungs = [(name, thunk) for name, thunk in rungs if name == forced]
+        name, thunk = rungs[0]
+        result = thunk()
+        if result is None:
+            raise LadderExhaustedError(label=label, rungs=(name,))
+        return result
+
+    tried: list[str] = []
+    last_exc: Exception | None = None
+    for position, (name, thunk) in enumerate(rungs):
+        is_last = position == len(rungs) - 1
+        if name in _LATCHED and not is_last:
+            continue
+        tried.append(name)
+        try:
+            result = thunk()
+        except _RUNG_FAILURES_CAUGHT as exc:
+            if is_last:
+                raise
+            _record_failure(name, label, exc)
+            last_exc = exc
+            continue
+        if result is not None:
+            if name in _FAILURE_COUNTS:
+                _FAILURE_COUNTS[name] = 0
+            return result
+    raise LadderExhaustedError(label=label,
+                               rungs=tuple(tried)) from last_exc

@@ -30,7 +30,11 @@ Lifecycle discipline (asserted by ``tests/parallel/test_shm.py``):
 * worker-side attachments are unregistered from the process's
   ``resource_tracker`` — the owner is the single tracker of record,
   which avoids both premature unlinks (spawn-start workers) and
-  double-unlink warnings (fork-start workers).
+  double-unlink warnings (fork-start workers);
+* every owner mirrors its registry to a JSON file beside the segments
+  (see the janitor section at the bottom), and
+  :func:`sweep_orphaned_segments` unlinks what a *crashed* owner left
+  behind — the leak window no in-process bookkeeping can close.
 
 When ``/dev/shm`` is unavailable (:func:`shm_available` probes once;
 ``REPRO_DISABLE_SHM=1`` forces it off) callers take their serial path
@@ -40,13 +44,20 @@ and produce identical results.
 from __future__ import annotations
 
 import atexit
+import json
 import os
+import pathlib
+import tempfile
+import time
 from collections import OrderedDict
 from collections.abc import Mapping
 from dataclasses import dataclass
 from multiprocessing import shared_memory
 
 import numpy as np
+
+from repro.envflags import env_flag
+from repro.parallel import faults
 
 __all__ = [
     "ArraySpec",
@@ -60,10 +71,14 @@ __all__ = [
     "live_owned_segments",
     "shared_fleet_frame",
     "release_shared_frames",
+    "registry_path",
+    "sweep_orphaned_segments",
 ]
 
-#: Set to any non-empty value to force the no-shared-memory fallback.
+#: Set truthy (1/true/yes/on) to force the no-shared-memory fallback.
 DISABLE_ENV = "REPRO_DISABLE_SHM"
+#: Where owner registries are written (default: /dev/shm itself).
+REGISTRY_DIR_ENV = "REPRO_SHM_REGISTRY_DIR"
 
 _ALIGN = 64
 _PROBED: bool | None = None
@@ -71,12 +86,14 @@ _PROBED: bool | None = None
 #: Owner bookkeeping: segment name -> (SharedMemory, creating PID).
 #: An entry lives from create to unlink; tests assert it drains.
 _OWNED: dict[str, tuple[shared_memory.SharedMemory, int]] = {}
+#: Creation timestamps for the on-disk registry (segment name -> epoch).
+_CREATED_AT: dict[str, float] = {}
 
 
 def shm_available() -> bool:
     """Whether POSIX shared memory works here (probed once, cached)."""
     global _PROBED
-    if os.environ.get(DISABLE_ENV):
+    if env_flag(DISABLE_ENV):
         return False
     if _PROBED is None:
         try:
@@ -143,6 +160,10 @@ class SharedArrayPack:
     def create(cls, arrays: Mapping[str, np.ndarray], *,
                readonly: bool = False) -> "SharedArrayPack":
         """Place ``arrays`` into one fresh segment (one memcpy each)."""
+        # Fault point: fires before any allocation, so an injected
+        # creation failure leaves nothing to leak (the real-world
+        # analog is tmpfs ENOSPC, which fails the same way).
+        faults.fire("segment-create")
         specs: list[ArraySpec] = []
         sources: list[np.ndarray] = []
         offset = 0
@@ -156,6 +177,8 @@ class SharedArrayPack:
         segment = shared_memory.SharedMemory(create=True,
                                              size=max(offset, 1))
         _OWNED[segment.name] = (segment, os.getpid())
+        _CREATED_AT[segment.name] = time.time()
+        _write_registry()
         handle = PackHandle(segment=segment.name, specs=tuple(specs),
                             nbytes=max(offset, 1), readonly=readonly)
         pack = cls(segment, handle)
@@ -182,6 +205,8 @@ class SharedArrayPack:
         if segment is None:
             return
         _OWNED.pop(self.handle.segment, None)
+        _CREATED_AT.pop(self.handle.segment, None)
+        _write_registry()
         try:
             segment.unlink()
         except FileNotFoundError:
@@ -231,6 +256,7 @@ def _attach_untracked(name: str) -> shared_memory.SharedMemory:
 
 def attach(handle: PackHandle) -> dict[str, np.ndarray]:
     """Zero-copy views of a pack's arrays (attachment cached per process)."""
+    faults.fire("attach")
     entry = _ATTACHED.get(handle.segment)
     if entry is None:
         segment = _attach_untracked(handle.segment)
@@ -352,6 +378,7 @@ def _cleanup_at_exit() -> None:
         if owner != pid:
             continue
         _OWNED.pop(name, None)
+        _CREATED_AT.pop(name, None)
         try:
             segment.unlink()
         except FileNotFoundError:
@@ -360,6 +387,143 @@ def _cleanup_at_exit() -> None:
             segment.close()
         except BufferError:
             pass
+    _remove_registry()
 
 
 atexit.register(_cleanup_at_exit)
+
+
+# ---------------------------------------------------------------------------
+# The shm janitor: crash-leak registry + orphan sweep
+# ---------------------------------------------------------------------------
+#
+# ``live_owned_segments`` can only observe leaks from inside a live
+# process; a process killed between segment create and unlink leaves
+# an orphan in ``/dev/shm`` that nothing in-process can ever see.  The
+# janitor closes that window from the *outside*: every owning process
+# mirrors its registry (name, PID, created-at) to a small JSON file
+# next to the segments themselves, and ``sweep_orphaned_segments`` —
+# run at first pool construction and by ``repro doctor`` — unlinks
+# segments whose recorded owner is dead, then removes the stale
+# registry file.  Registry writes are best-effort and atomic
+# (write-then-rename); a host where the registry directory is
+# unwritable simply degrades to the old in-process-only bookkeeping.
+
+_REGISTRY_PREFIX = "repro-shm-registry-"
+
+
+def _registry_dir() -> pathlib.Path:
+    override = os.environ.get(REGISTRY_DIR_ENV)
+    if override:
+        return pathlib.Path(override)
+    dev_shm = pathlib.Path("/dev/shm")
+    if dev_shm.is_dir() and os.access(dev_shm, os.W_OK):
+        return dev_shm
+    return pathlib.Path(tempfile.gettempdir())
+
+
+def registry_path(pid: int | None = None) -> pathlib.Path:
+    """The registry file for ``pid`` (default: this process)."""
+    pid = os.getpid() if pid is None else pid
+    return _registry_dir() / f"{_REGISTRY_PREFIX}{pid}.json"
+
+
+def _write_registry() -> None:
+    """Mirror this process's owned segments to its registry file."""
+    pid = os.getpid()
+    segments = {name: _CREATED_AT.get(name, 0.0)
+                for name, (_, owner) in _OWNED.items() if owner == pid}
+    path = registry_path(pid)
+    try:
+        if not segments:
+            path.unlink(missing_ok=True)
+            return
+        payload = json.dumps({"pid": pid, "segments": segments})
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(payload, encoding="utf-8")
+        os.replace(tmp, path)
+    except OSError:
+        pass
+
+
+def _remove_registry() -> None:
+    try:
+        registry_path().unlink(missing_ok=True)
+    except OSError:
+        pass
+
+
+def _pid_alive(pid: int) -> bool:
+    """Whether ``pid`` is a running process (signal-0 probe)."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:
+        # Most commonly EPERM: the process exists but is not ours.
+        return True
+    return True
+
+
+def _unlink_named_segment(name: str) -> bool:
+    """Unlink one segment by name; ``False`` if it no longer exists."""
+    try:
+        segment = _attach_untracked(name)
+    except FileNotFoundError:
+        return False
+    except OSError:
+        return False
+    try:
+        segment.unlink()
+    except FileNotFoundError:
+        pass
+    try:
+        segment.close()
+    except BufferError:
+        pass
+    return True
+
+
+def sweep_orphaned_segments(
+        registry_dir: "str | os.PathLike | None" = None) -> tuple[str, ...]:
+    """Unlink segments whose recorded owner process is dead.
+
+    Scans the registry directory for owner registries, skips live
+    owners (including this process), unlinks every segment a dead
+    owner left behind, and removes the stale registry file (malformed
+    files are removed too — they can only be junk from a partial
+    write).  Returns the names of the segments actually unlinked.
+    Never raises: the janitor runs inside pool construction and
+    ``repro doctor``, neither of which may fail because of somebody
+    else's crash debris.
+    """
+    base = (pathlib.Path(registry_dir) if registry_dir is not None
+            else _registry_dir())
+    removed: list[str] = []
+    try:
+        candidates = sorted(base.glob(_REGISTRY_PREFIX + "*.json"))
+    except OSError:
+        return ()
+    for path in candidates:
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+            pid = data["pid"]
+            segments = data.get("segments") or {}
+            if not isinstance(pid, int) or not isinstance(segments, dict):
+                raise ValueError("malformed registry")
+        except (OSError, ValueError, KeyError, TypeError):
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                pass
+            continue
+        if pid == os.getpid() or _pid_alive(pid):
+            continue
+        for name in segments:
+            if isinstance(name, str) and _unlink_named_segment(name):
+                removed.append(name)
+        try:
+            path.unlink(missing_ok=True)
+        except OSError:
+            pass
+    return tuple(removed)

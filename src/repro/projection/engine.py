@@ -508,7 +508,10 @@ class ProjectionCube:
         broadcast along the year axis before sampling).  ``method``
         forwards to :func:`repro.uncertainty.mc.mc_band_stack`;
         ``"shm"`` fans (scenario, year) blocks over the shared-memory
-        pool with serial-fallback identity.
+        pool through the supervised dispatcher
+        (:mod:`repro.parallel.resilience`): crashed or hung workers
+        are retried, and repeated failures degrade to the serial
+        kernel — bit-identical either way.
         """
         from repro.uncertainty.mc import mc_band_stack
 
@@ -696,7 +699,10 @@ def project_sweep(records: Sequence[SystemRecord],
         frame: pre-extracted frame (defaults to the cached one).
         parallel / max_workers: forwarded to the base sweep
             (``"scenario-block"`` fans scenario blocks over the
-            persistent shm pool).
+            persistent shm pool via the supervised dispatcher —
+            worker crashes and hangs are retried, repeated failures
+            degrade to the serial kernel, output bit-identical on
+            every path).
 
     Returns:
         A :class:`ProjectionCube`; the paper-defaults scenario's

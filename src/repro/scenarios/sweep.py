@@ -101,11 +101,26 @@ def sweep(records: Sequence[SystemRecord],
                          "None, 'serial' or 'scenario-block'")
 
     if parallel == "scenario-block":
-        cube = _sweep_scenario_block(frame, specs, base_op, base_emb,
-                                     max_workers=max_workers)
-        if cube is not None:
-            return cube
+        from repro.parallel import resilience
+        # The supervised ladder: the shm rung declines (None) when the
+        # substrate is unavailable and *fails* on crashes that survive
+        # the dispatcher's retries — either way the serial 2-D kernel
+        # finishes the sweep with bit-identical rows.
+        return resilience.run_ladder(
+            (("shm", lambda: _sweep_scenario_block(
+                frame, specs, base_op, base_emb,
+                max_workers=max_workers)),
+             ("serial", lambda: _sweep_serial(
+                 frame, specs, base_op, base_emb))),
+            label="scenario-sweep")
 
+    return _sweep_serial(frame, specs, base_op, base_emb)
+
+
+def _sweep_serial(frame: FleetFrame, specs: tuple[ScenarioSpec, ...],
+                  base_op: OperationalModel,
+                  base_emb: EmbodiedModel) -> ScenarioCube:
+    """The in-process 2-D kernel — the ladder's always-available floor."""
     op_models = tuple(spec.operational_model(base_op) for spec in specs)
     emb_models = tuple(spec.embodied_model(base_emb) for spec in specs)
     op_values, op_unc = _operational_sweep(frame, op_models)
@@ -224,8 +239,10 @@ def _sweep_scenario_block(frame: FleetFrame,
              base_op, base_emb, fallback)
             for s0, s1 in chunk_indices(
                 n_scen, max(workers * blocks_per_worker, 1))]
-        pool_mod.pool_map(_scenario_block_worker, tasks,
-                          max_workers=max_workers)
+        from repro.parallel import resilience
+        resilience.supervised_map(_scenario_block_worker, tasks,
+                                  max_workers=max_workers,
+                                  label="scenario-sweep")
         out = out_pack.arrays()
         cube = ScenarioCube(
             specs=specs,

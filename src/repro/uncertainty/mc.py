@@ -37,12 +37,16 @@ the seed), so ``method="shm"`` ships contiguous cell blocks over the
 persistent :mod:`repro.parallel.pool`: the value/uncertainty stack
 crosses the process boundary as one shared-memory segment, workers
 write their band statistics into a shared output segment, and both
-segments are unlinked in ``finally`` — a crashing worker raises
-:class:`~repro.parallel.pool.WorkerCrashError` and leaks nothing.
-``method="auto"`` engages the pool only when the draw volume is worth
-a dispatch; every unavailability (``REPRO_DISABLE_SHM``,
-``REPRO_DISABLE_PROCESS_POOL``, single-core hosts) degrades to the
-serial kernel with identical output.
+segments are unlinked in ``finally`` — a crashing worker leaks
+nothing.  Dispatch goes through
+:func:`repro.parallel.resilience.supervised_map`, so a crashed or
+hung worker costs one pool rebuild and a retry of the lost cell
+blocks, and repeated shm-path failures latch the degradation ladder
+down to the serial kernel — every path bit-identical (see
+``docs/robustness.md``).  ``method="auto"`` engages the pool only
+when the draw volume is worth a dispatch; every unavailability
+(``REPRO_DISABLE_SHM``, ``REPRO_DISABLE_PROCESS_POOL``, single-core
+hosts) degrades to the serial kernel with identical output.
 """
 
 from __future__ import annotations
@@ -355,8 +359,10 @@ def _stats_shm(values2d: np.ndarray, unc2d: np.ndarray, n_samples: int,
             tasks = [(in_pack.handle, out_pack.handle, c0, c1,
                       n_samples, seed)
                      for c0, c1 in chunk_indices(n_cells, workers)]
-            pool_mod.pool_map(_band_block_worker, tasks,
-                              max_workers=max_workers)
+            from repro.parallel import resilience
+            resilience.supervised_map(_band_block_worker, tasks,
+                                      max_workers=max_workers,
+                                      label="mc-bands")
             return np.array(out_pack.arrays()["stats"])
         finally:
             out_pack.unlink()
@@ -476,8 +482,11 @@ def mc_band_stack(values, unc, *, n_samples: int = DEFAULT_MC_SAMPLES,
     Raises:
         ValueError: on shape mismatch, non-positive samples, an
             unknown method, or a cell with no covered system.
-        repro.parallel.pool.WorkerCrashError: when a pool worker dies
-            mid-block (no shared-memory segment is leaked).
+
+    Worker crashes and hangs are handled by the supervised dispatcher
+    (retry lost blocks, rebuild the pool, degrade to the serial kernel
+    after repeated failures) — they do not escape this call, and no
+    shared-memory segment is leaked.
     """
     if method not in _METHODS:
         raise ValueError(f"unknown method {method!r}; "
@@ -485,12 +494,18 @@ def mc_band_stack(values, unc, *, n_samples: int = DEFAULT_MC_SAMPLES,
     values2d, unc2d, cell_shape = _validate_stack(values, unc, n_samples)
     counts = _cell_counts(values2d)
 
-    stats = None
     if method == "shm" or (
             method == "auto"
             and float(counts.sum()) * n_samples >= _shm_min_draws()):
-        stats = _stats_shm(values2d, unc2d, n_samples, seed, max_workers)
-    if stats is None:
+        from repro.parallel import resilience
+        stats = resilience.run_ladder(
+            (("shm", lambda: _stats_shm(values2d, unc2d, n_samples, seed,
+                                        max_workers)),
+             ("serial", lambda: _stats_for_block(values2d, unc2d,
+                                                 n_samples, seed,
+                                                 counts=counts))),
+            label="mc-bands")
+    else:
         stats = _stats_for_block(values2d, unc2d, n_samples, seed,
                                  counts=counts)
 

@@ -1,0 +1,409 @@
+"""Chaos suite: deterministic fault injection against real fan-outs.
+
+Every recovery path the resilience layer promises is driven end-to-end
+here through real worker processes: killed workers (``kill@block``),
+hung workers against the per-block deadline (``hang@block``), shm
+attach failures (``raise@attach``) and segment-creation failures
+(``fail@segment-create``) — each against the real callers (the
+64-scenario sweep, the projection cube, the Monte-Carlo band stack,
+the fleet batch evaluator), each required to finish **bit-identical**
+to the serial path with every shared-memory segment accounted for.
+
+The autouse fixture clears ``REPRO_FAULT_SPEC`` so each test controls
+its own plan; ``test_ambient_fault_spec`` re-applies whatever spec the
+process was started under, which is how CI's fault-injection matrix
+(one job per spec) drives this file.
+
+Worker processes inherit the spec through the fork environment, so
+every test tears the pool down *first* and sets the spec *before* the
+first dispatch — the pool that forks afterwards sees the plan.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro import scenarios
+from repro.core.vectorized import fleet_batch_arrays, fleet_frame
+from repro.parallel import faults, resilience
+from repro.parallel import pool as pool_mod
+from repro.parallel import shm as shm_mod
+from repro.parallel.faults import FaultPlan, FaultRule, InjectedFault
+from repro.parallel.shm import SharedArrayPack, live_owned_segments
+from repro.projection import project_sweep
+from repro.scenarios import sweep
+from repro.uncertainty import mc
+
+WORKERS = 2
+
+#: The spec this pytest process was *started* under (the CI matrix
+#: job's parameter), captured before the autouse fixture clears it.
+_AMBIENT_SPEC = os.environ.get(faults.FAULT_SPEC_ENV, "")
+
+
+@pytest.fixture(autouse=True)
+def _clean_parallel_state(monkeypatch):
+    # Tear down any inherited pool so the one a test builds forks
+    # *after* that test's spec is in the environment.
+    pool_mod.shutdown_pool()
+    resilience.reset_ladder_state()
+    monkeypatch.delenv(faults.FAULT_SPEC_ENV, raising=False)
+    # Retries should not slow the suite down.
+    monkeypatch.setenv(resilience.BACKOFF_ENV, "0.01")
+    yield
+    pool_mod.shutdown_pool()
+    shm_mod.release_shared_frames()
+    resilience.reset_ladder_state()
+
+
+def _pool_ready() -> bool:
+    return shm_mod.shm_available() and pool_mod.pool_available(WORKERS)
+
+
+def _inject(monkeypatch, spec: str) -> None:
+    """Arm a fault spec for the *next* pool.
+
+    ``_pool_ready`` probes (and therefore builds) a pool before the
+    spec is in the environment; fork-start workers snapshot the
+    environment at fork, so that pool would never see the plan.  Tear
+    it down — the pool the dispatch builds forks after the spec is set.
+    """
+    monkeypatch.setenv(faults.FAULT_SPEC_ENV, spec)
+    pool_mod.shutdown_pool()
+
+
+# ---------------------------------------------------------------------------
+# Spec parsing
+# ---------------------------------------------------------------------------
+
+class TestFaultSpecParsing:
+    def test_grammar_forms(self):
+        plan = FaultPlan.parse(
+            "kill@block=3, hang@block=1:5s, raise@attach,"
+            " fail@segment-create, kill@block=0*2")
+        assert plan.rules == (
+            FaultRule("kill", "block", selector=3),
+            FaultRule("hang", "block", selector=1, arg_s=5.0),
+            FaultRule("raise", "attach"),
+            FaultRule("fail", "segment-create"),
+            FaultRule("kill", "block", selector=0, fires=2),
+        )
+
+    @pytest.mark.parametrize("text,seconds", [
+        ("5s", 5.0), ("250ms", 0.25), ("1.5", 1.5), ("0.5S", 0.5),
+    ])
+    def test_durations(self, text, seconds):
+        plan = FaultPlan.parse(f"hang@block:{text}")
+        assert plan.rules[0].arg_s == seconds
+
+    @pytest.mark.parametrize("entry", [
+        "explode@block", "kill@nowhere", "kill@", "kill@block=x",
+        "kill@block*0",
+    ])
+    def test_malformed_entries_warn_and_drop(self, entry):
+        with pytest.warns(RuntimeWarning, match="malformed"):
+            plan = FaultPlan.parse(f"{entry}, raise@attach")
+        assert plan.rules == (FaultRule("raise", "attach"),)
+
+    def test_empty_spec(self):
+        assert FaultPlan.parse("").rules == ()
+        assert FaultPlan.parse(" , ,").rules == ()
+
+    def test_fires_bounds_attempts(self):
+        rule = FaultRule("kill", "block", selector=0, fires=2)
+        assert rule.matches("block", 0, attempt=0)
+        assert rule.matches("block", 0, attempt=1)
+        assert not rule.matches("block", 0, attempt=2)
+        assert not rule.matches("block", 1, attempt=0)
+        assert not rule.matches("attach", 0, attempt=0)
+
+    def test_selectorless_rule_matches_every_index(self):
+        rule = FaultRule("raise", "block")
+        assert rule.matches("block", 0, attempt=0)
+        assert rule.matches("block", 17, attempt=0)
+
+    def test_active_plan_tracks_env(self, monkeypatch):
+        monkeypatch.setenv(faults.FAULT_SPEC_ENV, "raise@attach")
+        assert faults.active_plan().rules == (FaultRule("raise", "attach"),)
+        monkeypatch.setenv(faults.FAULT_SPEC_ENV, "fail@segment-create")
+        assert faults.active_plan().rules == (
+            FaultRule("fail", "segment-create"),)
+        monkeypatch.delenv(faults.FAULT_SPEC_ENV)
+        assert faults.active_plan().rules == ()
+
+
+class TestFire:
+    def test_noop_without_spec(self):
+        faults.fire("block", index=0, attempt=0)
+        faults.fire("attach")
+
+    def test_raise_action(self, monkeypatch):
+        monkeypatch.setenv(faults.FAULT_SPEC_ENV, "raise@attach")
+        with pytest.raises(InjectedFault) as excinfo:
+            faults.fire("attach")
+        assert excinfo.value.point == "attach"
+        faults.fire("block", index=0, attempt=0)  # other points untouched
+
+    def test_hang_action_sleeps_then_returns(self, monkeypatch):
+        monkeypatch.setenv(faults.FAULT_SPEC_ENV, "hang@block:50ms")
+        started = time.perf_counter()
+        faults.fire("block", index=0, attempt=0)
+        assert time.perf_counter() - started >= 0.05
+
+    def test_attempt_exhausted_rule_is_silent(self, monkeypatch):
+        monkeypatch.setenv(faults.FAULT_SPEC_ENV, "raise@block=0")
+        with pytest.raises(InjectedFault):
+            faults.fire("block", index=0, attempt=0)
+        faults.fire("block", index=0, attempt=1)  # retries succeed
+
+
+# ---------------------------------------------------------------------------
+# Chaos: the real callers under injected faults
+# ---------------------------------------------------------------------------
+
+def _grid64():
+    return scenarios.ScenarioGrid.cartesian(
+        scenarios.aci_scale_axis(tuple(1.0 - 0.02 * i for i in range(8))),
+        scenarios.pue_axis(tuple(1.0 + 0.05 * i for i in range(8))),
+    )
+
+
+def _assert_cubes_identical(left, right):
+    for field in ("operational_mt", "operational_unc",
+                  "embodied_mt", "embodied_unc"):
+        assert np.array_equal(getattr(left, field), getattr(right, field),
+                              equal_nan=True), field
+
+
+def _assert_drained():
+    shm_mod.release_shared_frames()
+    assert live_owned_segments() == ()
+    assert shm_mod.sweep_orphaned_segments() == ()
+
+
+class TestChaosSweep:
+    """The 64-scenario sweep completes bit-identical under each fault."""
+
+    @pytest.fixture()
+    def records(self, study):
+        return list(study.public_records)
+
+    def test_sweep_survives_killed_worker(self, records, monkeypatch):
+        if not _pool_ready():
+            pytest.skip("cannot spawn worker processes")
+        grid = _grid64()
+        serial = sweep(records, grid)
+        _inject(monkeypatch, "kill@block=0")
+        chaos = sweep(records, grid, parallel="scenario-block",
+                      max_workers=WORKERS)
+        _assert_cubes_identical(serial, chaos)
+        _assert_drained()
+
+    def test_sweep_survives_hung_worker(self, records, monkeypatch):
+        if not _pool_ready():
+            pytest.skip("cannot spawn worker processes")
+        grid = _grid64()
+        serial = sweep(records, grid)
+        _inject(monkeypatch, "hang@block=0:30s")
+        monkeypatch.setenv(resilience.TIMEOUT_ENV, "1.5")
+        started = time.perf_counter()
+        chaos = sweep(records, grid, parallel="scenario-block",
+                      max_workers=WORKERS)
+        # The deadline, not the 30s hang, bounded the wall clock.
+        assert time.perf_counter() - started < 20.0
+        _assert_cubes_identical(serial, chaos)
+        _assert_drained()
+
+    def test_sweep_survives_attach_failure(self, records, monkeypatch):
+        if not _pool_ready():
+            pytest.skip("cannot spawn worker processes")
+        grid = _grid64()
+        serial = sweep(records, grid)
+        _inject(monkeypatch, "raise@attach")
+        chaos = sweep(records, grid, parallel="scenario-block",
+                      max_workers=WORKERS)
+        _assert_cubes_identical(serial, chaos)
+        _assert_drained()
+
+    def test_sweep_survives_segment_create_failure(self, records,
+                                                   monkeypatch):
+        grid = _grid64()
+        serial = sweep(records, grid)
+        _inject(monkeypatch, "fail@segment-create")
+        chaos = sweep(records, grid, parallel="scenario-block",
+                      max_workers=WORKERS)
+        _assert_cubes_identical(serial, chaos)
+        _assert_drained()
+
+
+class TestChaosProjection:
+    def test_projection_cube_survives_killed_worker(self, study,
+                                                    monkeypatch):
+        if not _pool_ready():
+            pytest.skip("cannot spawn worker processes")
+        records = list(study.public_records)
+        grid = scenarios.ScenarioGrid.cartesian(
+            scenarios.aci_scale_axis((1.0, 0.9, 0.8, 0.7)),
+            scenarios.pue_axis((1.0, 1.1, 1.2, 1.3)),
+        )
+        serial = project_sweep(records, grid)
+        _inject(monkeypatch, "kill@block=0")
+        chaos = project_sweep(records, grid, parallel="scenario-block",
+                              max_workers=WORKERS)
+        assert chaos.years == serial.years
+        _assert_cubes_identical(serial.base, chaos.base)
+        for footprint in ("operational", "embodied"):
+            assert np.array_equal(serial.values(footprint),
+                                  chaos.values(footprint), equal_nan=True)
+        _assert_drained()
+
+
+class TestChaosMcBands:
+    def _stack(self, study):
+        grid = scenarios.ScenarioGrid.cartesian(
+            scenarios.aci_scale_axis((1.0, 0.8)),
+            scenarios.pue_axis((1.0, 1.2)),
+        )
+        cube = study.scenario_sweep(grid)
+        return cube.operational_mt, cube.operational_unc
+
+    def test_bands_survive_killed_worker(self, study, monkeypatch):
+        if not _pool_ready():
+            pytest.skip("cannot spawn worker processes")
+        values, unc = self._stack(study)
+        serial = mc.mc_band_stack(values, unc, n_samples=200,
+                                  method="serial")
+        _inject(monkeypatch, "kill@block=0")
+        chaos = mc.mc_band_stack(values, unc, n_samples=200, method="shm",
+                                 max_workers=WORKERS)
+        assert chaos == serial
+        _assert_drained()
+
+    def test_bands_survive_attach_failure(self, study, monkeypatch):
+        if not _pool_ready():
+            pytest.skip("cannot spawn worker processes")
+        values, unc = self._stack(study)
+        serial = mc.mc_band_stack(values, unc, n_samples=200,
+                                  method="serial")
+        _inject(monkeypatch, "raise@attach")
+        chaos = mc.mc_band_stack(values, unc, n_samples=200, method="shm",
+                                 max_workers=WORKERS)
+        assert chaos == serial
+        _assert_drained()
+
+    def test_bands_survive_segment_create_failure(self, study, monkeypatch):
+        values, unc = self._stack(study)
+        serial = mc.mc_band_stack(values, unc, n_samples=200,
+                                  method="serial")
+        _inject(monkeypatch, "fail@segment-create")
+        chaos = mc.mc_band_stack(values, unc, n_samples=200, method="shm",
+                                 max_workers=WORKERS)
+        assert chaos == serial
+        _assert_drained()
+
+
+class TestChaosFleetBatch:
+    def test_fleet_batch_survives_killed_worker(self, study, monkeypatch):
+        if not _pool_ready():
+            pytest.skip("cannot spawn worker processes")
+        records = list(study.public_records)
+        frame = fleet_frame(records)
+        serial = fleet_batch_arrays(records, frame=frame, parallel="never")
+        _inject(monkeypatch, "kill@block=0")
+        chaos = fleet_batch_arrays(records, frame=frame, parallel="shm",
+                                   max_workers=WORKERS)
+        for field in ("op_mt", "op_unc", "emb_mt", "emb_unc"):
+            assert np.array_equal(getattr(serial, field),
+                                  getattr(chaos, field), equal_nan=True)
+        _assert_drained()
+
+
+class TestAmbientSpec:
+    """The CI fault-injection matrix: one job per ambient spec value."""
+
+    def test_ambient_fault_spec(self, study, monkeypatch):
+        if not _pool_ready():
+            pytest.skip("cannot spawn worker processes")
+        if _AMBIENT_SPEC:
+            _inject(monkeypatch, _AMBIENT_SPEC)
+        # Hang specs must meet a short deadline, not the 600s default.
+        monkeypatch.setenv(resilience.TIMEOUT_ENV, "2")
+        records = list(study.public_records)
+        grid = scenarios.ScenarioGrid.cartesian(
+            scenarios.aci_scale_axis((1.0, 0.9, 0.8, 0.7)),
+            scenarios.pue_axis((1.0, 1.15)),
+        )
+        serial = sweep(records, grid)
+        chaos = sweep(records, grid, parallel="scenario-block",
+                      max_workers=WORKERS)
+        _assert_cubes_identical(serial, chaos)
+        values, unc = serial.operational_mt, serial.operational_unc
+        bands_serial = mc.mc_band_stack(values, unc, n_samples=150,
+                                        method="serial")
+        bands_chaos = mc.mc_band_stack(values, unc, n_samples=150,
+                                       method="shm", max_workers=WORKERS)
+        assert bands_chaos == bands_serial
+        _assert_drained()
+
+
+# ---------------------------------------------------------------------------
+# The shm janitor, end-to-end
+# ---------------------------------------------------------------------------
+
+def _orphan_child() -> None:
+    """Child body: own a segment, then die without any cleanup."""
+    SharedArrayPack.create({"x": np.arange(64.0)})
+    os._exit(5)  # skips atexit: the segment and registry file survive
+
+
+class TestJanitor:
+    @pytest.mark.skipif(not shm_mod.shm_available(), reason="no /dev/shm")
+    @pytest.mark.skipif(
+        "fork" not in multiprocessing.get_all_start_methods(),
+        reason="needs fork")
+    def test_sweep_reclaims_orphans_of_dead_owner(self, tmp_path,
+                                                  monkeypatch):
+        monkeypatch.setenv(shm_mod.REGISTRY_DIR_ENV, str(tmp_path))
+        ctx = multiprocessing.get_context("fork")
+        child = ctx.Process(target=_orphan_child)
+        child.start()
+        child.join(timeout=30)
+        assert child.exitcode == 5
+        registry = shm_mod.registry_path(pid=child.pid)
+        assert registry.is_file(), "child died before writing its registry"
+        names = list(json.loads(registry.read_text())["segments"])
+        assert names
+        swept = shm_mod.sweep_orphaned_segments()
+        assert sorted(swept) == sorted(names)
+        assert not registry.exists()
+        # The segments themselves are gone from /dev/shm.
+        from multiprocessing import shared_memory
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+        # Idempotent: nothing left to reclaim.
+        assert shm_mod.sweep_orphaned_segments() == ()
+
+    @pytest.mark.skipif(not shm_mod.shm_available(), reason="no /dev/shm")
+    def test_sweep_spares_live_owners(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(shm_mod.REGISTRY_DIR_ENV, str(tmp_path))
+        pack = SharedArrayPack.create({"x": np.arange(8.0)})
+        try:
+            assert shm_mod.registry_path().is_file()
+            assert shm_mod.sweep_orphaned_segments() == ()
+            assert np.array_equal(pack.arrays()["x"], np.arange(8.0))
+        finally:
+            pack.unlink()
+        assert not shm_mod.registry_path().exists()
+
+    def test_malformed_registry_files_are_removed(self, tmp_path):
+        junk = tmp_path / f"{shm_mod._REGISTRY_PREFIX}999999.json"
+        junk.write_text("{not json")
+        assert shm_mod.sweep_orphaned_segments(registry_dir=tmp_path) == ()
+        assert not junk.exists()

@@ -3,9 +3,9 @@
 The scale-out contract: every dispatch method (serial, chunked-pickle,
 shm-pool) produces bit-identical arrays; every unavailability (no
 ``/dev/shm``, no process spawning) degrades to the serial path with
-identical results; worker death raises cleanly; and no shared-memory
-segment outlives its owner's bookkeeping — even when a batch dies
-mid-flight.
+identical results; worker death degrades through the supervised
+dispatcher to identical serial output; and no shared-memory segment
+outlives its owner's bookkeeping — even when a batch dies mid-flight.
 """
 
 import os
@@ -23,6 +23,7 @@ from repro.core.vectorized import (
     parallel_batch_operational_mt,
 )
 from repro.parallel import pool as pool_mod
+from repro.parallel import resilience
 from repro.parallel import shm as shm_mod
 from repro.parallel.pool import WorkerCrashError, pool_map
 from repro.parallel.shm import SharedArrayPack, attach, live_owned_segments
@@ -39,6 +40,7 @@ def records(study):
 def _release_pooled_frames():
     yield
     shm_mod.release_shared_frames()
+    resilience.reset_ladder_state()
 
 
 def _pool_ready() -> bool:
@@ -206,7 +208,7 @@ class TestFailureModes:
         def explode(*args, **kwargs):
             raise RuntimeError("mid-batch death")
 
-        monkeypatch.setattr(pool_mod, "pool_map", explode)
+        monkeypatch.setattr(resilience, "supervised_map", explode)
         with pytest.raises(RuntimeError, match="mid-batch death"):
             parallel_batch_operational_mt(records, frame=frame,
                                           max_workers=WORKERS, method="shm")
@@ -235,8 +237,9 @@ def _band_cube(study):
 
 class TestMcBandFanOut:
     """The batched band sampler over the pool: serial-fallback identity
-    under every disable knob, WorkerCrashError on worker death, and no
-    leaked segments either way (the ISSUE-5 negative paths)."""
+    under every disable knob, ladder degradation (not an escaping
+    WorkerCrashError) on worker death, and no leaked segments either
+    way."""
 
     def test_no_shm_falls_back_to_identical_bands(self, study, monkeypatch):
         cube = _band_cube(study)
@@ -266,31 +269,38 @@ class TestMcBandFanOut:
         assert pooled == serial
 
     @pytest.mark.skipif(not shm_mod.shm_available(), reason="no /dev/shm")
-    def test_worker_crash_mid_draw_block_raises_and_leaks_nothing(
+    def test_worker_crash_mid_draw_block_degrades_and_leaks_nothing(
             self, study, monkeypatch):
+        """A crashed fan-out no longer escapes ``mc_band_stack``: the
+        ladder degrades to the serial kernel with identical bands."""
         if not _pool_ready():
             pytest.skip("cannot spawn worker processes")
         from repro.uncertainty import mc
 
         cube = _band_cube(study)
+        serial = mc.mc_band_stack(cube.operational_mt,
+                                  cube.operational_unc,
+                                  n_samples=100, method="serial")
 
-        def crash(fn, tasks, *, max_workers=None):
-            # The dispatch a dying worker produces: pool_map discards
-            # the broken pool and raises WorkerCrashError.
+        def crash(fn, tasks, **kwargs):
+            # What a worker death beyond the retry budget produces.
             raise WorkerCrashError("a worker process died mid-batch")
 
-        monkeypatch.setattr(pool_mod, "pool_map", crash)
-        with pytest.raises(WorkerCrashError):
-            mc.mc_band_stack(cube.operational_mt, cube.operational_unc,
-                             n_samples=100, method="shm",
-                             max_workers=WORKERS)
+        monkeypatch.setattr(resilience, "supervised_map", crash)
+        degraded = mc.mc_band_stack(cube.operational_mt,
+                                    cube.operational_unc,
+                                    n_samples=100, method="shm",
+                                    max_workers=WORKERS)
+        assert degraded == serial
         # Both per-call segments (input stack + output stats) were
         # unlinked by the finally blocks.
         assert live_owned_segments() == ()
 
     @pytest.mark.skipif(not shm_mod.shm_available(), reason="no /dev/shm")
-    def test_real_worker_death_raises_worker_crash_error(self):
-        """End-to-end: a draw-block task whose worker actually dies."""
+    def test_real_worker_death_recovers_end_to_end(self):
+        """A draw-block task whose worker actually dies: ``pool_map``
+        (the unsupervised primitive) still raises, and the engine's own
+        entry point recovers on a fresh pool afterwards."""
         if not _pool_ready():
             pytest.skip("cannot spawn worker processes")
         from repro.uncertainty import mc
