@@ -173,6 +173,23 @@ def test_scaling_curve(save_artifact):
         lambda: scenarios.sweep(records, grid, frame=frame,
                                 parallel="scenario-block",
                                 max_workers=WORKERS), 3)
+
+    # Span-summary sidecar: one traced pass of the batch assessment and
+    # the scenario-block sweep (workers ship their spans back through
+    # the dispatcher), aggregated per span name.  The timed rounds
+    # above all ran untraced.
+    from repro import obs
+    with obs.capture() as trace:
+        _assess_shm(records, frame)
+        scenarios.sweep(records, grid, frame=frame,
+                        parallel="scenario-block", max_workers=WORKERS)
+    span_sidecar = {
+        "benchmark": "bench_scaling",
+        "traced_pass": f"shm batch assessment + scenario-block sweep "
+                       f"(n={sweep_n}, {len(grid)} scenarios)",
+        "spans": obs.summarize(trace.records),
+    }
+
     shm_mod.release_shared_frames()
     clear_frame_cache()
 
@@ -201,6 +218,8 @@ def test_scaling_curve(save_artifact):
                  "cores to exceed 1.0."),
     }
     save_artifact("BENCH_scaling.json", json.dumps(baseline, indent=2))
+    save_artifact("BENCH_scaling_spans.json",
+                  json.dumps(span_sidecar, indent=2))
 
     if shm_ok and pool_ok:
         gated = [point for point in curve if point["n"] >= GATE_N]

@@ -280,6 +280,22 @@ def test_throughput_engine_speedup(dataset, save_artifact, results_dir):
     }
     save_artifact("BENCH_throughput.json", json.dumps(baseline, indent=2))
 
+    # Span-summary sidecar: one traced pass of each measured kernel,
+    # aggregated per span name — the per-stage breakdown behind the
+    # headline ratios (tracing observes only; the timed rounds above
+    # all ran untraced).
+    from repro import obs
+    with obs.capture() as trace:
+        scenarios.sweep(records, specs, frame=frame)
+        proj.band_stack("operational", n_samples=mc_samples,
+                        method="serial")
+    save_artifact("BENCH_throughput_spans.json", json.dumps({
+        "benchmark": "bench_throughput",
+        "traced_pass": "scenario sweep (64 specs) + serial band stack "
+                       "(64x7 cells x 4000 draws)",
+        "spans": obs.summarize(trace.records),
+    }, indent=2))
+
     # The columnar engine must clearly beat per-record dispatch on the
     # study, the 2-D sweep kernel must clearly beat the per-scenario
     # batch loop, and the batched band kernel must clearly beat the

@@ -17,8 +17,14 @@ Commands:
   renders whole cubes (``--footprint all``, ``--bands``) and persists
   or reloads them (``--save`` / ``--load``).
 * ``doctor``    — parallel-substrate health check: reports pool/shm
-  availability and degradation-ladder state, and sweeps
-  shared-memory segments orphaned by crashed runs.
+  availability, degradation-ladder state, and the process-lifetime
+  activity counters, and sweeps shared-memory segments orphaned by
+  crashed runs.
+* ``profile``   — run any other subcommand under the span tracer and
+  print the per-stage self/cumulative time table
+  (``repro profile -- scenarios --grid acceptance``); ``scenarios``
+  and ``project`` also take ``--trace PATH`` to stream span records
+  as JSON-lines while printing the same table.
 
 The CLI is a thin veneer over the library; everything it prints comes
 from the same functions the benchmarks assert against.
@@ -27,9 +33,11 @@ from the same functions the benchmarks assert against.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+import time
 
-from repro import __version__
+from repro import __version__, obs
 from repro.core.easyc import EasyC
 from repro.core.record import SystemRecord
 from repro.hardware.memory import MemoryType
@@ -127,6 +135,9 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=["quantile", "normal"],
                          help="band flavor: sampled percentiles, or the "
                               "mean +/- 1.645 sigma normal approximation")
+    project.add_argument("--trace", default=None, metavar="PATH",
+                         help="stream span records to PATH as JSON-lines "
+                              "and print the per-stage time table")
 
     scen = sub.add_parser(
         "scenarios",
@@ -173,6 +184,13 @@ def build_parser() -> argparse.ArgumentParser:
     scen.add_argument("--load", default=None, metavar="PATH",
                       help="render a previously saved cube instead of "
                            "sweeping (axis flags are ignored)")
+    scen.add_argument("--grid", default=None, choices=["acceptance"],
+                      help="a named grid instead of explicit axes: "
+                           "'acceptance' is the 64-scenario "
+                           "aci-scale x PUE x utilization benchmark grid")
+    scen.add_argument("--trace", default=None, metavar="PATH",
+                      help="stream span records to PATH as JSON-lines "
+                           "and print the per-stage time table")
 
     doctor = sub.add_parser(
         "doctor",
@@ -182,6 +200,15 @@ def build_parser() -> argparse.ArgumentParser:
                         help="segment-registry directory to sweep "
                              "(default: the live registry location, "
                              "REPRO_SHM_REGISTRY_DIR or /dev/shm)")
+
+    profile = sub.add_parser(
+        "profile",
+        help="run another subcommand under the span tracer and print "
+             "the per-stage self/cumulative time table")
+    profile.add_argument(
+        "rest", nargs=argparse.REMAINDER, metavar="-- <subcommand ...>",
+        help="the command to profile, e.g. "
+             "repro profile -- scenarios --grid acceptance")
     return parser
 
 
@@ -396,6 +423,17 @@ def cmd_scenarios(args: argparse.Namespace) -> int:
     elif args.years:
         print("--years needs --decarbonize", file=sys.stderr)
         return 2
+    if args.grid:
+        if axes:
+            print("--grid names a fixed grid; drop the explicit axis "
+                  "flags", file=sys.stderr)
+            return 2
+        # The 64-scenario acceptance grid — the same axes
+        # benchmarks/bench_throughput.py sweeps, so profile output here
+        # is directly comparable to the recorded BENCH numbers.
+        axes = [scenarios.aci_scale_axis((1.0, 0.9, 0.8, 0.7)),
+                scenarios.pue_axis((1.0, 1.1, 1.2, 1.3)),
+                scenarios.utilization_axis((0.5, 0.65, 0.8, 0.95))]
     if not axes:
         # A small demonstrative grid: cleaner grid × facility overhead.
         axes = [scenarios.aci_scale_axis((1.0, 0.8)),
@@ -468,12 +506,75 @@ def cmd_doctor(args: argparse.Namespace) -> int:
                      f"segment(s): {', '.join(swept)}")
     else:
         lines.append("  janitor      : no orphaned segments")
+
+    # Process-lifetime activity: what the engines and the dispatcher
+    # actually did since this process started (retries, rebuilds,
+    # latched rungs, swept segments — see docs/observability.md).
+    lines.append("")
+    lines.append("repro doctor — activity (process lifetime)")
+    lines.append("")
+    metrics = obs.metrics_snapshot()
+    if metrics:
+        width = max(len(name) for name in metrics)
+        for name, value in metrics.items():
+            lines.append(f"  {name:<{width}} = {value:g}")
+    else:
+        lines.append("  no activity recorded yet")
     print("\n".join(lines))
     return 0
 
 
-def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+def cmd_profile(args: argparse.Namespace) -> int:
+    """``repro profile -- <subcommand ...>``: trace + time table.
+
+    Runs the wrapped command under an in-memory capture, then prints
+    the per-span-name self/cumulative table and the span-coverage
+    line against the measured wall time.  The wrapped command's own
+    output prints first, unchanged; its exit code is returned.
+    """
+    rest = list(args.rest)
+    if rest and rest[0] == "--":
+        rest = rest[1:]
+    if not rest:
+        print("profile needs a command to wrap, e.g. "
+              "repro profile -- scenarios --grid acceptance",
+              file=sys.stderr)
+        return 2
+    if rest[0] == "profile":
+        print("profile cannot wrap itself", file=sys.stderr)
+        return 2
+    with obs.capture() as trace:
+        start = time.perf_counter()
+        code = main(rest)
+        wall = time.perf_counter() - start
+    print()
+    print(f"profile: repro {' '.join(rest)}")
+    print(obs.render_table(trace.records, wall_s=wall))
+    return code
+
+
+def _run_traced(args: argparse.Namespace, path: str) -> int:
+    """``--trace PATH``: JSONL file sink + the same profile table."""
+    previous = os.environ.get(obs.TRACE_ENV)
+    os.environ[obs.TRACE_ENV] = path
+    try:
+        with obs.capture() as trace:
+            start = time.perf_counter()
+            with obs.span(f"cli.{args.command}"):
+                code = _dispatch(args)
+            wall = time.perf_counter() - start
+    finally:
+        if previous is None:
+            os.environ.pop(obs.TRACE_ENV, None)
+        else:
+            os.environ[obs.TRACE_ENV] = previous
+    print()
+    print(f"trace: {len(trace.records)} span(s) written to {path}")
+    print(obs.render_table(trace.records, wall_s=wall))
+    return code
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "report":
         return cmd_report()
     if args.command == "assess":
@@ -487,6 +588,18 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "doctor":
         return cmd_doctor(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "profile":
+        return cmd_profile(args)
+    if getattr(args, "trace", None):
+        return _run_traced(args, args.trace)
+    # The root span makes every traced CLI run a single connected tree
+    # (and is a shared no-op when no sink is active).
+    with obs.span(f"cli.{args.command}"):
+        return _dispatch(args)
 
 
 if __name__ == "__main__":  # pragma: no cover

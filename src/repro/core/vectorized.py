@@ -45,7 +45,7 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
-from repro import units
+from repro import obs, units
 from repro.core import embodied as emb_mod
 from repro.core import operational as op_mod
 from repro.core.embodied import EmbodiedModel, die_embodied_kg
@@ -228,6 +228,11 @@ class FleetFrame:
     def from_records(cls, records: Sequence[SystemRecord]) -> "FleetFrame":
         """Extract the column view (one pass; model-independent)."""
         records = tuple(records)
+        with obs.span("frame.extract", n_systems=len(records)):
+            return cls._extract(records)
+
+    @classmethod
+    def _extract(cls, records: tuple) -> "FleetFrame":
         n = len(records)
         ranks = np.empty(n, dtype=np.int64)
         install_year = np.full(n, np.nan)
@@ -592,7 +597,9 @@ def fleet_frame(records: Sequence[SystemRecord]) -> FleetFrame:
     frame = _FRAME_CACHE.get(key)
     if frame is not None:
         _FRAME_CACHE.move_to_end(key)
+        obs.inc("cache.frame_hits")
         return frame
+    obs.inc("cache.frame_misses")
     frame = FleetFrame.from_records(records)
     _FRAME_CACHE[key] = frame
     while len(_FRAME_CACHE) > _FRAME_CACHE_MAX:
@@ -841,6 +848,14 @@ def operational_batch(frame: FleetFrame,
     the scalar model's arithmetic), so Monte-Carlo fleet bands never
     need estimate objects.
     """
+    obs.inc("kernel.cells", frame.n)
+    with obs.span("batch.operational", n_systems=frame.n):
+        return _operational_batch_impl(frame, model)
+
+
+def _operational_batch_impl(frame: FleetFrame,
+                            model: OperationalModel | None = None,
+                            ) -> OperationalBatch:
     model = model or OperationalModel()
     aci = frame.aci(model.grid)
     is_comp = frame.op_path == _OP_COMPONENT
@@ -1082,6 +1097,13 @@ def embodied_batch(frame: FleetFrame,
     by the scalar model, preserving its exact semantics (including
     raised errors for non-coverage failure modes).
     """
+    obs.inc("kernel.cells", frame.n)
+    with obs.span("batch.embodied", n_systems=frame.n):
+        return _embodied_batch_impl(frame, model)
+
+
+def _embodied_batch_impl(frame: FleetFrame,
+                         model: EmbodiedModel | None = None) -> EmbodiedBatch:
     model = model or EmbodiedModel()
     factors = _resolve_embodied_factors(frame, model)
     array_ok, needs_scalar, cpu_idx, mem_idx = \
@@ -1696,36 +1718,41 @@ def _shm_batch_eval(frame: FleetFrame,
     if emb_model is not None:
         fallback |= _embodied_fallback_mask(frame, emb_model)
 
-    shared = shm_mod.shared_fleet_frame(frame)
-    out_arrays: dict[str, np.ndarray] = {}
-    if op_model is not None:
-        out_arrays["op_mt"] = np.full(frame.n, np.nan)
-        out_arrays["op_unc"] = np.full(frame.n, np.nan)
-    if emb_model is not None:
-        out_arrays["emb_mt"] = np.full(frame.n, np.nan)
-        out_arrays["emb_unc"] = np.full(frame.n, np.nan)
-    out_pack = shm_mod.SharedArrayPack.create(out_arrays)
-    try:
-        tasks = []
-        for start, stop in chunk_indices(frame.n,
-                                         max(workers * chunks_per_worker, 1)):
-            idx = np.flatnonzero(fallback[start:stop]) + start
-            items = tuple((int(i), frame.records[i]) for i in idx)
-            tasks.append((shared.handle, out_pack.handle, start, stop,
-                          op_model, emb_model, items))
-        resilience.supervised_map(_shm_eval_worker, tasks,
-                                  max_workers=max_workers,
-                                  label="fleet-batch")
-        out = out_pack.arrays()
-        batch = FleetBatch(
-            op_mt=np.array(out["op_mt"]) if op_model is not None else None,
-            op_unc=np.array(out["op_unc"]) if op_model is not None else None,
-            emb_mt=np.array(out["emb_mt"]) if emb_model is not None else None,
-            emb_unc=np.array(out["emb_unc"]) if emb_model is not None
-            else None,
-        )
-    finally:
-        out_pack.unlink()
+    with obs.span("fanout.shm_batch", n_systems=frame.n,
+                  workers=workers):
+        shared = shm_mod.shared_fleet_frame(frame)
+        out_arrays: dict[str, np.ndarray] = {}
+        if op_model is not None:
+            out_arrays["op_mt"] = np.full(frame.n, np.nan)
+            out_arrays["op_unc"] = np.full(frame.n, np.nan)
+        if emb_model is not None:
+            out_arrays["emb_mt"] = np.full(frame.n, np.nan)
+            out_arrays["emb_unc"] = np.full(frame.n, np.nan)
+        out_pack = shm_mod.SharedArrayPack.create(out_arrays)
+        try:
+            tasks = []
+            for start, stop in chunk_indices(
+                    frame.n, max(workers * chunks_per_worker, 1)):
+                idx = np.flatnonzero(fallback[start:stop]) + start
+                items = tuple((int(i), frame.records[i]) for i in idx)
+                tasks.append((shared.handle, out_pack.handle, start, stop,
+                              op_model, emb_model, items))
+            resilience.supervised_map(_shm_eval_worker, tasks,
+                                      max_workers=max_workers,
+                                      label="fleet-batch")
+            out = out_pack.arrays()
+            batch = FleetBatch(
+                op_mt=np.array(out["op_mt"]) if op_model is not None
+                else None,
+                op_unc=np.array(out["op_unc"]) if op_model is not None
+                else None,
+                emb_mt=np.array(out["emb_mt"]) if emb_model is not None
+                else None,
+                emb_unc=np.array(out["emb_unc"]) if emb_model is not None
+                else None,
+            )
+        finally:
+            out_pack.unlink()
     return batch
 
 

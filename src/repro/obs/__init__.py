@@ -1,0 +1,68 @@
+"""``repro.obs`` — spans, counters, and profiling for every engine.
+
+The observability substrate the serving daemon and multi-host backends
+will report through.  Three pieces:
+
+* :mod:`repro.obs.tracing` — nested span tracer (contextvars, monotonic
+  clocks, worker collect mode, ``REPRO_TRACE`` JSONL sink);
+* :mod:`repro.obs.metrics` — always-on process-lifetime counters plus
+  the bounded failure-event history;
+* :mod:`repro.obs.profile` — self/cumulative aggregation and the table
+  ``repro profile`` prints.
+
+Contracts (asserted by ``tests/obs`` and the chaos suite): tracing
+never changes numeric output, and the disabled path is a no-op fast
+branch.  See ``docs/observability.md``.
+"""
+
+from repro.obs.metrics import (
+    events,
+    get_counter,
+    inc,
+    metrics_snapshot,
+    record_event,
+    reset_metrics,
+    reset_warnings,
+)
+from repro.obs.profile import (
+    render_table,
+    root_total_s,
+    span_coverage,
+    summarize,
+)
+from repro.obs.tracing import (
+    SPAN_FIELDS,
+    TRACE_ENV,
+    Trace,
+    capture,
+    collect,
+    current_span_id,
+    emit_collected,
+    span,
+    tracing_active,
+    validate_record,
+)
+
+__all__ = [
+    "TRACE_ENV",
+    "SPAN_FIELDS",
+    "Trace",
+    "span",
+    "capture",
+    "collect",
+    "emit_collected",
+    "current_span_id",
+    "tracing_active",
+    "validate_record",
+    "inc",
+    "get_counter",
+    "metrics_snapshot",
+    "reset_metrics",
+    "record_event",
+    "events",
+    "reset_warnings",
+    "summarize",
+    "root_total_s",
+    "span_coverage",
+    "render_table",
+]

@@ -1,0 +1,73 @@
+"""Validate a ``REPRO_TRACE`` JSONL file against the span schema.
+
+Usage::
+
+    python -m repro.obs <trace.jsonl> [--min-spans N]
+
+Exit status 0 when every line decodes to a valid span record (and at
+least ``--min-spans`` of them exist); 1 otherwise, with one diagnostic
+per offending line.  CI runs this over the trace emitted by the
+``REPRO_TRACE`` tier-1 leg.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.obs.tracing import validate_record
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Validate a REPRO_TRACE JSONL file "
+                    "against the span schema.")
+    parser.add_argument("path", help="trace file (one JSON span per line)")
+    parser.add_argument("--min-spans", type=int, default=1,
+                        help="fail unless at least this many valid spans "
+                             "exist (default: 1)")
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.path, encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+    except OSError as exc:
+        print(f"cannot read {args.path}: {exc}", file=sys.stderr)
+        return 1
+
+    ok = 0
+    bad = 0
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            print(f"{args.path}:{lineno}: not JSON: {exc}",
+                  file=sys.stderr)
+            bad += 1
+            continue
+        problems = validate_record(record)
+        if problems:
+            bad += 1
+            for problem in problems:
+                print(f"{args.path}:{lineno}: {problem}", file=sys.stderr)
+        else:
+            ok += 1
+
+    if bad:
+        print(f"{args.path}: {bad} invalid record(s), {ok} valid",
+              file=sys.stderr)
+        return 1
+    if ok < args.min_spans:
+        print(f"{args.path}: only {ok} span(s); expected at least "
+              f"{args.min_spans}", file=sys.stderr)
+        return 1
+    print(f"{args.path}: {ok} valid span record(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -37,6 +37,7 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import TypeVar
 
+from repro import obs
 from repro.envflags import env_flag
 
 T = TypeVar("T")
@@ -150,6 +151,7 @@ def get_pool(max_workers: int | None = None) -> ProcessPoolExecutor | None:
             pass
         return None
     _POOL, _POOL_WORKERS, _POOL_PID = pool, workers, os.getpid()
+    obs.inc("pool.rebuilds")
     if not _JANITOR_RAN:
         # First pool of this process: sweep /dev/shm segments whose
         # owner died between create and unlink (see the shm janitor).
@@ -217,6 +219,7 @@ def kill_pool() -> None:
     if _POOL is None or _POOL_PID != os.getpid():
         return
     pool, _POOL, _POOL_WORKERS = _POOL, None, 0
+    obs.inc("pool.kills")
     for process in list(getattr(pool, "_processes", {}).values()):
         try:
             process.terminate()

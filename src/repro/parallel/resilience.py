@@ -45,6 +45,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any, TypeVar
 
+from repro import obs
 from repro.errors import (
     BlockTimeoutError,
     FanOutError,
@@ -171,16 +172,42 @@ def default_policy() -> RetryPolicy:
                        timeout_s=timeout)
 
 
+@dataclass
+class _TracedSlice:
+    """A block result traveling with the spans recorded while computing
+    it (worker collect mode) — unwrapped by the dispatching process."""
+
+    value: Any
+    spans: list
+
+
 def _run_block(fn: Callable[[T], R], task: T, block: int,
-               attempt: int) -> R:
+               attempt: int, traced: bool = False) -> "R | _TracedSlice":
     """Worker wrapper: consult the ``block`` fault point, then run.
 
     Module-level so it pickles; this is the *only* place the dispatcher
     adds to the worker body, which keeps the supervised path's results
-    byte-for-byte those of the bare ``pool_map`` path.
+    byte-for-byte those of the bare ``pool_map`` path.  The fault point
+    fires *before* any tracing machinery so chaos semantics are
+    identical traced and untraced.  With ``traced`` the block's spans
+    are buffered and shipped home inside a :class:`_TracedSlice`; the
+    computation itself is untouched either way.
     """
     faults.fire("block", index=block, attempt=attempt)
-    return fn(task)
+    if not traced:
+        return fn(task)
+    with obs.collect() as buffered:
+        with obs.span("fanout.block", block=block, attempt=attempt):
+            value = fn(task)
+    return _TracedSlice(value=value, spans=buffered)
+
+
+def _unwrap(value: Any, round_id: "str | None") -> Any:
+    """Unpack a worker result, emitting its spans under the round."""
+    if isinstance(value, _TracedSlice):
+        obs.emit_collected(value.spans, round_id)
+        return value.value
+    return value
 
 
 def supervised_map(fn: Callable[[T], R], tasks: Sequence[T], *,
@@ -216,6 +243,10 @@ def supervised_map(fn: Callable[[T], R], tasks: Sequence[T], *,
                             if attempts[i] >= policy.attempts)
         if over_budget:
             pool_mod.kill_pool()
+            obs.record_event("fanout-exhausted", label=label,
+                             blocks=list(over_budget),
+                             attempts=policy.attempts,
+                             error=repr(last_failure))
             raise FanOutExhaustedError(
                 label=label, blocks=over_budget,
                 attempts=policy.attempts) from last_failure
@@ -223,7 +254,9 @@ def supervised_map(fn: Callable[[T], R], tasks: Sequence[T], *,
         if pool is None or len(tasks) <= 1:
             # Serial is the floor of every ladder: run the remaining
             # blocks inline (no fault wrapper — kill/hang faults model
-            # *worker* failures, and there is no worker here).
+            # *worker* failures, and there is no worker here).  No
+            # span wrapper either: the caller's spans already enclose
+            # this, and the inline path must stay byte-identical.
             for i in pending:
                 results[i] = fn(tasks[i])
             return results
@@ -231,62 +264,81 @@ def supervised_map(fn: Callable[[T], R], tasks: Sequence[T], *,
             time.sleep(min(
                 policy.backoff_s * policy.backoff_factor ** (round_no - 1),
                 _BACKOFF_CAP_S))
-        try:
-            futures = {i: pool.submit(_run_block, fn, tasks[i], i,
-                                      attempts[i])
-                       for i in pending}
-        except Exception as exc:
-            # The pool died between probe and submit (it can only have
-            # been broken from under us): count an attempt so a pool
-            # that keeps dying at submit cannot loop forever.
-            last_failure = exc
+            obs.inc("fanout.blocks_retried", len(pending))
+        obs.inc("fanout.rounds")
+        traced = obs.tracing_active()
+        with obs.span("fanout.round", label=label, round=round_no,
+                      blocks=len(pending)):
+            round_id = obs.current_span_id()
+            try:
+                futures = {i: pool.submit(_run_block, fn, tasks[i], i,
+                                          attempts[i], traced)
+                           for i in pending}
+            except Exception as exc:
+                # The pool died between probe and submit (it can only
+                # have been broken from under us): count an attempt so
+                # a pool that keeps dying at submit cannot loop forever.
+                last_failure = exc
+                for i in pending:
+                    attempts[i] += 1
+                pool_mod.kill_pool()
+                round_no += 1
+                continue
             for i in pending:
                 attempts[i] += 1
-            pool_mod.kill_pool()
-            round_no += 1
-            continue
-        for i in pending:
-            attempts[i] += 1
-        deadline = (None if policy.timeout_s is None
-                    else time.monotonic() + policy.timeout_s)
-        infrastructure_failed = False
-        for i in list(pending):
-            future = futures[i]
-            try:
-                remaining = (None if deadline is None
-                             else max(deadline - time.monotonic(), 0.0))
-                results[i] = future.result(timeout=remaining)
-                pending.remove(i)
-            except FutureTimeoutError:
-                last_failure = BlockTimeoutError(
-                    label=label, block=i,
-                    timeout_s=policy.timeout_s or 0.0)
-                infrastructure_failed = True
-                break
-            except BrokenProcessPool as exc:
-                last_failure = exc
-                infrastructure_failed = True
-                break
-            except Exception:
-                # A deterministic task error: retrying would reproduce
-                # it bit-identically, so propagate it unchanged.
-                for other in futures.values():
-                    other.cancel()
-                raise
-        if infrastructure_failed:
-            # Harvest blocks that finished cleanly before the failure
-            # was noticed — their results are results; only genuinely
-            # lost blocks pay the retry.
-            for j in list(pending):
-                future = futures[j]
-                if future.done() and not future.cancelled():
-                    try:
-                        results[j] = future.result(timeout=0)
-                        pending.remove(j)
-                    except Exception:
-                        pass  # lost with the pool; stays pending
-            pool_mod.kill_pool()
-            round_no += 1
+            obs.inc("fanout.blocks_dispatched", len(pending))
+            deadline = (None if policy.timeout_s is None
+                        else time.monotonic() + policy.timeout_s)
+            infrastructure_failed = False
+            for i in list(pending):
+                future = futures[i]
+                try:
+                    remaining = (None if deadline is None
+                                 else max(deadline - time.monotonic(), 0.0))
+                    results[i] = _unwrap(future.result(timeout=remaining),
+                                         round_id)
+                    pending.remove(i)
+                except FutureTimeoutError:
+                    last_failure = BlockTimeoutError(
+                        label=label, block=i,
+                        timeout_s=policy.timeout_s or 0.0)
+                    obs.inc("fanout.deadline_misses")
+                    obs.record_event(
+                        "fanout-failure", label=label, block=i,
+                        error=f"BlockTimeoutError: block {i} missed its "
+                              f"{policy.timeout_s or 0.0:g}s deadline")
+                    infrastructure_failed = True
+                    break
+                except BrokenProcessPool as exc:
+                    last_failure = exc
+                    obs.record_event(
+                        "fanout-failure", label=label, block=i,
+                        error=f"{type(exc).__name__}: {exc}")
+                    infrastructure_failed = True
+                    break
+                except Exception:
+                    # A deterministic task error: retrying would
+                    # reproduce it bit-identically, so propagate it
+                    # unchanged.
+                    for other in futures.values():
+                        other.cancel()
+                    raise
+            if infrastructure_failed:
+                # Harvest blocks that finished cleanly before the
+                # failure was noticed — their results are results; only
+                # genuinely lost blocks pay the retry.
+                for j in list(pending):
+                    future = futures[j]
+                    if future.done() and not future.cancelled():
+                        try:
+                            results[j] = _unwrap(
+                                future.result(timeout=0), round_id)
+                            pending.remove(j)
+                        except Exception:
+                            pass  # lost with the pool; stays pending
+                obs.inc("fanout.blocks_lost", len(pending))
+                pool_mod.kill_pool()
+                round_no += 1
     return results
 
 
@@ -338,14 +390,36 @@ def _forced_method() -> str | None:
     return None
 
 
+def _failure_history(name: str) -> str:
+    """The counted-failure history for one rung, formatted for the
+    latch warning: which errors hit which blocks, oldest first."""
+    mine = [event for event in obs.events("rung-failure")
+            if event.get("rung") == name]
+    parts = []
+    for event in mine[-LATCH_AFTER:]:
+        text = event.get("error", "unknown error")
+        blocks = event.get("blocks")
+        if blocks:
+            text += f" [block(s) {', '.join(str(b) for b in blocks)}]"
+        parts.append(text)
+    return "; ".join(parts)
+
+
 def _record_failure(name: str, label: str, exc: Exception) -> None:
     count = _FAILURE_COUNTS.get(name, 0) + 1
     _FAILURE_COUNTS[name] = count
+    obs.inc("ladder.failures")
+    obs.record_event(
+        "rung-failure", rung=name, label=label,
+        error=f"{type(exc).__name__}: {exc}",
+        blocks=list(getattr(exc, "blocks", ()) or ()))
     if count >= LATCH_AFTER and name not in _LATCHED:
         _LATCHED.add(name)
+        obs.inc("ladder.latches")
+        history = _failure_history(name) or f"{label}: {exc}"
         warnings.warn(
             f"parallel rung {name!r} failed {count} time(s) "
-            f"(last: {label}: {exc}); latching it off for this process — "
+            f"(history: {history}); latching it off for this process — "
             "evaluation continues on slower-but-correct rungs "
             f"(override with {FORCE_METHOD_ENV}, or call "
             "repro.parallel.resilience.reset_ladder_state())",
@@ -377,7 +451,8 @@ def run_ladder(rungs: Sequence[tuple[str, Callable[[], Any]]], *,
     if forced is not None and any(name == forced for name, _ in rungs):
         rungs = [(name, thunk) for name, thunk in rungs if name == forced]
         name, thunk = rungs[0]
-        result = thunk()
+        with obs.span("fanout.rung", rung=name, label=label, forced=True):
+            result = thunk()
         if result is None:
             raise LadderExhaustedError(label=label, rungs=(name,))
         return result
@@ -390,7 +465,8 @@ def run_ladder(rungs: Sequence[tuple[str, Callable[[], Any]]], *,
             continue
         tried.append(name)
         try:
-            result = thunk()
+            with obs.span("fanout.rung", rung=name, label=label):
+                result = thunk()
         except _RUNG_FAILURES_CAUGHT as exc:
             if is_last:
                 raise
@@ -401,5 +477,6 @@ def run_ladder(rungs: Sequence[tuple[str, Callable[[], Any]]], *,
             if name in _FAILURE_COUNTS:
                 _FAILURE_COUNTS[name] = 0
             return result
+        obs.inc("ladder.declines")
     raise LadderExhaustedError(label=label,
                                rungs=tuple(tried)) from last_exc

@@ -56,6 +56,7 @@ from multiprocessing import shared_memory
 
 import numpy as np
 
+from repro import obs
 from repro.envflags import env_flag
 from repro.parallel import faults
 
@@ -181,6 +182,8 @@ class SharedArrayPack:
         _write_registry()
         handle = PackHandle(segment=segment.name, specs=tuple(specs),
                             nbytes=max(offset, 1), readonly=readonly)
+        obs.inc("shm.segments_created")
+        obs.inc("shm.bytes_placed", max(offset, 1))
         pack = cls(segment, handle)
         try:
             for spec, arr in zip(specs, sources):
@@ -260,6 +263,7 @@ def attach(handle: PackHandle) -> dict[str, np.ndarray]:
     entry = _ATTACHED.get(handle.segment)
     if entry is None:
         segment = _attach_untracked(handle.segment)
+        obs.inc("shm.attaches")
         entry = (segment, handle.specs, handle.readonly)
         _ATTACHED[handle.segment] = entry
         while len(_ATTACHED) > _ATTACH_MAX:
@@ -526,4 +530,6 @@ def sweep_orphaned_segments(
             path.unlink(missing_ok=True)
         except OSError:
             pass
+    if removed:
+        obs.inc("shm.orphans_swept", len(removed))
     return tuple(removed)

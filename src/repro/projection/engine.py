@@ -61,7 +61,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro import units
+from repro import obs, units
 from repro.analysis.series import CarbonSeries
 from repro.core.embodied import EmbodiedModel
 from repro.core.operational import OperationalModel
@@ -716,13 +716,19 @@ def project_sweep(records: Sequence[SystemRecord],
     records = list(records)
     if frame is None:
         frame = fleet_frame(records)
-    base_specs = tuple(_strip_temporal(spec) for spec in specs)
-    base = sweep(records, base_specs,
-                 operational_model=operational_model,
-                 embodied_model=embodied_model,
-                 frame=frame, parallel=parallel, max_workers=max_workers)
-    op_f, emb_f, refresh_rows, respend = _factor_tables(
-        specs, years, by, default_op, default_emb, frame.install_year)
+    with obs.span("project.sweep", n_scenarios=len(specs),
+                  n_years=len(years), n_systems=frame.n):
+        base_specs = tuple(_strip_temporal(spec) for spec in specs)
+        base = sweep(records, base_specs,
+                     operational_model=operational_model,
+                     embodied_model=embodied_model,
+                     frame=frame, parallel=parallel,
+                     max_workers=max_workers)
+        with obs.span("project.factors", n_scenarios=len(specs),
+                      n_years=len(years)):
+            op_f, emb_f, refresh_rows, respend = _factor_tables(
+                specs, years, by, default_op, default_emb,
+                frame.install_year)
     return ProjectionCube(base=base, base_year=by, years=years,
                           op_year_factors=op_f, emb_year_factors=emb_f,
                           refresh_rows=refresh_rows, emb_respend=respend)

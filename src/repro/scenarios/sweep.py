@@ -35,7 +35,7 @@ from collections.abc import Iterable, Sequence
 
 import numpy as np
 
-from repro import units
+from repro import obs, units
 from repro.core import operational as op_mod
 from repro.core import vectorized as vz
 from repro.core.embodied import EmbodiedModel
@@ -100,21 +100,23 @@ def sweep(records: Sequence[SystemRecord],
         raise ValueError(f"unknown parallel mode {parallel!r}; expected "
                          "None, 'serial' or 'scenario-block'")
 
-    if parallel == "scenario-block":
-        from repro.parallel import resilience
-        # The supervised ladder: the shm rung declines (None) when the
-        # substrate is unavailable and *fails* on crashes that survive
-        # the dispatcher's retries — either way the serial 2-D kernel
-        # finishes the sweep with bit-identical rows.
-        return resilience.run_ladder(
-            (("shm", lambda: _sweep_scenario_block(
-                frame, specs, base_op, base_emb,
-                max_workers=max_workers)),
-             ("serial", lambda: _sweep_serial(
-                 frame, specs, base_op, base_emb))),
-            label="scenario-sweep")
+    with obs.span("sweep.kernel", n_scenarios=len(specs),
+                  n_systems=frame.n, parallel=parallel or "serial"):
+        if parallel == "scenario-block":
+            from repro.parallel import resilience
+            # The supervised ladder: the shm rung declines (None) when
+            # the substrate is unavailable and *fails* on crashes that
+            # survive the dispatcher's retries — either way the serial
+            # 2-D kernel finishes the sweep with bit-identical rows.
+            return resilience.run_ladder(
+                (("shm", lambda: _sweep_scenario_block(
+                    frame, specs, base_op, base_emb,
+                    max_workers=max_workers)),
+                 ("serial", lambda: _sweep_serial(
+                     frame, specs, base_op, base_emb))),
+                label="scenario-sweep")
 
-    return _sweep_serial(frame, specs, base_op, base_emb)
+        return _sweep_serial(frame, specs, base_op, base_emb)
 
 
 def _sweep_serial(frame: FleetFrame, specs: tuple[ScenarioSpec, ...],
@@ -123,8 +125,12 @@ def _sweep_serial(frame: FleetFrame, specs: tuple[ScenarioSpec, ...],
     """The in-process 2-D kernel — the ladder's always-available floor."""
     op_models = tuple(spec.operational_model(base_op) for spec in specs)
     emb_models = tuple(spec.embodied_model(base_emb) for spec in specs)
-    op_values, op_unc = _operational_sweep(frame, op_models)
-    emb_values, emb_unc = _embodied_sweep(frame, emb_models)
+    with obs.span("sweep.operational", n_scenarios=len(specs),
+                  n_systems=frame.n):
+        op_values, op_unc = _operational_sweep(frame, op_models)
+    with obs.span("sweep.embodied", n_scenarios=len(specs),
+                  n_systems=frame.n):
+        emb_values, emb_unc = _embodied_sweep(frame, emb_models)
     return ScenarioCube(
         specs=specs,
         ranks=tuple(int(r) for r in frame.ranks),
@@ -159,19 +165,21 @@ def _scenario_block_worker(task: tuple) -> None:
      fallback) = task
     from repro.parallel import shm as shm_mod
 
-    frame = shm_mod.attach_frame(
-        handle, records=vz.SparseRecords(handle.n, dict(fallback)))
-    op_models = tuple(spec.operational_model(base_op)
-                      for spec in block_specs)
-    emb_models = tuple(spec.embodied_model(base_emb)
-                       for spec in block_specs)
-    op_values, op_unc = _operational_sweep(frame, op_models)
-    emb_values, emb_unc = _embodied_sweep(frame, emb_models)
-    out = shm_mod.attach(out_handle)
-    out["op_mt"][s0:s1] = op_values
-    out["op_unc"][s0:s1] = op_unc
-    out["emb_mt"][s0:s1] = emb_values
-    out["emb_unc"][s0:s1] = emb_unc
+    with obs.span("sweep.scenario_block", s0=s0, s1=s1,
+                  n_systems=handle.n):
+        frame = shm_mod.attach_frame(
+            handle, records=vz.SparseRecords(handle.n, dict(fallback)))
+        op_models = tuple(spec.operational_model(base_op)
+                          for spec in block_specs)
+        emb_models = tuple(spec.embodied_model(base_emb)
+                           for spec in block_specs)
+        op_values, op_unc = _operational_sweep(frame, op_models)
+        emb_values, emb_unc = _embodied_sweep(frame, emb_models)
+        out = shm_mod.attach(out_handle)
+        out["op_mt"][s0:s1] = op_values
+        out["op_unc"][s0:s1] = op_unc
+        out["emb_mt"][s0:s1] = emb_values
+        out["emb_unc"][s0:s1] = emb_unc
 
 
 def _sweep_scenario_block(frame: FleetFrame,
@@ -272,8 +280,11 @@ def _dedupe(models, key_fn, resolve_fn):
         key = key_fn(model)
         r = seen.get(key)
         if r is None:
+            obs.inc("cache.lowering_misses")
             r = seen[key] = len(resolved)
             resolved.append(resolve_fn(model))
+        else:
+            obs.inc("cache.lowering_hits")
         index_map[s] = r
     return resolved, index_map
 
@@ -296,6 +307,7 @@ def _operational_sweep(frame: FleetFrame,
                        models: Sequence[OperationalModel],
                        ) -> tuple[np.ndarray, np.ndarray]:
     n_scen, n = len(models), frame.n
+    obs.inc("kernel.cells", n_scen * n)
     values = np.full((n_scen, n), np.nan)
     unc = np.full((n_scen, n), np.nan)
 
@@ -412,6 +424,7 @@ def _operational_sweep(frame: FleetFrame,
 def _embodied_sweep(frame: FleetFrame, models: Sequence[EmbodiedModel],
                     ) -> tuple[np.ndarray, np.ndarray]:
     n = frame.n
+    obs.inc("kernel.cells", len(models) * n)
     has_gpu = frame.gpu_code >= 0
 
     def resolve_row(model: EmbodiedModel) -> tuple[np.ndarray, np.ndarray]:

@@ -55,6 +55,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.core.uncertainty import (
     DEFAULT_MC_SAMPLES,
     DEFAULT_MC_SEED,
@@ -200,8 +201,10 @@ def _draw_stream(n_samples: int, k_max: int, seed: int) -> np.ndarray:
     ``(m, k)``-shaped call on a fresh generator would produce — the
     prefix property every cell's bit-identity rests on.
     """
-    rng = np.random.default_rng(seed)
-    return rng.standard_normal(n_samples * k_max)
+    obs.inc("mc.draws", n_samples * k_max)
+    with obs.span("mc.draw", n_samples=n_samples, k_max=k_max):
+        rng = np.random.default_rng(seed)
+        return rng.standard_normal(n_samples * k_max)
 
 
 #: Sample rows per evaluation block: each ``(block, k)`` draws slab
@@ -301,15 +304,17 @@ def _stats_for_block(values2d: np.ndarray, unc2d: np.ndarray,
     z = _draw_stream(n_samples, int(counts.max()), seed)
     covered = ~np.isnan(values2d)
     stats = out if out is not None else np.empty((values2d.shape[0], 5))
-    for c in range(values2d.shape[0]):
-        totals = _cell_totals(values2d[c], unc2d[c], covered[c], z,
-                              n_samples)
-        p5, p50, p95 = np.percentile(totals, [5.0, 50.0, 95.0])
-        stats[c, 0] = totals.mean()
-        stats[c, 1] = totals.std()
-        stats[c, 2] = p5
-        stats[c, 3] = p50
-        stats[c, 4] = p95
+    with obs.span("mc.stats", n_cells=int(values2d.shape[0]),
+                  n_samples=n_samples):
+        for c in range(values2d.shape[0]):
+            totals = _cell_totals(values2d[c], unc2d[c], covered[c], z,
+                                  n_samples)
+            p5, p50, p95 = np.percentile(totals, [5.0, 50.0, 95.0])
+            stats[c, 0] = totals.mean()
+            stats[c, 1] = totals.std()
+            stats[c, 2] = p5
+            stats[c, 3] = p50
+            stats[c, 4] = p95
     return stats
 
 
@@ -494,20 +499,22 @@ def mc_band_stack(values, unc, *, n_samples: int = DEFAULT_MC_SAMPLES,
     values2d, unc2d, cell_shape = _validate_stack(values, unc, n_samples)
     counts = _cell_counts(values2d)
 
-    if method == "shm" or (
-            method == "auto"
-            and float(counts.sum()) * n_samples >= _shm_min_draws()):
-        from repro.parallel import resilience
-        stats = resilience.run_ladder(
-            (("shm", lambda: _stats_shm(values2d, unc2d, n_samples, seed,
-                                        max_workers)),
-             ("serial", lambda: _stats_for_block(values2d, unc2d,
-                                                 n_samples, seed,
-                                                 counts=counts))),
-            label="mc-bands")
-    else:
-        stats = _stats_for_block(values2d, unc2d, n_samples, seed,
-                                 counts=counts)
+    with obs.span("mc.band_stack", n_cells=int(values2d.shape[0]),
+                  n_samples=n_samples, method=method):
+        if method == "shm" or (
+                method == "auto"
+                and float(counts.sum()) * n_samples >= _shm_min_draws()):
+            from repro.parallel import resilience
+            stats = resilience.run_ladder(
+                (("shm", lambda: _stats_shm(values2d, unc2d, n_samples,
+                                            seed, max_workers)),
+                 ("serial", lambda: _stats_for_block(values2d, unc2d,
+                                                     n_samples, seed,
+                                                     counts=counts))),
+                label="mc-bands")
+        else:
+            stats = _stats_for_block(values2d, unc2d, n_samples, seed,
+                                     counts=counts)
 
     return BandStack(
         mean_mt=stats[:, 0].reshape(cell_shape),

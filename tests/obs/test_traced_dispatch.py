@@ -1,0 +1,134 @@
+"""Traced fan-out dispatch, driven in-process through a fake pool.
+
+The real chaos suite (``tests/parallel/test_faults.py``) exercises
+span shipping through genuine worker processes where a pool can spawn;
+this file drives the same ``_run_block`` → ``_TracedSlice`` →
+``_unwrap`` → ``emit_collected`` machinery with an in-process pool so
+the cross-process span tree and the dispatcher counters are covered on
+every host (including CI runners that cannot fork workers).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future
+
+import pytest
+
+from repro import obs
+from repro.obs import tracing
+from repro.parallel import pool as pool_mod
+from repro.parallel import resilience
+from repro.parallel.resilience import supervised_map
+
+
+class _ExecutingPool:
+    """A fake pool that runs the submitted wrapper synchronously —
+    ``fn`` here IS ``_run_block``, so the worker-side tracing path
+    (collect buffer, fanout.block span, _TracedSlice) really executes."""
+
+    def submit(self, fn, inner_fn, task, block, attempt, traced=False):
+        future: Future = Future()
+        try:
+            future.set_result(fn(inner_fn, task, block, attempt, traced))
+        except BaseException as exc:  # pragma: no cover - defensive
+            future.set_exception(exc)
+        return future
+
+
+@pytest.fixture(autouse=True)
+def _fake_pool(monkeypatch):
+    monkeypatch.delenv(tracing.TRACE_ENV, raising=False)
+    monkeypatch.setattr(pool_mod, "get_pool", lambda *_: _ExecutingPool())
+    monkeypatch.setattr(pool_mod, "kill_pool", lambda: None)
+
+
+def _work(task):
+    with obs.span("test.work", task=task):
+        return task * 2
+
+
+def test_untraced_dispatch_ships_plain_values():
+    # No sink active: workers return bare values, no _TracedSlice
+    # wrapping, no span machinery on either side.
+    assert supervised_map(_work, [1, 2, 3]) == [2, 4, 6]
+
+
+def test_traced_dispatch_ships_spans_home():
+    with obs.capture() as trace:
+        assert supervised_map(_work, [1, 2, 3], label="probe") == [2, 4, 6]
+    rounds = trace.by_name("fanout.round")
+    blocks = trace.by_name("fanout.block")
+    work = trace.by_name("test.work")
+    assert len(rounds) == 1
+    assert len(blocks) == 3
+    assert len(work) == 3
+    # One connected tree: block spans hang under the round, the task's
+    # own spans under their block.
+    round_id = rounds[0]["span_id"]
+    assert all(b["parent_id"] == round_id for b in blocks)
+    block_ids = {b["span_id"] for b in blocks}
+    assert all(w["parent_id"] in block_ids for w in work)
+    # Attributes identify the work.
+    assert sorted(b["attrs"]["block"] for b in blocks) == [0, 1, 2]
+    assert rounds[0]["attrs"] == {"label": "probe", "round": 0, "blocks": 3}
+
+
+def test_traced_results_identical_to_untraced():
+    plain = supervised_map(_work, list(range(8)))
+    with obs.capture():
+        traced = supervised_map(_work, list(range(8)))
+    assert traced == plain
+
+
+def test_dispatch_counters_advance():
+    dispatched0 = obs.get_counter("fanout.blocks_dispatched")
+    rounds0 = obs.get_counter("fanout.rounds")
+    supervised_map(_work, [1, 2, 3, 4])
+    assert obs.get_counter("fanout.blocks_dispatched") == dispatched0 + 4
+    assert obs.get_counter("fanout.rounds") == rounds0 + 1
+
+
+def test_every_traced_record_validates():
+    with obs.capture() as trace:
+        supervised_map(_work, [5, 6])
+    assert trace.records
+    for record in trace.records:
+        assert obs.validate_record(record) == []
+
+
+def test_serial_fallback_stays_span_free(monkeypatch):
+    # No pool → the inline floor: results identical, and no dispatcher
+    # spans appear (the inline path must stay byte-identical to a bare
+    # loop, observed only by the caller's own enclosing spans).
+    monkeypatch.setattr(pool_mod, "get_pool", lambda *_: None)
+    with obs.capture() as trace:
+        assert supervised_map(_work, [1, 2, 3]) == [2, 4, 6]
+    assert trace.by_name("fanout.round") == []
+    assert trace.by_name("fanout.block") == []
+    assert len(trace.by_name("test.work")) == 3
+
+
+def test_rung_failure_history_in_degraded_warning(monkeypatch):
+    """Satellite 3: the latch warning quotes the counted failures."""
+    resilience.reset_ladder_state()
+
+    def bad_rung():
+        exc = resilience.FanOutExhaustedError(
+            label="probe", blocks=(0, 2), attempts=3)
+        raise exc
+
+    def serial_rung():
+        return "ok"
+
+    name = "test-history-rung"
+    with pytest.warns(resilience.DegradedFanOutWarning) as caught:
+        for _ in range(resilience.LATCH_AFTER):
+            result = resilience.run_ladder(
+                [(name, bad_rung), ("serial", serial_rung)], label="probe")
+            assert result == "ok"
+    message = str(caught[-1].message)
+    assert "latching" in message
+    assert "history:" in message
+    assert "FanOutExhaustedError" in message
+    assert "block(s) 0, 2" in message
+    resilience.reset_ladder_state()

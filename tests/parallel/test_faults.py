@@ -352,6 +352,76 @@ class TestAmbientSpec:
         _assert_drained()
 
 
+class TestChaosTracing:
+    """Tracing observes faults without changing them.
+
+    Two contracts from ``docs/observability.md``: a traced chaos run
+    stays bit-identical to the untraced serial reference under the
+    ambient ``REPRO_FAULT_SPEC`` (CI's fault-injection matrix drives
+    all five specs through here), and the trace records every dispatch
+    round — retries included — so a post-mortem shows exactly how a
+    degraded fan-out recovered.
+    """
+
+    def test_traced_chaos_bit_identical_under_ambient_spec(
+            self, study, monkeypatch, tmp_path):
+        records = list(study.public_records)
+        grid = scenarios.ScenarioGrid.cartesian(
+            scenarios.aci_scale_axis((1.0, 0.9, 0.8, 0.7)),
+            scenarios.pue_axis((1.0, 1.15)),
+        )
+        serial = sweep(records, grid)        # untraced serial reference
+        if _AMBIENT_SPEC:
+            if not _pool_ready():
+                pytest.skip("cannot spawn worker processes")
+            _inject(monkeypatch, _AMBIENT_SPEC)
+        monkeypatch.setenv(resilience.TIMEOUT_ENV, "2")
+        from repro import obs
+        trace_path = tmp_path / "trace.jsonl"
+        monkeypatch.setenv(obs.TRACE_ENV, str(trace_path))
+        with obs.capture() as trace:
+            traced = sweep(records, grid, parallel="scenario-block",
+                           max_workers=WORKERS)
+        _assert_cubes_identical(serial, traced)
+        assert (serial.operational_mt.tobytes()
+                == traced.operational_mt.tobytes())
+        assert (serial.embodied_mt.tobytes()
+                == traced.embodied_mt.tobytes())
+        # Every record — captured and in the JSONL file — validates.
+        assert trace.by_name("sweep.kernel")
+        for record in trace.records:
+            assert obs.validate_record(record) == [], record
+        for line in trace_path.read_text(encoding="utf-8").splitlines():
+            assert obs.validate_record(json.loads(line)) == [], line
+        _assert_drained()
+
+    def test_trace_records_every_retry_round(self, study, monkeypatch):
+        if not _pool_ready():
+            pytest.skip("cannot spawn worker processes")
+        from repro import obs
+        records = list(study.public_records)
+        grid = _grid64()
+        serial = sweep(records, grid)
+        _inject(monkeypatch, "kill@block=0")
+        retried0 = obs.get_counter("fanout.blocks_retried")
+        with obs.capture() as trace:
+            chaos = sweep(records, grid, parallel="scenario-block",
+                          max_workers=WORKERS)
+        _assert_cubes_identical(serial, chaos)
+        rounds = [r for r in trace.by_name("fanout.round")
+                  if r["attrs"].get("label") == "scenario-sweep"]
+        assert len(rounds) >= 2          # the kill cost a retry round
+        round_nos = sorted(r["attrs"]["round"] for r in rounds)
+        assert round_nos == list(range(len(rounds)))
+        # Worker block spans came home re-parented under their round.
+        blocks = trace.by_name("fanout.block")
+        assert blocks
+        round_ids = {r["span_id"] for r in rounds}
+        assert all(b["parent_id"] in round_ids for b in blocks)
+        assert obs.get_counter("fanout.blocks_retried") > retried0
+        _assert_drained()
+
+
 # ---------------------------------------------------------------------------
 # The shm janitor, end-to-end
 # ---------------------------------------------------------------------------

@@ -115,7 +115,7 @@ class _ScriptedPool:
         self.round_no += 1
         self.submitted.append([])
 
-    def submit(self, fn, inner_fn, task, block, attempt):
+    def submit(self, fn, inner_fn, task, block, attempt, traced=False):
         self.submitted[-1].append(block)
         return self.rounds[self.round_no](task, block)
 
