@@ -1,0 +1,177 @@
+"""Serving benchmark: warm-vs-cold latency and coalesced throughput.
+
+Not a paper figure — the engineering baseline for the ``repro serve``
+daemon.  Two claims are measured and recorded in
+``results/BENCH_serve.json`` (and gated by
+``check_throughput_regression.py --serve-baseline``):
+
+* **warm vs cold**: a repeated request is served from the
+  checksum-validated result cache, so its latency is HTTP + cache
+  lookup, not a kernel run.  The gated metric is the ratio
+  ``warm_vs_cold_speedup`` (machine-normalized: both sides measured in
+  one process on one machine).
+* **coalescing**: N concurrent same-fleet requests batch into shared
+  kernel calls; the gated ``coalesced.speedup_vs_serial`` compares the
+  wall clock of N concurrent requests against the same N issued
+  back-to-back, and the recorded p50/p95 per-request latencies track
+  the tail cost of riding in a batch.
+
+Correctness rides along: every coalesced response is asserted
+byte-identical to the response the serial run produced for the same
+body — the bit-identity contract, measured at the HTTP layer.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import json
+import statistics
+import time
+import urllib.request
+
+from repro.serve import AssessmentServer, ServeConfig
+
+FLEET = "eurohpc-like"
+
+#: The cold/warm probe: band statistics are the most expensive request
+#: kind, so the cache-hit ratio is measured against real kernel work.
+_BANDS_BODY = {"fleet": FLEET, "grid": "acceptance",
+               "n_samples": 2000, "seed": 17}
+
+#: Eight distinct sweep questions over one fleet — what a dashboard
+#: fan-in looks like, and the coalescing window's natural prey.
+_SWEEP_BODIES = [
+    {"fleet": FLEET, "axes": {"pue": [round(1.0 + 0.05 * i, 2),
+                                      round(1.1 + 0.05 * i, 2)],
+                              "utilization": [0.5, 0.8]}}
+    for i in range(8)
+]
+
+
+def _post(port, path, body):
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}",
+        data=json.dumps(body).encode("utf-8"), method="POST")
+    started = time.perf_counter()
+    with urllib.request.urlopen(request, timeout=120) as response:
+        payload = response.read()
+        return (response.status, response.headers.get("X-Repro-Cache"),
+                payload, time.perf_counter() - started)
+
+
+def _with_server(scenario, **config_kwargs):
+    """Boot a fresh daemon, run ``scenario(server, post)``, tear down."""
+
+    async def runner():
+        server = AssessmentServer(ServeConfig(port=0, **config_kwargs))
+        await server.start()
+        loop = asyncio.get_running_loop()
+        # Dedicated client threads: the batcher runs kernels on the
+        # loop's default executor, which concurrent blocking posts
+        # would otherwise starve.
+        clients = concurrent.futures.ThreadPoolExecutor(
+            max_workers=len(_SWEEP_BODIES))
+
+        def post(body, path="/v1/sweep"):
+            return loop.run_in_executor(clients, _post,
+                                        server.port, path, body)
+
+        try:
+            return await scenario(server, post)
+        finally:
+            await server.stop()
+            clients.shutdown(wait=False)
+
+    return asyncio.run(runner())
+
+
+def _percentiles(samples):
+    ordered = sorted(samples)
+    return {
+        "p50": statistics.median(ordered) * 1e3,
+        "p95": ordered[min(len(ordered) - 1,
+                           round(0.95 * (len(ordered) - 1)))] * 1e3,
+    }
+
+
+def _measure_warm_vs_cold():
+    async def scenario(server, post):
+        status, cache, _, cold_s = await post(_BANDS_BODY, "/v1/bands")
+        assert status == 200 and cache == "miss"
+        warm = []
+        for _ in range(15):
+            status, cache, _, elapsed = await post(_BANDS_BODY, "/v1/bands")
+            assert status == 200 and cache == "hit"
+            warm.append(elapsed)
+        return cold_s, warm
+
+    return _with_server(scenario)
+
+
+def _measure_requests(concurrent: bool):
+    """Wall clock + per-request latencies + payloads for the 8 sweeps."""
+
+    async def scenario(server, post):
+        started = time.perf_counter()
+        if concurrent:
+            results = await asyncio.gather(
+                *(post(body) for body in _SWEEP_BODIES))
+        else:
+            results = [await post(body) for body in _SWEEP_BODIES]
+        wall_s = time.perf_counter() - started
+        assert all(status == 200 and cache == "miss"
+                   for status, cache, _, _ in results)
+        payloads = [payload for _, _, payload, _ in results]
+        latencies = [elapsed for _, _, _, elapsed in results]
+        return wall_s, latencies, payloads
+
+    return _with_server(scenario)
+
+
+def test_serve_warm_cold_and_coalescing(results_dir):
+    cold_s, warm_samples = _measure_warm_vs_cold()
+    warm = _percentiles(warm_samples)
+    warm_vs_cold = cold_s * 1e3 / warm["p50"]
+    # A cache hit must beat re-running the band kernel.
+    assert warm_vs_cold > 1.0, (cold_s, warm)
+
+    best = None
+    for _ in range(3):
+        run = _measure_requests(concurrent=True)
+        if best is None or run[0] < best[0]:
+            best = run
+    coalesced_wall_s, latencies, coalesced_payloads = best
+
+    serial_best = None
+    for _ in range(3):
+        run = _measure_requests(concurrent=False)
+        if serial_best is None or run[0] < serial_best[0]:
+            serial_best = run
+    serial_wall_s, _, serial_payloads = serial_best
+
+    # The contract the speedup is allowed to exist under: coalesced
+    # bytes == serial bytes, request for request.
+    assert coalesced_payloads == serial_payloads
+
+    baseline = {
+        "benchmark": "bench_serve",
+        "fleet": FLEET,
+        "cold_ms": cold_s * 1e3,
+        "warm_hit_ms": warm,
+        "warm_vs_cold_speedup": warm_vs_cold,
+        "coalesced": {
+            "n_requests": len(_SWEEP_BODIES),
+            "wall_ms": coalesced_wall_s * 1e3,
+            "latency_ms": _percentiles(latencies),
+            "throughput_rps": len(_SWEEP_BODIES) / coalesced_wall_s,
+            "serial_wall_ms": serial_wall_s * 1e3,
+            "speedup_vs_serial": serial_wall_s / coalesced_wall_s,
+        },
+    }
+    path = results_dir / "BENCH_serve.json"
+    path.write_text(json.dumps(baseline, indent=2) + "\n", encoding="utf-8")
+    print(f"\nserve: cold {baseline['cold_ms']:.1f}ms, warm p50 "
+          f"{warm['p50']:.2f}ms ({warm_vs_cold:.0f}x), coalesced "
+          f"{baseline['coalesced']['throughput_rps']:.0f} req/s "
+          f"({baseline['coalesced']['speedup_vs_serial']:.2f}x vs serial)")

@@ -38,13 +38,26 @@ smoke-testable fleet size, recorded as ``gate_n``):
 Scaling checks are skipped (reported, not failed) when the measuring
 runner had no shared memory or could not spawn processes.
 
+With ``--serve-baseline``/``--serve-current`` the gate also reads
+``BENCH_serve.json`` (the ``repro serve`` daemon benchmark) and checks
+two more machine-normalized ratios against the committed values, at
+``--serve-max-regression`` tolerance (default 50 % — both ratios mix
+HTTP overhead with kernel time, so cross-machine variance is wide):
+
+* ``warm_vs_cold_speedup`` — a cached response against the cold
+  kernel run that produced it;
+* ``coalesced.speedup_vs_serial`` — N concurrent coalesced requests
+  against the same N issued back-to-back.
+
 Usage::
 
     python benchmarks/check_throughput_regression.py \
         baseline.json results/BENCH_throughput.json \
         [--max-regression 0.20] \
         [--scaling-baseline scaling_baseline.json \
-         --scaling-current results/BENCH_scaling.json]
+         --scaling-current results/BENCH_scaling.json] \
+        [--serve-baseline serve_baseline.json \
+         --serve-current results/BENCH_serve.json]
 """
 
 from __future__ import annotations
@@ -69,6 +82,34 @@ METRICS = (
     "projection_sweep.speedup_vs_per_year_loop",
     "mc_bands.speedup_vs_band_loop",
 )
+
+SERVE_METRICS = (
+    "warm_vs_cold_speedup",
+    "coalesced.speedup_vs_serial",
+)
+
+
+def _check_ratios(baseline: dict, current: dict, metrics: tuple[str, ...],
+                  max_regression: float, prefix: str,
+                  failures: list[str]) -> None:
+    for name in metrics:
+        base = _metric(baseline, name)
+        new = _metric(current, name)
+        label = f"{prefix}{name}"
+        if base is None:
+            print(f"  {label}: no committed baseline (current: {new}) — skip")
+            continue
+        if new is None:
+            failures.append(f"{label}: missing from current measurement")
+            continue
+        floor = base * (1.0 - max_regression)
+        status = "OK" if new >= floor else "REGRESSION"
+        print(f"  {label}: baseline {base:.2f} -> current {new:.2f} "
+              f"(floor {floor:.2f}) {status}")
+        if new < floor:
+            failures.append(
+                f"{label} regressed >{max_regression:.0%}: "
+                f"{base:.2f} -> {new:.2f}")
 
 
 def _curve_point(data: dict, n: int) -> dict | None:
@@ -142,6 +183,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--scaling-max-regression", type=float, default=0.50,
                         help="tolerated fractional drop for scaling "
                              "speedups (default 0.50)")
+    parser.add_argument("--serve-baseline",
+                        help="committed BENCH_serve.json")
+    parser.add_argument("--serve-current",
+                        help="freshly measured BENCH_serve.json")
+    parser.add_argument("--serve-max-regression", type=float, default=0.50,
+                        help="tolerated fractional drop for serve "
+                             "speedups (default 0.50)")
     args = parser.parse_args(argv)
 
     with open(args.baseline, encoding="utf-8") as fh:
@@ -150,23 +198,18 @@ def main(argv: list[str] | None = None) -> int:
         current = json.load(fh)
 
     failures = []
-    for name in METRICS:
-        base = _metric(baseline, name)
-        new = _metric(current, name)
-        if base is None:
-            print(f"  {name}: no committed baseline (current: {new}) — skip")
-            continue
-        if new is None:
-            failures.append(f"{name}: missing from current measurement")
-            continue
-        floor = base * (1.0 - args.max_regression)
-        status = "OK" if new >= floor else "REGRESSION"
-        print(f"  {name}: baseline {base:.2f} -> current {new:.2f} "
-              f"(floor {floor:.2f}) {status}")
-        if new < floor:
-            failures.append(
-                f"{name} regressed >{args.max_regression:.0%}: "
-                f"{base:.2f} -> {new:.2f}")
+    _check_ratios(baseline, current, METRICS, args.max_regression,
+                  "", failures)
+
+    if args.serve_current:
+        serve_baseline = {}
+        if args.serve_baseline:
+            with open(args.serve_baseline, encoding="utf-8") as fh:
+                serve_baseline = json.load(fh)
+        with open(args.serve_current, encoding="utf-8") as fh:
+            serve_current = json.load(fh)
+        _check_ratios(serve_baseline, serve_current, SERVE_METRICS,
+                      args.serve_max_regression, "serve.", failures)
 
     if args.scaling_current:
         scaling_baseline = {}

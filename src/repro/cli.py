@@ -19,7 +19,11 @@ Commands:
 * ``doctor``    — parallel-substrate health check: reports pool/shm
   availability, degradation-ladder state, and the process-lifetime
   activity counters, and sweeps shared-memory segments orphaned by
-  crashed runs.
+  crashed runs; ``--json`` emits the stable machine schema the
+  daemon's ``/readyz`` embeds.
+* ``serve``     — the warm assessment daemon: coalescing HTTP service
+  over the same kernels, with deadlines, backpressure, a circuit
+  breaker, result caching, and graceful drain (``docs/serving.md``).
 * ``profile``   — run any other subcommand under the span tracer and
   print the per-stage self/cumulative time table
   (``repro profile -- scenarios --grid acceptance``); ``scenarios``
@@ -200,6 +204,33 @@ def build_parser() -> argparse.ArgumentParser:
                         help="segment-registry directory to sweep "
                              "(default: the live registry location, "
                              "REPRO_SHM_REGISTRY_DIR or /dev/shm)")
+    doctor.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit the stable machine-readable report "
+                             "(the same schema /readyz embeds) instead "
+                             "of the human table")
+
+    srv = sub.add_parser(
+        "serve",
+        help="run the warm assessment daemon (HTTP: /v1/assess, "
+             "/v1/sweep, /v1/bands, /healthz, /readyz, /metrics)")
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=8321,
+                     help="listen port (0 = ephemeral; default 8321)")
+    srv.add_argument("--queue-depth", type=int, default=64,
+                     help="admission bound before shed-oldest (default 64)")
+    srv.add_argument("--batch-max", type=int, default=16,
+                     help="max requests coalesced per batch (default 16)")
+    srv.add_argument("--default-deadline-s", type=float, default=30.0,
+                     help="per-request deadline when the body names none "
+                          "(default 30)")
+    srv.add_argument("--max-deadline-s", type=float, default=300.0,
+                     help="largest accepted per-request deadline "
+                          "(default 300)")
+    srv.add_argument("--cache-entries", type=int, default=256,
+                     help="result-cache capacity (LRU; default 256)")
+    srv.add_argument("--janitor-interval-s", type=float, default=30.0,
+                     help="seconds between orphaned-segment sweeps "
+                          "(default 30)")
 
     profile = sub.add_parser(
         "profile",
@@ -479,49 +510,40 @@ def cmd_doctor(args: argparse.Namespace) -> int:
     plan) and unlinks any shared-memory segment whose owner process is
     dead — the recovery tool for hosts where a previous run was
     SIGKILLed before its ``atexit`` cleanup could run.
+
+    Both renderings come from the same
+    :func:`repro.serve.health.doctor_report` dict the daemon's
+    ``/readyz`` embeds — ``--json`` emits it verbatim (stable schema),
+    the default prints the human table.
     """
-    from repro.parallel import faults as faults_mod
-    from repro.parallel import pool as pool_mod
-    from repro.parallel import resilience
-    from repro.parallel import shm as shm_mod
+    import json as json_mod
 
-    lines = ["repro doctor — parallel substrate", ""]
-    lines.append(f"  process pool : "
-                 f"{'available' if pool_mod.pool_available(None) else 'unavailable'}"
-                 f"{' (disabled by env)' if pool_mod.processes_disabled() else ''}")
-    lines.append(f"  shared memory: "
-                 f"{'available' if shm_mod.shm_available() else 'unavailable'}")
-    lines.append(f"  registry dir : {shm_mod.registry_path().parent}")
-    lines.append(f"  live segments: {len(shm_mod.live_owned_segments())} "
-                 f"owned by this process")
-    latched = resilience.latched_rungs()
-    lines.append(f"  ladder state : "
-                 f"{('latched: ' + ', '.join(sorted(latched))) if latched else 'clean'}")
-    plan = faults_mod.active_plan()
-    plan_desc = f"{len(plan.rules)} rule(s) active" if plan.rules else "none"
-    lines.append(f"  fault plan   : {plan_desc}")
-    swept = shm_mod.sweep_orphaned_segments(registry_dir=args.registry_dir)
-    if swept:
-        lines.append(f"  janitor      : unlinked {len(swept)} orphaned "
-                     f"segment(s): {', '.join(swept)}")
-    else:
-        lines.append("  janitor      : no orphaned segments")
+    from repro.serve.health import doctor_report, render_doctor_table
 
-    # Process-lifetime activity: what the engines and the dispatcher
-    # actually did since this process started (retries, rebuilds,
-    # latched rungs, swept segments — see docs/observability.md).
-    lines.append("")
-    lines.append("repro doctor — activity (process lifetime)")
-    lines.append("")
-    metrics = obs.metrics_snapshot()
-    if metrics:
-        width = max(len(name) for name in metrics)
-        for name, value in metrics.items():
-            lines.append(f"  {name:<{width}} = {value:g}")
+    report = doctor_report(registry_dir=args.registry_dir, sweep=True)
+    if args.as_json:
+        print(json_mod.dumps(report, indent=2, sort_keys=True))
     else:
-        lines.append("  no activity recorded yet")
-    print("\n".join(lines))
+        print(render_doctor_table(report))
     return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: run the warm assessment daemon until SIGTERM."""
+    from repro.serve import ServeConfig, serve
+
+    try:
+        config = ServeConfig(
+            host=args.host, port=args.port,
+            max_queue=args.queue_depth, batch_max=args.batch_max,
+            default_deadline_s=args.default_deadline_s,
+            max_deadline_s=args.max_deadline_s,
+            cache_entries=args.cache_entries,
+            janitor_interval_s=args.janitor_interval_s)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    return serve(config)
 
 
 def cmd_profile(args: argparse.Namespace) -> int:
@@ -587,6 +609,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return cmd_scenarios(args)
     if args.command == "doctor":
         return cmd_doctor(args)
+    if args.command == "serve":
+        return cmd_serve(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
 
 

@@ -9,11 +9,16 @@ subclasses distinguish the three failure domains that matter to users:
   (:class:`InsufficientDataError` — this one is *expected* in normal
   operation: it is how EasyC and the GHG-protocol calculator signal
   "no coverage" for a system), and
-* misconfiguration of the models themselves (:class:`ConfigError`), and
+* misconfiguration of the models themselves (:class:`ConfigError`),
 * the parallel substrate giving up after supervised recovery
   (:class:`FanOutError` and friends — raised only once retries and the
   shm → pickle → serial degradation ladder are both exhausted; see
-  ``docs/robustness.md``).
+  ``docs/robustness.md``), and
+* the assessment service refusing or abandoning a request
+  (:class:`ServeError` and friends — each subclass names one refusal
+  path of the ``repro serve`` daemon and carries a stable ``code``
+  slug, so clients can branch on the *reason* instead of parsing
+  messages; see ``docs/serving.md``).
 """
 
 from __future__ import annotations
@@ -135,3 +140,75 @@ class LadderExhaustedError(FanOutError):
         super().__init__(
             f"{label}: no rung of the degradation ladder produced a "
             f"result (tried: {', '.join(rungs) or '(none)'})", label=label)
+
+
+class ServeError(ReproError):
+    """Base class for assessment-service refusals and abandonments.
+
+    Every subclass names one distinct way the ``repro serve`` daemon
+    can decline to finish a request, with a stable machine-readable
+    ``code`` slug (serialized into the error response body) and an
+    optional ``retry_after_s`` hint — ``None`` means retrying is not
+    expected to help (e.g. the request's own deadline expired).
+    """
+
+    code = "serve-error"
+
+    def __init__(self, message: str, *, retry_after_s: float | None = None):
+        self.retry_after_s = retry_after_s
+        super().__init__(message)
+
+
+class DeadlineExceededError(ServeError):
+    """A request (or supervised dispatch) ran out of its time budget.
+
+    Raised by the supervised dispatcher when a
+    :func:`repro.parallel.resilience.deadline_scope` budget expires
+    mid-fan-out (the pool is killed first, so a hung worker can never
+    wedge the caller past the budget), and by the serving layer when a
+    queued request's deadline passes before or during its batch.
+    """
+
+    code = "deadline-exceeded"
+
+    def __init__(self, *, label: str = "request", budget_s: float):
+        self.label = label
+        self.budget_s = budget_s
+        super().__init__(
+            f"{label}: deadline exceeded after its {budget_s:g}s budget")
+
+
+class QueueFullError(ServeError):
+    """The admission queue shed this request under load.
+
+    The serving layer bounds how much work it will hold; when the
+    bound is hit the *oldest* waiting request is shed (it has burned
+    the most of its deadline already) with a ``retry_after_s`` derived
+    from the observed batch latency.
+    """
+
+    code = "queue-full"
+
+    def __init__(self, *, depth: int, retry_after_s: float):
+        self.depth = depth
+        super().__init__(
+            f"admission queue full at depth {depth}; request shed "
+            f"(retry after ~{retry_after_s:g}s)",
+            retry_after_s=retry_after_s)
+
+
+class BreakerOpenError(ServeError):
+    """The service circuit breaker is refusing new work.
+
+    ``state`` is the breaker/lifecycle state that refused the request:
+    ``"open"`` (repeated failures even on the serial floor) or
+    ``"draining"`` (SIGTERM received; in-flight work finishing).
+    """
+
+    code = "breaker-open"
+
+    def __init__(self, *, state: str, retry_after_s: float | None = None):
+        self.state = state
+        super().__init__(
+            f"service is {state}; not accepting new assessment work",
+            retry_after_s=retry_after_s)

@@ -29,6 +29,17 @@ Fault points currently consulted:
 * ``attach`` — :func:`repro.parallel.shm.attach`, worker side.
 * ``segment-create`` — :class:`repro.parallel.shm.SharedArrayPack.create`,
   owner side (fires before any segment is allocated, so nothing leaks).
+* ``request`` / ``batch`` / ``cache-load`` — serving-layer points
+  consulted by the ``repro serve`` daemon (:mod:`repro.serve`).  These
+  are consulted with :func:`matching` rather than :func:`fire`,
+  because the daemon must *interpret* the action in its own process:
+  ``hang@request`` becomes an ``asyncio`` sleep inside request
+  handling (driving the deadline path without blocking the loop),
+  ``kill@batch`` kills the worker **pool** under the running batch
+  (``os._exit`` in the daemon would be suicide, not chaos), and
+  ``raise@cache-load`` makes a cache lookup raise — which the cache
+  treats as a miss and recomputes.  ``SELECTOR`` for ``request`` /
+  ``batch`` is the daemon's running request/batch ordinal.
 
 Actions: ``kill`` (``os._exit``), ``hang`` (sleep ``ARG`` seconds,
 default 30), ``raise`` / ``fail`` (synonyms: raise
@@ -50,12 +61,13 @@ import warnings
 from dataclasses import dataclass
 
 __all__ = ["FAULT_SPEC_ENV", "InjectedFault", "FaultRule", "FaultPlan",
-           "active_plan", "fire"]
+           "active_plan", "fire", "matching"]
 
 FAULT_SPEC_ENV = "REPRO_FAULT_SPEC"
 
 _ACTIONS = ("kill", "hang", "raise", "fail")
-_POINTS = ("block", "attach", "segment-create")
+_POINTS = ("block", "attach", "segment-create",
+           "request", "batch", "cache-load")
 _DEFAULT_HANG_S = 30.0
 
 
@@ -178,6 +190,23 @@ def active_plan() -> FaultPlan:
     if plan is None:
         plan = _CACHE[spec] = FaultPlan.parse(spec)
     return plan
+
+
+def matching(point: str, *, index: int | None = None,
+             attempt: int = 0) -> "FaultRule | None":
+    """The first rule matching ``point``, *without* executing it.
+
+    The serving layer's consultation path: the daemon must translate
+    actions into its own failure modes (see the module docstring)
+    instead of letting ``fire`` ``os._exit`` the process hosting the
+    event loop.  Returns ``None`` when nothing matches — the common,
+    free case.
+    """
+    plan = active_plan()
+    for rule in plan.rules:
+        if rule.matches(point, index, attempt):
+            return rule
+    return None
 
 
 def fire(point: str, *, index: int | None = None, attempt: int = 0) -> None:

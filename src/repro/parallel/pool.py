@@ -238,11 +238,15 @@ def reset_pool() -> None:
     callers fall back fast — but the failure may have been transient
     (a sandbox being set up, a ulimit briefly exhausted).  After
     ``reset_pool()`` the next :func:`get_pool` call re-probes from
-    scratch.  Also tears down any live pool, so the reset is total.
+    scratch.  Also tears down any live pool, so the reset is total —
+    including the orphan-sweep janitor, which re-arms so the next pool
+    build sweeps again (a reset usually follows the kind of crash that
+    orphans segments; the serve daemon's janitor task leans on this).
     """
-    global _SPAWN_FAILED
+    global _SPAWN_FAILED, _JANITOR_RAN
     shutdown_pool()
     _SPAWN_FAILED = False
+    _JANITOR_RAN = False
 
 
 atexit.register(shutdown_pool)

@@ -36,18 +36,22 @@ deterministically in CI.  See ``docs/robustness.md`` for the contract.
 
 from __future__ import annotations
 
+import contextlib
+import contextvars
 import os
 import time
 import warnings
-from collections.abc import Callable, Sequence
+from collections.abc import Callable, Iterator, Sequence
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any, TypeVar
 
 from repro import obs
+from repro.envflags import env_float, env_int
 from repro.errors import (
     BlockTimeoutError,
+    DeadlineExceededError,
     FanOutError,
     FanOutExhaustedError,
     LadderExhaustedError,
@@ -64,6 +68,8 @@ __all__ = [
     "supervised_map",
     "run_ladder",
     "default_policy",
+    "deadline_scope",
+    "scope_remaining_s",
     "latched_rungs",
     "rung_failures",
     "reset_ladder_state",
@@ -131,45 +137,82 @@ class RetryPolicy:
                 f"timeout_s must be positive or None, got {self.timeout_s}")
 
 
-def _env_float(name: str) -> float | None:
-    raw = os.environ.get(name)
-    if not raw:
-        return None
-    try:
-        return float(raw)
-    except ValueError:
-        warnings.warn(f"{name}={raw!r} is not a number; ignoring the "
-                      "override", RuntimeWarning, stacklevel=3)
-        return None
-
-
 def default_policy() -> RetryPolicy:
     """The policy every library dispatch uses, after env overrides.
 
     ``REPRO_FANOUT_ATTEMPTS`` / ``REPRO_FANOUT_TIMEOUT_S`` /
-    ``REPRO_FANOUT_BACKOFF_S`` override the defaults (malformed values
-    warn and fall through, like every other tuning knob).  A timeout
-    of ``0`` disables deadlines.
+    ``REPRO_FANOUT_BACKOFF_S`` override the defaults through
+    :func:`repro.envflags.env_int` / :func:`~repro.envflags.env_float`
+    (malformed or out-of-bound values warn once and fall back, like
+    every other tuning knob).  A timeout of ``0`` disables deadlines.
     """
-    attempts = DEFAULT_ATTEMPTS
-    raw_attempts = _env_float(ATTEMPTS_ENV)
-    if raw_attempts is not None:
-        if raw_attempts >= 1:
-            attempts = int(raw_attempts)
-        else:
-            warnings.warn(
-                f"{ATTEMPTS_ENV} must be >= 1; ignoring the override",
-                RuntimeWarning, stacklevel=2)
-    timeout: float | None = DEFAULT_TIMEOUT_S
-    raw_timeout = _env_float(TIMEOUT_ENV)
-    if raw_timeout is not None:
-        timeout = raw_timeout if raw_timeout > 0 else None
-    backoff = DEFAULT_BACKOFF_S
-    raw_backoff = _env_float(BACKOFF_ENV)
-    if raw_backoff is not None and raw_backoff >= 0:
-        backoff = raw_backoff
+    attempts = env_int(ATTEMPTS_ENV, DEFAULT_ATTEMPTS, minimum=1)
+    timeout = env_float(TIMEOUT_ENV, DEFAULT_TIMEOUT_S, minimum=0.0)
+    backoff = env_float(BACKOFF_ENV, DEFAULT_BACKOFF_S, minimum=0.0)
     return RetryPolicy(attempts=attempts, backoff_s=backoff,
-                       timeout_s=timeout)
+                       timeout_s=timeout if timeout else None)
+
+
+# ---------------------------------------------------------------------------
+# Request deadline scopes
+# ---------------------------------------------------------------------------
+
+#: ``(absolute monotonic deadline, original budget_s)`` of the
+#: innermost active scope (or None).  A contextvar so scopes nest
+#: correctly across the serving daemon's executor threads — each
+#: request's engine call runs inside a copied context carrying exactly
+#: its own budget.
+_DEADLINE: contextvars.ContextVar["tuple[float, float] | None"] = \
+    contextvars.ContextVar("repro_deadline", default=None)
+
+
+@contextlib.contextmanager
+def deadline_scope(budget_s: float | None) -> Iterator[None]:
+    """Bound every supervised dispatch inside the scope to ``budget_s``.
+
+    The serving layer's request-deadline hook: within the scope,
+    :func:`supervised_map` clamps each round's block deadline to the
+    remaining budget, skips retry backoff it can no longer afford, and
+    — once the budget is spent — kills the pool (a hung worker must
+    not outlive the request that asked for it) and raises
+    :class:`repro.errors.DeadlineExceededError` instead of retrying.
+    The serial inline path checks the budget between blocks.  Nested
+    scopes take the tighter of the two deadlines.  ``None`` is a no-op
+    scope (no budget).
+    """
+    if budget_s is None:
+        yield
+        return
+    new_deadline = time.monotonic() + budget_s
+    current = _DEADLINE.get()
+    if current is not None and current[0] <= new_deadline:
+        # The enclosing scope is already tighter; keep it.
+        yield
+        return
+    token = _DEADLINE.set((new_deadline, budget_s))
+    try:
+        yield
+    finally:
+        _DEADLINE.reset(token)
+
+
+def scope_remaining_s() -> float | None:
+    """Seconds left in the innermost deadline scope (None = no scope)."""
+    scope = _DEADLINE.get()
+    return None if scope is None else scope[0] - time.monotonic()
+
+
+def _budget_spent(label: str) -> DeadlineExceededError:
+    """Build (and count) the budget-exhausted error for one dispatch.
+
+    The pool is killed *before* this is raised wherever a worker might
+    still be holding a block — a hung worker must never outlive the
+    request whose budget it burned.
+    """
+    obs.inc("fanout.deadline_scope_exceeded")
+    scope = _DEADLINE.get()
+    return DeadlineExceededError(
+        label=label, budget_s=scope[1] if scope is not None else 0.0)
 
 
 @dataclass
@@ -250,20 +293,35 @@ def supervised_map(fn: Callable[[T], R], tasks: Sequence[T], *,
             raise FanOutExhaustedError(
                 label=label, blocks=over_budget,
                 attempts=policy.attempts) from last_failure
+        scope_left = scope_remaining_s()
+        if scope_left is not None and scope_left <= 0:
+            pool_mod.kill_pool()
+            raise _budget_spent(label) from last_failure
         pool = pool_mod.get_pool(max_workers)
         if pool is None or len(tasks) <= 1:
             # Serial is the floor of every ladder: run the remaining
             # blocks inline (no fault wrapper — kill/hang faults model
             # *worker* failures, and there is no worker here).  No
             # span wrapper either: the caller's spans already enclose
-            # this, and the inline path must stay byte-identical.
+            # this, and the inline path must stay byte-identical.  The
+            # deadline scope is still honored *between* blocks — serial
+            # work past the budget is abandoned, not merely slow.
             for i in pending:
+                left = scope_remaining_s()
+                if left is not None and left <= 0:
+                    raise _budget_spent(label)
                 results[i] = fn(tasks[i])
             return results
         if round_no:
-            time.sleep(min(
+            pause = min(
                 policy.backoff_s * policy.backoff_factor ** (round_no - 1),
-                _BACKOFF_CAP_S))
+                _BACKOFF_CAP_S)
+            if scope_left is not None:
+                # Never sleep past the request's budget; the expiry
+                # check at the top of the next round converts whatever
+                # is left into a DeadlineExceededError.
+                pause = min(pause, scope_left)
+            time.sleep(max(pause, 0.0))
             obs.inc("fanout.blocks_retried", len(pending))
         obs.inc("fanout.rounds")
         traced = obs.tracing_active()
@@ -289,6 +347,12 @@ def supervised_map(fn: Callable[[T], R], tasks: Sequence[T], *,
             obs.inc("fanout.blocks_dispatched", len(pending))
             deadline = (None if policy.timeout_s is None
                         else time.monotonic() + policy.timeout_s)
+            scope = _DEADLINE.get()
+            if scope is not None:
+                # The request budget clamps the round deadline, so a
+                # hung worker can never wedge a request past it.
+                deadline = (scope[0] if deadline is None
+                            else min(deadline, scope[0]))
             infrastructure_failed = False
             for i in list(pending):
                 future = futures[i]
@@ -299,6 +363,17 @@ def supervised_map(fn: Callable[[T], R], tasks: Sequence[T], *,
                                          round_id)
                     pending.remove(i)
                 except FutureTimeoutError:
+                    left = scope_remaining_s()
+                    if left is not None and left <= 0:
+                        # The *request's* budget expired, not the
+                        # per-block deadline: this is an abandonment,
+                        # not a retryable hang.  Kill the pool (the
+                        # block may still be wedged in a worker) and
+                        # surface the deadline to the caller.
+                        for other in futures.values():
+                            other.cancel()
+                        pool_mod.kill_pool()
+                        raise _budget_spent(label) from None
                     last_failure = BlockTimeoutError(
                         label=label, block=i,
                         timeout_s=policy.timeout_s or 0.0)

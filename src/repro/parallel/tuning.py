@@ -30,7 +30,8 @@ import json
 import math
 import os
 import pathlib
-import warnings
+
+from repro.envflags import env_int
 
 __all__ = ["DEFAULT_MIN_N", "FLOOR_N", "CEILING_N", "shm_crossover_n",
            "default_scaling_path"]
@@ -109,17 +110,9 @@ def shm_crossover_n(path: "str | os.PathLike | None" = None) -> int:
     unimportable — malformed inputs warn and fall through to the next
     resolution step.
     """
-    override = os.environ.get(ENV_OVERRIDE)
-    if override:
-        try:
-            value = int(override)
-        except ValueError:
-            value = 0
-        if value >= 1:
-            return value
-        warnings.warn(
-            f"{ENV_OVERRIDE}={override!r} is not a positive integer; "
-            "ignoring the override", RuntimeWarning, stacklevel=2)
+    override = env_int(ENV_OVERRIDE, None, minimum=1)
+    if override is not None:
+        return override
     if path is None:
         path = os.environ.get(ENV_CURVE_PATH) or default_scaling_path()
     try:

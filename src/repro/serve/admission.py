@@ -1,0 +1,118 @@
+"""Bounded admission: the daemon's only unbounded-growth defense.
+
+Every queue in a long-lived service is a memory leak with latency
+attached unless it is bounded, and a bound forces a shedding policy.
+This one sheds the **oldest** waiting request: it has already burned
+the most of its deadline, so it is the entry *least* likely to finish
+in time — shedding it converts a near-certain deadline miss into an
+immediate, honest :class:`repro.errors.QueueFullError` (429-style)
+while the freshest requests keep their full budget.  The shed response
+carries a ``Retry-After`` derived from the observed batch latency
+(EWMA) times the number of batches queued ahead, so clients back off
+proportionally to *actual* load, not a guess.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from typing import Any
+
+from repro import obs
+from repro.errors import QueueFullError
+
+__all__ = ["AdmissionQueue"]
+
+#: EWMA smoothing for observed batch latency (higher = more reactive).
+_LATENCY_ALPHA = 0.3
+
+#: Retry-After floor — even an idle service should not invite an
+#: immediate hammer-retry.
+_MIN_RETRY_AFTER_S = 0.05
+
+
+class AdmissionQueue:
+    """Bounded FIFO of waiting batch entries, shed-oldest on overflow."""
+
+    def __init__(self, max_depth: int, batch_max: int):
+        if max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1, got {max_depth}")
+        if batch_max < 1:
+            raise ValueError(f"batch_max must be >= 1, got {batch_max}")
+        self.max_depth = max_depth
+        self.batch_max = batch_max
+        self._entries: deque[Any] = deque()
+        self._wakeup = asyncio.Event()
+        self._latency_ewma_s: "float | None" = None
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def depth(self) -> int:
+        return len(self._entries)
+
+    def retry_after_s(self) -> float:
+        """The backoff hint for a shed (or refused) request, seconds."""
+        ewma = self._latency_ewma_s
+        if ewma is None:
+            return _MIN_RETRY_AFTER_S
+        batches_ahead = max(1, -(-len(self._entries) // self.batch_max))
+        return max(ewma * batches_ahead, _MIN_RETRY_AFTER_S)
+
+    def observe_batch_latency(self, seconds: float) -> None:
+        """Fold one completed batch's wall time into the EWMA."""
+        if self._latency_ewma_s is None:
+            self._latency_ewma_s = seconds
+        else:
+            self._latency_ewma_s += _LATENCY_ALPHA * (
+                seconds - self._latency_ewma_s)
+
+    def offer(self, entry: Any) -> None:
+        """Admit ``entry``; shed the oldest waiter when at capacity.
+
+        ``entry`` must expose a ``fail(exc)`` method (the batch entry's
+        response future) — the shed victim is completed with
+        :class:`QueueFullError` here, synchronously, so its client gets
+        the 429 *before* the newly admitted request is served.
+        """
+        while len(self._entries) >= self.max_depth:
+            victim = self._entries.popleft()
+            obs.inc("serve.requests_shed")
+            victim.fail(QueueFullError(depth=self.max_depth,
+                                       retry_after_s=self.retry_after_s()))
+        self._entries.append(entry)
+        self._wakeup.set()
+
+    def requeue(self, entry: Any) -> None:
+        """Put a deadline-survivor back at the *front* of the queue.
+
+        Used when a batch ran out of one member's budget: survivors
+        keep their age ordering (they were admitted before anything
+        currently waiting), and re-queueing never sheds — the entry is
+        already admitted.
+        """
+        self._entries.appendleft(entry)
+        self._wakeup.set()
+
+    async def take_batch(self) -> list[Any]:
+        """Wait for work, then drain up to ``batch_max`` entries.
+
+        The coalescing window is "everything that queued while the
+        previous batch ran": no artificial delay is added to widen it,
+        so an idle service serves a lone request at its latency floor
+        while a loaded one batches naturally.
+        """
+        while not self._entries:
+            self._wakeup.clear()
+            await self._wakeup.wait()
+        batch = []
+        while self._entries and len(batch) < self.batch_max:
+            batch.append(self._entries.popleft())
+        return batch
+
+    def drain_pending(self) -> list[Any]:
+        """Remove and return every waiting entry (shutdown path)."""
+        entries = list(self._entries)
+        self._entries.clear()
+        return entries

@@ -1,0 +1,391 @@
+"""The assessment daemon: a stdlib-only asyncio HTTP/1.1 server.
+
+``repro serve`` keeps the expensive state of an assessment — fleet
+records, their extracted :class:`~repro.core.vectorized.FleetFrame`\\ s,
+the spawned worker pool, recent results — warm across requests, so the
+cost structure the library amortizes within one Python lifetime
+amortizes across *clients*.  The HTTP layer is deliberately minimal
+(HTTP/1.1, one request per connection, ``Connection: close``): the
+engineering budget goes to the robustness semantics, not the protocol.
+
+Endpoints::
+
+    GET  /healthz    liveness: 200 while the event loop runs
+    GET  /readyz     readiness: 200 unless breaker-open or draining;
+                     body embeds the shared doctor report
+    GET  /metrics    the obs counter snapshot as JSON
+    POST /v1/assess  one fleet's totals/coverage (identity scenario)
+    POST /v1/sweep   scenario-axes sweep (totals per scenario)
+    POST /v1/bands   sweep + per-scenario Monte-Carlo band statistics
+
+Every refusal is a structured error (``{"error": {"code", "message",
+"retry_after_s"}}``) with the matching HTTP status: 400 bad request,
+429 queue-full (with ``Retry-After``), 503 breaker-open/draining, 504
+deadline-exceeded, 500 otherwise.  Response bodies are byte-for-byte
+cacheable; cache status travels in the ``X-Repro-Cache`` header
+(``hit`` / ``miss``) so a cached body stays identical to the computed
+one.
+
+SIGTERM starts a graceful drain: readiness drops, new requests are
+refused (503 ``draining``), admitted work finishes, a final
+``serve.drain`` span is emitted through the (line-flushed) trace sink,
+and the process exits 0.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import sys
+from dataclasses import dataclass
+from typing import Any
+
+from repro import obs
+from repro.errors import ServeError
+from repro.parallel import faults
+from repro.serve.admission import AdmissionQueue
+from repro.serve.batcher import (
+    BatchEntry,
+    Batcher,
+    RequestError,
+    cache_key,
+    fleet_content_hash,
+    fleet_records,
+    parse_request,
+)
+from repro.serve.cache import ResultCache, canonical_digest
+from repro.serve.health import doctor_report
+from repro.serve.lifecycle import CircuitBreaker, WarmState
+
+__all__ = ["ServeConfig", "AssessmentServer", "serve"]
+
+_MAX_BODY_BYTES = 1 << 20  # inline fleets are records, not datasets
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Operator knobs for one daemon instance."""
+
+    host: str = "127.0.0.1"
+    port: int = 8321                  # 0 = ephemeral (tests)
+    max_queue: int = 64               # admission bound (then shed-oldest)
+    batch_max: int = 16               # coalescing width per batch
+    default_deadline_s: float = 30.0
+    max_deadline_s: float = 300.0
+    cache_entries: int = 256
+    janitor_interval_s: float = 30.0
+    breaker_degrade_after: int = 2
+    breaker_open_after: int = 5
+    breaker_close_after: int = 2
+    breaker_cooldown_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.default_deadline_s > self.max_deadline_s:
+            raise ValueError("default_deadline_s exceeds max_deadline_s")
+
+
+_STATUS_TEXT = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                405: "Method Not Allowed", 413: "Payload Too Large",
+                429: "Too Many Requests", 500: "Internal Server Error",
+                503: "Service Unavailable", 504: "Gateway Timeout"}
+
+#: ServeError code → HTTP status.
+_ERROR_STATUS = {"deadline-exceeded": 504, "queue-full": 429,
+                 "breaker-open": 503}
+
+
+class AssessmentServer:
+    """One daemon instance: HTTP front, admission, batcher, janitor."""
+
+    def __init__(self, config: ServeConfig | None = None):
+        self.config = config or ServeConfig()
+        self.breaker = CircuitBreaker(
+            degrade_after=self.config.breaker_degrade_after,
+            open_after=self.config.breaker_open_after,
+            close_after=self.config.breaker_close_after,
+            cooldown_s=self.config.breaker_cooldown_s)
+        self.warm = WarmState()
+        self.cache = ResultCache(max_entries=self.config.cache_entries)
+        self.admission = AdmissionQueue(max_depth=self.config.max_queue,
+                                        batch_max=self.config.batch_max)
+        self.batcher = Batcher(self.admission, self.breaker, self.warm,
+                               self.cache)
+        self.draining = False
+        self._request_no = 0
+        self._fleet_hashes: dict[str, str] = {}
+        self._server: "asyncio.base_events.Server | None" = None
+        self._tasks: list[asyncio.Task] = []
+        self._drained = asyncio.Event()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The bound port (after :meth:`start`; resolves ``port=0``)."""
+        assert self._server is not None, "server not started"
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port)
+        self._tasks = [
+            asyncio.create_task(self.batcher.run(), name="repro-batcher"),
+            asyncio.create_task(self._janitor(), name="repro-janitor"),
+        ]
+
+    async def stop(self) -> None:
+        """Immediate teardown (tests); :meth:`drain` is the polite exit."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for task in self._tasks:
+            task.cancel()
+        await asyncio.gather(*self._tasks, return_exceptions=True)
+        self._tasks = []
+
+    async def drain(self) -> None:
+        """Graceful SIGTERM exit: finish admitted work, then stop.
+
+        Readiness drops immediately (new requests → 503 ``draining``),
+        everything already admitted runs to completion, the final
+        ``serve.drain`` span flushes through the line-buffered trace
+        sink, and :meth:`serve_forever` returns so the process can
+        exit 0.
+        """
+        if self.draining:
+            return
+        self.draining = True
+        obs.inc("serve.drains")
+        while self.admission.depth or self.batcher.in_flight:
+            await asyncio.sleep(0.01)
+        with obs.span("serve.drain", batches=self.batcher.batch_no):
+            pass
+        await self.stop()
+        self._drained.set()
+
+    async def serve_forever(self) -> None:
+        """Run until :meth:`drain` completes (the CLI entry point)."""
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(
+                    signum, lambda: asyncio.ensure_future(self.drain()))
+            except NotImplementedError:  # pragma: no cover - non-POSIX
+                pass
+        await self._drained.wait()
+
+    async def _janitor(self) -> None:
+        """Periodic crash-hygiene: sweep segments orphaned by dead
+        owners (the counterpart of the at-first-pool-build sweep, for a
+        process that may outlive many pools)."""
+        from repro.parallel import shm as shm_mod
+        while True:
+            await asyncio.sleep(self.config.janitor_interval_s)
+            obs.inc("serve.janitor_runs")
+            try:
+                shm_mod.sweep_orphaned_segments()
+            except Exception:
+                # Hygiene must never take down the service.
+                pass
+
+    # -- HTTP front ----------------------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            status, headers, body, abort = await self._handle_request(reader)
+            if not abort:
+                writer.write(_render_response(status, headers, body))
+                await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _handle_request(self, reader: asyncio.StreamReader,
+                              ) -> tuple[int, dict[str, str], bytes, bool]:
+        try:
+            request_line = await reader.readline()
+            parts = request_line.decode("latin-1").split()
+            if len(parts) < 2:
+                return 400, {}, _error_body("bad-request",
+                                            "malformed request line"), False
+            method, path = parts[0], parts[1]
+            content_length = 0
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode("latin-1").partition(":")
+                if name.strip().lower() == "content-length":
+                    try:
+                        content_length = int(value.strip())
+                    except ValueError:
+                        return 400, {}, _error_body(
+                            "bad-request", "bad Content-Length"), False
+            if content_length > _MAX_BODY_BYTES:
+                return 413, {}, _error_body(
+                    "bad-request", "request body too large"), False
+            raw = (await reader.readexactly(content_length)
+                   if content_length else b"")
+        except (asyncio.IncompleteReadError, UnicodeDecodeError):
+            return 400, {}, _error_body("bad-request",
+                                        "truncated request"), False
+        return await self._route(method, path, raw)
+
+    async def _route(self, method: str, path: str, raw: bytes,
+                     ) -> tuple[int, dict[str, str], bytes, bool]:
+        if method == "GET":
+            if path == "/healthz":
+                return 200, {}, _json_body(self._healthz()), False
+            if path == "/readyz":
+                report = self._readyz()
+                return (200 if report["ready"] else 503), {}, \
+                    _json_body(report), False
+            if path == "/metrics":
+                return 200, {}, _json_body(
+                    {"counters": obs.metrics_snapshot()}), False
+            return 404, {}, _error_body("not-found", f"no route {path}"), False
+        if method != "POST":
+            return 405, {}, _error_body("bad-request",
+                                        f"unsupported method {method}"), False
+        kind = {"/v1/assess": "assess", "/v1/sweep": "sweep",
+                "/v1/bands": "bands"}.get(path)
+        if kind is None:
+            return 404, {}, _error_body("not-found", f"no route {path}"), False
+        return await self._assessment(kind, raw)
+
+    def _healthz(self) -> dict[str, Any]:
+        return {
+            "status": "draining" if self.draining else "ok",
+            "breaker": self.breaker.state,
+            "draining": self.draining,
+            "queue_depth": self.admission.depth,
+            "batches": self.batcher.batch_no,
+        }
+
+    def _readyz(self) -> dict[str, Any]:
+        ready = not self.draining and self.breaker.state != "open"
+        report = doctor_report(sweep=False)
+        report["serve"] = self._healthz()
+        report["ready"] = ready
+        return report
+
+    async def _assessment(self, kind: str, raw: bytes,
+                          ) -> tuple[int, dict[str, str], bytes, bool]:
+        request_no = self._request_no
+        self._request_no += 1
+        obs.inc("serve.requests")
+
+        # Serve-layer fault point, interpreted in-process: a hang burns
+        # the request's own deadline budget without blocking the loop;
+        # a kill models the client's connection dying (response
+        # abandoned); raise/fail surface as a structured 500.
+        rule = faults.matching("request", index=request_no)
+        if rule is not None:
+            if rule.action == "hang":
+                await asyncio.sleep(rule.arg_s if rule.arg_s is not None
+                                    else 30.0)
+            elif rule.action == "kill":
+                obs.inc("serve.fault_aborts")
+                return 0, {}, b"", True
+            else:
+                exc = faults.InjectedFault("request",
+                                           detail=f"request={request_no}")
+                return 500, {}, _error_body("injected-fault", str(exc)), False
+
+        try:
+            body = json.loads(raw.decode("utf-8")) if raw else {}
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            return 400, {}, _error_body("bad-request",
+                                        f"invalid JSON body: {exc}"), False
+        try:
+            parsed = parse_request(
+                kind, body,
+                default_deadline_s=self.config.default_deadline_s,
+                max_deadline_s=self.config.max_deadline_s)
+            self.breaker.check_admission(self.draining)
+            fleet_key = parsed.fleet_name or \
+                "inline:" + canonical_digest(list(parsed.systems or ()))
+            records = await self.warm.records_for(
+                fleet_key, lambda: fleet_records(parsed))
+            fleet_hash = self._fleet_hashes.get(fleet_key)
+            if fleet_hash is None:
+                fleet_hash = fleet_content_hash(records)
+                self._fleet_hashes[fleet_key] = fleet_hash
+            key = cache_key(parsed, fleet_hash)
+            cached = self._cache_lookup(key)
+            if cached is not None:
+                return 200, {"X-Repro-Cache": "hit"}, \
+                    cached.encode("utf-8"), False
+            entry = BatchEntry(parsed, records, fleet_key, fleet_hash, key)
+            self.admission.offer(entry)
+            payload = await entry.future
+            return 200, {"X-Repro-Cache": "miss"}, \
+                payload.encode("utf-8"), False
+        except RequestError as exc:
+            return 400, {}, _error_body("bad-request", str(exc)), False
+        except ServeError as exc:
+            status = _ERROR_STATUS.get(exc.code, 500)
+            headers = {}
+            if exc.retry_after_s is not None:
+                headers["Retry-After"] = f"{exc.retry_after_s:.3f}"
+            return status, headers, _error_body(
+                exc.code, str(exc), retry_after_s=exc.retry_after_s), False
+        except Exception as exc:
+            obs.inc("serve.internal_errors")
+            return 500, {}, _error_body(
+                "internal", f"{type(exc).__name__}: {exc}"), False
+
+    def _cache_lookup(self, key: str) -> "str | None":
+        try:
+            return self.cache.get(key)
+        except faults.InjectedFault:
+            # An injected (or real) load failure is a miss, never an
+            # outage: the batch recomputes and overwrites the entry.
+            return None
+
+
+def _json_body(payload: dict[str, Any]) -> bytes:
+    return json.dumps(payload).encode("utf-8")
+
+
+def _error_body(code: str, message: str, *,
+                retry_after_s: "float | None" = None) -> bytes:
+    error: dict[str, Any] = {"code": code, "message": message}
+    if retry_after_s is not None:
+        error["retry_after_s"] = retry_after_s
+    return json.dumps({"error": error}).encode("utf-8")
+
+
+def _render_response(status: int, headers: dict[str, str],
+                     body: bytes) -> bytes:
+    lines = [f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}",
+             "Content-Type: application/json",
+             f"Content-Length: {len(body)}",
+             "Connection: close"]
+    lines.extend(f"{name}: {value}" for name, value in headers.items())
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+async def _serve_async(config: ServeConfig) -> int:
+    server = AssessmentServer(config)
+    await server.start()
+    print(f"repro serve: listening on http://{config.host}:{server.port}",
+          flush=True)
+    await server.serve_forever()
+    print("repro serve: drained, exiting", flush=True)
+    return 0
+
+
+def serve(config: ServeConfig | None = None) -> int:
+    """Run the daemon until SIGTERM/SIGINT drain (the CLI entry)."""
+    try:
+        return asyncio.run(_serve_async(config or ServeConfig()))
+    except KeyboardInterrupt:  # pragma: no cover - direct ^C race
+        return 0

@@ -1,0 +1,121 @@
+"""One doctor, three consumers: CLI, ``/healthz``, ``/readyz``.
+
+``repro doctor`` (human table), ``repro doctor --json`` (machine
+probes), and the serving daemon's health endpoints must never drift
+apart — an external prober acting on ``/readyz`` and an operator
+reading the doctor table have to be looking at the same facts.  So the
+probe logic lives here once, as :func:`doctor_report`, and every
+consumer renders the same dictionary.
+
+The JSON schema is **stable**: keys are only ever added, never renamed
+or removed (asserted by ``tests/serve/test_health.py``).  Top-level
+keys::
+
+    schema_version  int   — bumped only on breaking changes (currently 1)
+    version         str   — the repro package version
+    pool            {available, disabled}
+    shm             {available, registry_dir, live_segments}
+    ladder          {latched: [rung...], failures: {rung: count}}
+    faults          {active_rules}
+    janitor         {swept: [segment...]} — only when sweep=True
+    counters        {name: value}         — the obs counter snapshot
+
+``sweep=True`` additionally runs the orphaned-segment janitor (the
+CLI's behavior, and the daemon's periodic task); ``/readyz`` polls with
+``sweep=False`` so a probe every few seconds never touches the
+registry directory.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro import __version__, obs
+
+__all__ = ["SCHEMA_VERSION", "doctor_report", "render_doctor_table"]
+
+#: Bumped only when a key is renamed or removed (never for additions).
+SCHEMA_VERSION = 1
+
+
+def doctor_report(*, registry_dir: "str | None" = None,
+                  sweep: bool = False) -> dict[str, Any]:
+    """The parallel-substrate health report as one plain-data dict.
+
+    Everything in it is JSON-serializable (asserted in tests), so the
+    same object feeds ``repro doctor --json``, the human table, and
+    the daemon's health endpoints.
+    """
+    from repro.parallel import faults as faults_mod
+    from repro.parallel import pool as pool_mod
+    from repro.parallel import resilience
+    from repro.parallel import shm as shm_mod
+
+    report: dict[str, Any] = {
+        "schema_version": SCHEMA_VERSION,
+        "version": __version__,
+        "pool": {
+            "available": bool(pool_mod.pool_available(None)),
+            "disabled": bool(pool_mod.processes_disabled()),
+        },
+        "shm": {
+            "available": bool(shm_mod.shm_available()),
+            "registry_dir": str(shm_mod.registry_path().parent),
+            "live_segments": len(shm_mod.live_owned_segments()),
+        },
+        "ladder": {
+            "latched": sorted(resilience.latched_rungs()),
+            "failures": {name: int(count) for name, count
+                         in sorted(resilience.rung_failures().items())},
+        },
+        "faults": {
+            "active_rules": len(faults_mod.active_plan().rules),
+        },
+        "counters": {name: value for name, value
+                     in obs.metrics_snapshot().items()},
+    }
+    if sweep:
+        swept = shm_mod.sweep_orphaned_segments(registry_dir=registry_dir)
+        report["janitor"] = {"swept": list(swept)}
+    return report
+
+
+def render_doctor_table(report: dict[str, Any]) -> str:
+    """The human ``repro doctor`` rendering of one report dict."""
+    lines = ["repro doctor — parallel substrate", ""]
+    pool = report["pool"]
+    lines.append(f"  process pool : "
+                 f"{'available' if pool['available'] else 'unavailable'}"
+                 f"{' (disabled by env)' if pool['disabled'] else ''}")
+    shm = report["shm"]
+    lines.append(f"  shared memory: "
+                 f"{'available' if shm['available'] else 'unavailable'}")
+    lines.append(f"  registry dir : {shm['registry_dir']}")
+    lines.append(f"  live segments: {shm['live_segments']} "
+                 f"owned by this process")
+    latched = report["ladder"]["latched"]
+    lines.append(f"  ladder state : "
+                 f"{('latched: ' + ', '.join(latched)) if latched else 'clean'}")
+    n_rules = report["faults"]["active_rules"]
+    lines.append(f"  fault plan   : "
+                 f"{f'{n_rules} rule(s) active' if n_rules else 'none'}")
+    janitor = report.get("janitor")
+    if janitor is not None:
+        swept = janitor["swept"]
+        if swept:
+            lines.append(f"  janitor      : unlinked {len(swept)} orphaned "
+                         f"segment(s): {', '.join(swept)}")
+        else:
+            lines.append("  janitor      : no orphaned segments")
+
+    lines.append("")
+    lines.append("repro doctor — activity (process lifetime)")
+    lines.append("")
+    counters = report["counters"]
+    if counters:
+        width = max(len(name) for name in counters)
+        for name, value in counters.items():
+            lines.append(f"  {name:<{width}} = {value:g}")
+    else:
+        lines.append("  no activity recorded yet")
+    return "\n".join(lines)

@@ -1,0 +1,166 @@
+"""Breaker, drain, and warm-state management for the daemon.
+
+Three concerns that all answer "should this service accept work, and
+on what substrate":
+
+* :class:`CircuitBreaker` — layered *over* the PR-6 degradation-ladder
+  latches.  The ladder protects one dispatch; the breaker protects the
+  service: repeated batch-level infrastructure failures first trip it
+  to **degraded** (new batches run serial-only — the floor rung is the
+  one substrate that has never been the problem), then to **open**
+  (new requests refused outright with a cooldown-derived
+  ``Retry-After``).  After the cooldown one probe batch is allowed
+  (half-open, still serial); enough consecutive successes close it.
+* draining — the SIGTERM flag.  Not a breaker state: draining is a
+  *decision*, not a failure, and it is one-way.
+* :class:`WarmState` — the fleet records (and through them the
+  identity-keyed :func:`~repro.core.vectorized.fleet_frame` cache)
+  kept alive between requests, with **single-flight** rebuild: after a
+  pool kill or frame invalidation, exactly one rebuilder runs per
+  fleet while concurrent requests await its result, so a crash never
+  triggers a thundering herd of frame extractions.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+from repro import obs
+from repro.errors import BreakerOpenError
+
+__all__ = ["CircuitBreaker", "WarmState",
+           "BREAKER_CLOSED", "BREAKER_DEGRADED", "BREAKER_OPEN"]
+
+BREAKER_CLOSED = "closed"
+BREAKER_DEGRADED = "degraded"
+BREAKER_OPEN = "open"
+
+
+class CircuitBreaker:
+    """Failure-counting service breaker: closed → degraded → open."""
+
+    def __init__(self, *, degrade_after: int = 2, open_after: int = 5,
+                 close_after: int = 2, cooldown_s: float = 5.0):
+        if not 1 <= degrade_after <= open_after:
+            raise ValueError(
+                f"need 1 <= degrade_after ({degrade_after}) <= "
+                f"open_after ({open_after})")
+        self.degrade_after = degrade_after
+        self.open_after = open_after
+        self.close_after = close_after
+        self.cooldown_s = cooldown_s
+        self._state = BREAKER_CLOSED
+        self._consecutive_failures = 0
+        self._consecutive_successes = 0
+        self._opened_at: "float | None" = None
+
+    @property
+    def state(self) -> str:
+        return self._state
+
+    @property
+    def serial_only(self) -> bool:
+        """True when new batches must run on the serial floor."""
+        return self._state != BREAKER_CLOSED
+
+    def check_admission(self, draining: bool) -> None:
+        """Refuse new work while open (or draining), else return.
+
+        An open breaker past its cooldown flips to degraded — the
+        half-open probe: the next admitted batch runs serial-only and
+        its outcome decides whether the service recovers or re-opens.
+        """
+        if draining:
+            raise BreakerOpenError(state="draining")
+        if self._state != BREAKER_OPEN:
+            return
+        elapsed = time.monotonic() - (self._opened_at or 0.0)
+        if elapsed >= self.cooldown_s:
+            self._state = BREAKER_DEGRADED
+            self._consecutive_successes = 0
+            obs.inc("serve.breaker_half_open")
+            return
+        raise BreakerOpenError(
+            state=BREAKER_OPEN,
+            retry_after_s=max(self.cooldown_s - elapsed, 0.0))
+
+    def record_failure(self) -> None:
+        """One batch failed on infrastructure (not on its own inputs)."""
+        self._consecutive_successes = 0
+        self._consecutive_failures += 1
+        if self._consecutive_failures >= self.open_after:
+            if self._state != BREAKER_OPEN:
+                obs.inc("serve.breaker_opened")
+            self._state = BREAKER_OPEN
+            self._opened_at = time.monotonic()
+        elif self._consecutive_failures >= self.degrade_after:
+            if self._state == BREAKER_CLOSED:
+                obs.inc("serve.breaker_degraded")
+            self._state = BREAKER_DEGRADED
+
+    def record_success(self) -> None:
+        """One batch completed; enough in a row re-closes the breaker."""
+        self._consecutive_failures = 0
+        if self._state == BREAKER_CLOSED:
+            return
+        self._consecutive_successes += 1
+        if self._consecutive_successes >= self.close_after:
+            self._state = BREAKER_CLOSED
+            self._consecutive_successes = 0
+            obs.inc("serve.breaker_closed")
+
+
+class WarmState:
+    """Per-fleet warm records with single-flight (re)build.
+
+    Holding the *same* records tuple across requests is what keeps the
+    identity-keyed frame cache warm — two requests for ``"doe-like"``
+    must resolve to the same record objects or every request pays a
+    fresh frame extraction.
+    """
+
+    def __init__(self):
+        self._fleets: dict[str, tuple] = {}
+        self._locks: dict[str, asyncio.Lock] = {}
+
+    def peek(self, key: str):
+        """The warm records for ``key``, or None (no build)."""
+        return self._fleets.get(key)
+
+    async def records_for(self, key: str, build) -> tuple:
+        """The warm records for ``key``, building at most once.
+
+        ``build`` is a zero-arg callable returning the records tuple
+        (cheap — record construction, not frame extraction).  Callers
+        racing on a cold key all await one build (single-flight); the
+        winner's tuple is what everyone — including future requests —
+        shares.
+        """
+        records = self._fleets.get(key)
+        if records is not None:
+            obs.inc("serve.warm_hits")
+            return records
+        lock = self._locks.setdefault(key, asyncio.Lock())
+        async with lock:
+            records = self._fleets.get(key)
+            if records is not None:
+                obs.inc("serve.warm_hits")
+                return records
+            obs.inc("serve.warm_rebuilds")
+            records = tuple(build())
+            self._fleets[key] = records
+            return records
+
+    def invalidate(self, key: "str | None" = None) -> None:
+        """Drop warm records (one fleet, or everything).
+
+        Called after infrastructure failures that could have left the
+        frame cache referencing shared segments of a killed pool; the
+        next request triggers exactly one rebuild (single-flight).
+        """
+        if key is None:
+            self._fleets.clear()
+        else:
+            self._fleets.pop(key, None)
+        obs.inc("serve.warm_invalidations")

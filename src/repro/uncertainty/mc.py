@@ -86,20 +86,9 @@ SHM_MIN_DRAWS_ENV = "REPRO_MC_SHM_MIN_DRAWS"
 
 
 def _shm_min_draws() -> float:
-    import os
-    import warnings
+    from repro.envflags import env_float
 
-    raw = os.environ.get(SHM_MIN_DRAWS_ENV)
-    if raw:
-        try:
-            return float(raw)
-        except ValueError:
-            warnings.warn(
-                f"ignoring malformed {SHM_MIN_DRAWS_ENV}={raw!r} "
-                f"(not a number); using the built-in "
-                f"{_SHM_MIN_DRAWS} threshold",
-                RuntimeWarning, stacklevel=3)
-    return _SHM_MIN_DRAWS
+    return env_float(SHM_MIN_DRAWS_ENV, _SHM_MIN_DRAWS, minimum=0.0)
 
 _METHODS = ("auto", "serial", "shm")
 _KINDS = ("quantile", "normal")

@@ -423,6 +423,145 @@ class TestChaosTracing:
 
 
 # ---------------------------------------------------------------------------
+# Chaos: the serving daemon under the same injected faults
+# ---------------------------------------------------------------------------
+
+def _run_serve_scenario(scenario, config=None):
+    """Boot a fresh in-process daemon, run ``scenario(server, post)``."""
+    import asyncio
+    import urllib.error
+    import urllib.request
+
+    from repro.serve import AssessmentServer, ServeConfig
+
+    def _post(port, path, body):
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{port}{path}",
+            data=json.dumps(body).encode("utf-8"), method="POST")
+        try:
+            with urllib.request.urlopen(request, timeout=60) as response:
+                return response.status, dict(response.headers), \
+                    response.read()
+        except urllib.error.HTTPError as err:
+            return err.code, dict(err.headers), err.read()
+
+    async def runner():
+        server = AssessmentServer(config or ServeConfig(port=0))
+        await server.start()
+        loop = asyncio.get_running_loop()
+
+        def post(path, body):
+            return loop.run_in_executor(None, _post, server.port, path, body)
+
+        try:
+            await scenario(server, post)
+        finally:
+            await server.stop()
+
+    asyncio.run(runner())
+
+
+def _serve_reference(kind, body):
+    """The lone serial-floor evaluation of one request, as bytes."""
+    from repro.fleets import BUILTIN_FLEETS
+    from repro.serve.batcher import evaluate_group, parse_request
+
+    parsed = parse_request(kind, body, default_deadline_s=30.0,
+                           max_deadline_s=300.0)
+    records = BUILTIN_FLEETS[body["fleet"]].systems
+    return evaluate_group(records, [parsed], serial_only=True,
+                          budget_s=None)[0].encode("utf-8")
+
+
+class TestChaosServe:
+    """The daemon's responses stay bit-identical under injected faults.
+
+    The kernel-level specs (CI's ambient matrix: killed/hung workers,
+    attach and segment-create failures) strike *underneath* the
+    daemon's batches; the serve-level points (``kill@batch``,
+    ``hang@request``, ``raise@cache-load``) strike the daemon itself.
+    Either way every response must match the lone serial-floor
+    reference byte for byte, with no shm segment left behind.
+    """
+
+    _SWEEP = {"fleet": "doe-like", "axes": {"pue": [1.0, 1.15, 1.3]}}
+    _BANDS = {"fleet": "doe-like", "axes": {"utilization": [0.5, 0.8]},
+              "n_samples": 150, "seed": 11}
+
+    def test_coalesced_responses_bit_identical_under_ambient_spec(
+            self, monkeypatch):
+        import asyncio
+
+        # References first, on the clean serial floor (the autouse
+        # fixture has already cleared the ambient spec).
+        references = [_serve_reference("sweep", self._SWEEP),
+                      _serve_reference("bands", self._BANDS)]
+        if _AMBIENT_SPEC:
+            if not _pool_ready():
+                pytest.skip("cannot spawn worker processes")
+            _inject(monkeypatch, _AMBIENT_SPEC)
+        # Hang specs must meet a short per-block deadline, and the
+        # recovery must fit inside the requests' default 30s budgets.
+        monkeypatch.setenv(resilience.TIMEOUT_ENV, "2")
+
+        async def scenario(server, post):
+            results = await asyncio.gather(post("/v1/sweep", self._SWEEP),
+                                           post("/v1/bands", self._BANDS))
+            for (status, _, payload), reference in zip(results, references):
+                assert status == 200
+                assert payload == reference
+
+        _run_serve_scenario(scenario)
+        _assert_drained()
+
+    def test_serve_survives_batch_pool_kill(self, monkeypatch):
+        from repro import obs
+
+        reference = _serve_reference("sweep", self._SWEEP)
+        _inject(monkeypatch, "kill@batch=0")
+
+        async def scenario(server, post):
+            kills_before = obs.get_counter("serve.fault_pool_kills")
+            status, _, payload = await post("/v1/sweep", self._SWEEP)
+            assert status == 200
+            assert payload == reference
+            assert obs.get_counter("serve.fault_pool_kills") \
+                == kills_before + 1
+
+        _run_serve_scenario(scenario)
+        _assert_drained()
+
+    def test_serve_survives_request_hang(self, monkeypatch):
+        reference = _serve_reference("sweep", self._SWEEP)
+        _inject(monkeypatch, "hang@request=0:200ms")
+
+        async def scenario(server, post):
+            started = time.perf_counter()
+            status, _, payload = await post("/v1/sweep", self._SWEEP)
+            assert time.perf_counter() - started >= 0.2
+            assert status == 200
+            assert payload == reference
+
+        _run_serve_scenario(scenario)
+        _assert_drained()
+
+    def test_serve_cache_load_chaos_recomputes_identically(self,
+                                                           monkeypatch):
+        reference = _serve_reference("sweep", self._SWEEP)
+        _inject(monkeypatch, "raise@cache-load")
+
+        async def scenario(server, post):
+            status, headers, first = await post("/v1/sweep", self._SWEEP)
+            assert status == 200 and headers["X-Repro-Cache"] == "miss"
+            status, headers, second = await post("/v1/sweep", self._SWEEP)
+            assert status == 200 and headers["X-Repro-Cache"] == "miss"
+            assert first == second == reference
+
+        _run_serve_scenario(scenario)
+        _assert_drained()
+
+
+# ---------------------------------------------------------------------------
 # The shm janitor, end-to-end
 # ---------------------------------------------------------------------------
 
@@ -477,3 +616,31 @@ class TestJanitor:
         junk.write_text("{not json")
         assert shm_mod.sweep_orphaned_segments(registry_dir=tmp_path) == ()
         assert not junk.exists()
+
+    @pytest.mark.skipif(not shm_mod.shm_available(), reason="no /dev/shm")
+    @pytest.mark.skipif(
+        "fork" not in multiprocessing.get_all_start_methods(),
+        reason="needs fork")
+    def test_sweep_increments_orphans_swept_counter(self, tmp_path,
+                                                    monkeypatch):
+        from repro import obs
+        monkeypatch.setenv(shm_mod.REGISTRY_DIR_ENV, str(tmp_path))
+        ctx = multiprocessing.get_context("fork")
+        child = ctx.Process(target=_orphan_child)
+        child.start()
+        child.join(timeout=30)
+        assert child.exitcode == 5
+        before = obs.get_counter("shm.orphans_swept")
+        swept = shm_mod.sweep_orphaned_segments()
+        assert swept
+        assert obs.get_counter("shm.orphans_swept") == before + len(swept)
+
+    def test_reset_pool_rearms_the_first_build_sweep(self):
+        # The one-shot at-first-pool-build sweep must re-arm on reset:
+        # a reset usually follows exactly the kind of crash that
+        # orphans segments, and the serve daemon's janitor leans on it.
+        pool_mod._JANITOR_RAN = True
+        pool_mod._SPAWN_FAILED = True
+        pool_mod.reset_pool()
+        assert pool_mod._JANITOR_RAN is False
+        assert pool_mod._SPAWN_FAILED is False

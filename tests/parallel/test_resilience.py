@@ -81,7 +81,7 @@ class TestRetryPolicy:
 
     def test_malformed_env_warns_and_keeps_defaults(self, monkeypatch):
         monkeypatch.setenv(resilience.ATTEMPTS_ENV, "banana")
-        with pytest.warns(RuntimeWarning, match="not a number"):
+        with pytest.warns(RuntimeWarning, match="not an integer"):
             policy = resilience.default_policy()
         assert policy.attempts == resilience.DEFAULT_ATTEMPTS
 

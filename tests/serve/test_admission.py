@@ -1,0 +1,115 @@
+"""Bounded admission: shed-oldest and the latency-derived Retry-After."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro import obs
+from repro.errors import QueueFullError
+from repro.serve.admission import AdmissionQueue
+
+
+class StubEntry:
+    """Records the failure exception the queue hands a shed victim."""
+
+    def __init__(self, tag: str):
+        self.tag = tag
+        self.exc: "BaseException | None" = None
+
+    def fail(self, exc: BaseException) -> None:
+        self.exc = exc
+
+
+class TestShedOldest:
+    def test_overflow_sheds_the_oldest_waiter(self):
+        queue = AdmissionQueue(max_depth=2, batch_max=4)
+        a, b, c = StubEntry("a"), StubEntry("b"), StubEntry("c")
+        before = obs.get_counter("serve.requests_shed")
+        queue.offer(a)
+        queue.offer(b)
+        queue.offer(c)                      # at capacity: a is shed
+        assert obs.get_counter("serve.requests_shed") == before + 1
+        assert isinstance(a.exc, QueueFullError)
+        assert a.exc.code == "queue-full"
+        assert a.exc.retry_after_s >= 0.05
+        assert b.exc is None and c.exc is None
+        assert queue.depth == 2
+
+    def test_requeue_never_sheds_and_goes_first(self):
+        queue = AdmissionQueue(max_depth=1, batch_max=4)
+        a, b = StubEntry("a"), StubEntry("b")
+        queue.offer(a)
+        queue.requeue(b)                    # already-admitted survivor
+        assert queue.depth == 2             # requeue bypasses the bound
+        assert a.exc is None and b.exc is None
+
+
+class TestRetryAfter:
+    def test_floor_before_any_observation(self):
+        queue = AdmissionQueue(max_depth=4, batch_max=2)
+        assert queue.retry_after_s() == pytest.approx(0.05)
+
+    def test_scales_with_batches_ahead(self):
+        queue = AdmissionQueue(max_depth=8, batch_max=2)
+        queue.observe_batch_latency(0.2)
+        assert queue.retry_after_s() == pytest.approx(0.2)  # empty queue
+        for i in range(3):                  # 3 waiting = 2 batches ahead
+            queue.offer(StubEntry(str(i)))
+        assert queue.retry_after_s() == pytest.approx(0.4)
+
+    def test_ewma_converges_toward_recent_latency(self):
+        queue = AdmissionQueue(max_depth=4, batch_max=2)
+        queue.observe_batch_latency(1.0)
+        for _ in range(30):
+            queue.observe_batch_latency(0.1)
+        assert queue.retry_after_s() == pytest.approx(0.1, rel=0.05)
+
+
+class TestTakeBatch:
+    def test_drains_up_to_batch_max_in_order(self):
+        async def scenario():
+            queue = AdmissionQueue(max_depth=8, batch_max=2)
+            entries = [StubEntry(str(i)) for i in range(3)]
+            for entry in entries:
+                queue.offer(entry)
+            first = await queue.take_batch()
+            second = await queue.take_batch()
+            assert [e.tag for e in first] == ["0", "1"]
+            assert [e.tag for e in second] == ["2"]
+
+        asyncio.run(scenario())
+
+    def test_waits_for_work(self):
+        async def scenario():
+            queue = AdmissionQueue(max_depth=8, batch_max=2)
+
+            async def feed():
+                await asyncio.sleep(0.01)
+                queue.offer(StubEntry("late"))
+
+            feeder = asyncio.ensure_future(feed())
+            batch = await asyncio.wait_for(queue.take_batch(), timeout=5)
+            await feeder
+            assert [e.tag for e in batch] == ["late"]
+
+        asyncio.run(scenario())
+
+    def test_drain_pending_empties_the_queue(self):
+        queue = AdmissionQueue(max_depth=8, batch_max=2)
+        queue.offer(StubEntry("a"))
+        queue.offer(StubEntry("b"))
+        drained = queue.drain_pending()
+        assert [e.tag for e in drained] == ["a", "b"]
+        assert queue.depth == 0
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"max_depth": 0, "batch_max": 1},
+        {"max_depth": 1, "batch_max": 0},
+    ])
+    def test_bad_bounds_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            AdmissionQueue(**kwargs)

@@ -1,0 +1,97 @@
+"""One doctor, three consumers: the shared report and its renderings.
+
+The stable-schema contract: ``repro doctor --json``, the human table,
+and the daemon's ``/readyz`` all render the *same*
+:func:`repro.serve.health.doctor_report` dict, and that dict's
+top-level keys only ever grow.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.cli import main
+from repro.serve.health import (
+    SCHEMA_VERSION,
+    doctor_report,
+    render_doctor_table,
+)
+
+#: The frozen v1 key set — a rename or removal here is a breaking
+#: change and must bump SCHEMA_VERSION; additions are always allowed.
+_V1_KEYS = {"schema_version", "version", "pool", "shm", "ladder",
+            "faults", "counters"}
+
+
+class TestDoctorReport:
+    def test_v1_keys_all_present(self):
+        report = doctor_report()
+        assert _V1_KEYS <= set(report)
+        assert report["schema_version"] == SCHEMA_VERSION == 1
+
+    def test_json_serializable_round_trip(self):
+        report = doctor_report()
+        assert json.loads(json.dumps(report)) == report
+
+    def test_section_shapes(self):
+        report = doctor_report()
+        assert set(report["pool"]) == {"available", "disabled"}
+        assert set(report["shm"]) == {"available", "registry_dir",
+                                      "live_segments"}
+        assert set(report["ladder"]) == {"latched", "failures"}
+        assert isinstance(report["ladder"]["latched"], list)
+        assert isinstance(report["faults"]["active_rules"], int)
+        assert isinstance(report["counters"], dict)
+
+    def test_sweep_flag_adds_janitor_section(self, tmp_path):
+        bare = doctor_report()
+        assert "janitor" not in bare
+        swept = doctor_report(registry_dir=str(tmp_path), sweep=True)
+        assert swept["janitor"] == {"swept": []}
+
+    def test_counters_reflect_activity(self):
+        obs.inc("serve.test_health_probe")
+        report = doctor_report()
+        assert report["counters"]["serve.test_health_probe"] >= 1
+
+    def test_active_fault_rules_counted(self, monkeypatch):
+        from repro.parallel import faults
+        monkeypatch.setenv(faults.FAULT_SPEC_ENV,
+                           "raise@attach, kill@block=0")
+        assert doctor_report()["faults"]["active_rules"] == 2
+
+
+class TestRenderTable:
+    def test_table_renders_every_section(self, tmp_path):
+        report = doctor_report(registry_dir=str(tmp_path), sweep=True)
+        text = render_doctor_table(report)
+        assert "repro doctor — parallel substrate" in text
+        assert "process pool" in text
+        assert "shared memory" in text
+        assert "ladder state" in text
+        assert "janitor      : no orphaned segments" in text
+        assert "activity (process lifetime)" in text
+
+    def test_latched_rungs_render(self):
+        report = doctor_report()
+        report["ladder"]["latched"] = ["shm"]
+        assert "latched: shm" in render_doctor_table(report)
+
+
+class TestDoctorCli:
+    def test_json_flag_emits_the_stable_schema(self, capsys):
+        assert main(["doctor", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert _V1_KEYS <= set(report)
+        # The CLI always sweeps, so the janitor section is present.
+        assert "janitor" in report
+
+    def test_default_is_the_human_table(self, capsys):
+        assert main(["doctor"]) == 0
+        out = capsys.readouterr().out
+        assert "repro doctor — parallel substrate" in out
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(out)

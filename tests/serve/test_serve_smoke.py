@@ -1,0 +1,83 @@
+"""Black-box daemon smoke: real process, real signals, exit 0.
+
+This mirrors the CI serve-smoke job: start ``python -m repro serve``
+as a subprocess, wait for readiness, run one assess and one
+64-scenario sweep (cache hit on repeat), then SIGTERM it and require a
+clean drain — exit code 0, with the drain line on stdout.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _request(port, path, body=None):
+    url = f"http://127.0.0.1:{port}{path}"
+    if body is None:
+        request = urllib.request.Request(url)
+    else:
+        request = urllib.request.Request(
+            url, data=json.dumps(body).encode("utf-8"), method="POST")
+    with urllib.request.urlopen(request, timeout=30) as response:
+        return response.status, dict(response.headers), response.read()
+
+
+@pytest.mark.timeout(60)
+def test_serve_smoke_sigterm_drains_to_exit_zero():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env.pop("REPRO_FAULT_SPEC", None)
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True, cwd=REPO_ROOT, env=env)
+    try:
+        ready_line = process.stdout.readline()
+        assert "listening on http://127.0.0.1:" in ready_line, ready_line
+        port = int(ready_line.strip().rsplit(":", 1)[1])
+
+        deadline = time.monotonic() + 30
+        while True:
+            try:
+                status, _, body = _request(port, "/readyz")
+                break
+            except (urllib.error.URLError, ConnectionError):
+                assert time.monotonic() < deadline, "readyz never came up"
+                time.sleep(0.1)
+        assert status == 200
+        assert json.loads(body)["ready"] is True
+
+        status, headers, first = _request(port, "/v1/assess",
+                                          {"fleet": "doe-like"})
+        assert status == 200 and headers["X-Repro-Cache"] == "miss"
+        status, headers, again = _request(port, "/v1/assess",
+                                          {"fleet": "doe-like"})
+        assert status == 200 and headers["X-Repro-Cache"] == "hit"
+        assert again == first
+
+        status, _, sweep = _request(port, "/v1/sweep",
+                                    {"fleet": "doe-like",
+                                     "grid": "acceptance"})
+        assert status == 200
+        assert json.loads(sweep)["n_scenarios"] == 64
+
+        process.send_signal(signal.SIGTERM)
+        exit_code = process.wait(timeout=30)
+        assert exit_code == 0
+        assert "drained, exiting" in process.stdout.read()
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait(timeout=10)

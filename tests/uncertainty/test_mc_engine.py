@@ -250,7 +250,7 @@ class TestFanOut:
         assert mc_band_stack(values, unc, n_samples=200,
                              method="auto") == serial
         monkeypatch.setenv(mc.SHM_MIN_DRAWS_ENV, "not-a-number")
-        with pytest.warns(RuntimeWarning, match="malformed"):
+        with pytest.warns(RuntimeWarning, match="not a number"):
             assert mc_band_stack(values, unc, n_samples=200,
                                  method="auto") == serial
 
