@@ -40,14 +40,23 @@ runner had no shared memory or could not spawn processes.
 
 With ``--serve-baseline``/``--serve-current`` the gate also reads
 ``BENCH_serve.json`` (the ``repro serve`` daemon benchmark) and checks
-two more machine-normalized ratios against the committed values, at
-``--serve-max-regression`` tolerance (default 50 % — both ratios mix
+five machine-normalized ratios against the committed values, at
+``--serve-max-regression`` tolerance (default 50 % — these ratios mix
 HTTP overhead with kernel time, so cross-machine variance is wide):
 
 * ``warm_vs_cold_speedup`` — a cached response against the cold
   kernel run that produced it;
 * ``coalesced.speedup_vs_serial`` — N concurrent coalesced requests
-  against the same N issued back-to-back.
+  against the same N issued back-to-back;
+* ``keepalive.speedup_vs_close`` — one persistent connection against
+  a fresh connection per request (also held to an *absolute* 1.3x
+  floor, the scale-out acceptance criterion);
+* ``l2_warm_restart.speedup_vs_cold`` — a restarted daemon's shared-L2
+  hit against the cold kernel run (plus a lower-is-better latency
+  ceiling on ``l2_warm_restart.hit_ms.p50``);
+* ``replica_tier.speedup_vs_single`` — ``--workers 2`` against
+  ``--workers 1`` cached-hit throughput (≈1.0 on single-core
+  runners; gated as a regression baseline, not a scaling claim).
 
 Usage::
 
@@ -86,7 +95,15 @@ METRICS = (
 SERVE_METRICS = (
     "warm_vs_cold_speedup",
     "coalesced.speedup_vs_serial",
+    "keepalive.speedup_vs_close",
+    "l2_warm_restart.speedup_vs_cold",
+    "replica_tier.speedup_vs_single",
 )
+
+#: Absolute floor for keep-alive vs per-request connections — the
+#: scale-out acceptance criterion, enforced regardless of the
+#: committed value (the benchmark itself asserts it too).
+KEEPALIVE_FLOOR = 1.3
 
 
 def _check_ratios(baseline: dict, current: dict, metrics: tuple[str, ...],
@@ -110,6 +127,49 @@ def _check_ratios(baseline: dict, current: dict, metrics: tuple[str, ...],
             failures.append(
                 f"{label} regressed >{max_regression:.0%}: "
                 f"{base:.2f} -> {new:.2f}")
+
+
+def _check_serve_floors(current: dict, max_regression: float,
+                        baseline: dict, failures: list[str]) -> None:
+    """Serve checks beyond simple ratio regression.
+
+    * ``keepalive.speedup_vs_close`` has an *absolute* floor
+      (:data:`KEEPALIVE_FLOOR`) — persistent connections that no
+      longer beat per-request connections mean the keep-alive loop is
+      broken, whatever the committed baseline says.
+    * ``l2_warm_restart.hit_ms.p50`` is lower-is-better, so the ratio
+      gate cannot express it: it fails when the restart-hit latency
+      *grows* past ``1 / (1 - max_regression)`` of the committed value.
+    """
+    keepalive = _metric(current, "keepalive.speedup_vs_close")
+    if keepalive is not None:
+        status = "OK" if keepalive >= KEEPALIVE_FLOOR else "BELOW FLOOR"
+        print(f"  serve.keepalive.speedup_vs_close: {keepalive:.2f} "
+              f"(absolute floor {KEEPALIVE_FLOOR:.2f}) {status}")
+        if keepalive < KEEPALIVE_FLOOR:
+            failures.append(
+                f"serve: keepalive speedup {keepalive:.2f} is below the "
+                f"{KEEPALIVE_FLOOR:.1f}x acceptance floor")
+
+    committed_ms = _metric(baseline, "l2_warm_restart.hit_ms.p50")
+    measured_ms = _metric(current, "l2_warm_restart.hit_ms.p50")
+    if committed_ms is None:
+        print(f"  serve.l2_warm_restart.hit_ms.p50: no committed baseline "
+              f"(current: {measured_ms}) — skip")
+    elif measured_ms is None:
+        failures.append("serve: l2_warm_restart.hit_ms.p50 missing from "
+                        "current measurement")
+    else:
+        ceiling = committed_ms / (1.0 - max_regression)
+        status = "OK" if measured_ms <= ceiling else "REGRESSION"
+        print(f"  serve.l2_warm_restart.hit_ms.p50: baseline "
+              f"{committed_ms:.2f}ms -> current {measured_ms:.2f}ms "
+              f"(ceiling {ceiling:.2f}ms) {status}")
+        if measured_ms > ceiling:
+            failures.append(
+                f"serve: L2 warm-restart hit latency grew "
+                f"{committed_ms:.2f}ms -> {measured_ms:.2f}ms "
+                f"(ceiling {ceiling:.2f}ms)")
 
 
 def _curve_point(data: dict, n: int) -> dict | None:
@@ -210,6 +270,8 @@ def main(argv: list[str] | None = None) -> int:
             serve_current = json.load(fh)
         _check_ratios(serve_baseline, serve_current, SERVE_METRICS,
                       args.serve_max_regression, "serve.", failures)
+        _check_serve_floors(serve_current, args.serve_max_regression,
+                            serve_baseline, failures)
 
     if args.scaling_current:
         scaling_baseline = {}

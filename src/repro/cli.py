@@ -208,6 +208,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="emit the stable machine-readable report "
                              "(the same schema /readyz embeds) instead "
                              "of the human table")
+    doctor.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="L2 result-cache directory to inspect "
+                             "(default: REPRO_SERVE_CACHE_DIR)")
 
     srv = sub.add_parser(
         "serve",
@@ -231,6 +234,34 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--janitor-interval-s", type=float, default=30.0,
                      help="seconds between orphaned-segment sweeps "
                           "(default 30)")
+    srv.add_argument("--workers", type=int, default=1,
+                     help="replica count; >1 runs a supervised tier "
+                          "sharing one address and one L2 cache "
+                          "(default 1)")
+    srv.add_argument("--cache-dir", default=None, metavar="DIR",
+                     help="shared L2 result-cache directory (survives "
+                          "restarts; default: none for --workers 1, a "
+                          "tier-scoped scratch dir otherwise)")
+    srv.add_argument("--cache-l2-bytes", type=int, default=64 << 20,
+                     help="L2 byte budget before mtime-LRU eviction "
+                          "(default 64 MiB)")
+    srv.add_argument("--keepalive-idle-s", type=float, default=5.0,
+                     help="close a keep-alive connection idle this long "
+                          "(default 5)")
+    srv.add_argument("--keepalive-max-requests", type=int, default=100,
+                     help="requests served per connection before asking "
+                          "the client to reconnect (default 100)")
+    srv.add_argument("--stream-threshold-bytes", type=int, default=1 << 16,
+                     help="chunk-stream response bodies above this size "
+                          "(default 64 KiB)")
+    # Replica plumbing — set by the tier supervisor, not by operators.
+    srv.add_argument("--replica-index", type=int, default=0,
+                     help=argparse.SUPPRESS)
+    srv.add_argument("--tier-dir", default=None, help=argparse.SUPPRESS)
+    srv.add_argument("--inherit-socket", type=int, default=None,
+                     help=argparse.SUPPRESS)
+    srv.add_argument("--reuseport", action="store_true",
+                     help=argparse.SUPPRESS)
 
     profile = sub.add_parser(
         "profile",
@@ -520,7 +551,8 @@ def cmd_doctor(args: argparse.Namespace) -> int:
 
     from repro.serve.health import doctor_report, render_doctor_table
 
-    report = doctor_report(registry_dir=args.registry_dir, sweep=True)
+    report = doctor_report(registry_dir=args.registry_dir, sweep=True,
+                           cache_dir=args.cache_dir)
     if args.as_json:
         print(json_mod.dumps(report, indent=2, sort_keys=True))
     else:
@@ -529,7 +561,12 @@ def cmd_doctor(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
-    """``repro serve``: run the warm assessment daemon until SIGTERM."""
+    """``repro serve``: run the warm assessment daemon until SIGTERM.
+
+    ``--workers N`` (N > 1) hands off to the replica-tier supervisor
+    (:func:`repro.serve.replicas.run_tier`): N supervised daemon
+    replicas behind one address, sharing one L2 result cache.
+    """
     from repro.serve import ServeConfig, serve
 
     try:
@@ -539,10 +576,23 @@ def cmd_serve(args: argparse.Namespace) -> int:
             default_deadline_s=args.default_deadline_s,
             max_deadline_s=args.max_deadline_s,
             cache_entries=args.cache_entries,
-            janitor_interval_s=args.janitor_interval_s)
+            janitor_interval_s=args.janitor_interval_s,
+            keepalive_idle_s=args.keepalive_idle_s,
+            keepalive_max_requests=args.keepalive_max_requests,
+            stream_threshold_bytes=args.stream_threshold_bytes,
+            cache_dir=args.cache_dir,
+            cache_l2_bytes=args.cache_l2_bytes,
+            workers=args.workers,
+            replica_index=args.replica_index,
+            tier_dir=args.tier_dir,
+            inherit_socket_fd=args.inherit_socket,
+            reuseport=args.reuseport)
     except ValueError as exc:
         print(str(exc), file=sys.stderr)
         return 2
+    if config.workers > 1:
+        from repro.serve.replicas import run_tier
+        return run_tier(config)
     return serve(config)
 
 

@@ -7,11 +7,17 @@ admission (shed-oldest, 429 + ``Retry-After``), a circuit breaker
 layered over the degradation ladder, checksum-validated result
 caching, crash-safe warm-state rebuild, and graceful SIGTERM drain.
 
+Scale-out (``--workers N``): a supervised replica tier behind one
+address (``repro.serve.replicas``), persistent HTTP/1.1 connections
+with chunked streaming, and a shared two-level result cache
+(``repro.serve.cachetier``) whose disk L2 survives restarts.
+
 See ``docs/serving.md`` for the operational story.
 """
 
 from repro.serve.admission import AdmissionQueue
 from repro.serve.app import AssessmentServer, ServeConfig, serve
+from repro.serve.cachetier import DiskCacheL2, TieredResultCache, l2_stats
 from repro.serve.batcher import (
     ACCEPTANCE_GRID_AXES,
     BatchEntry,
@@ -30,6 +36,7 @@ from repro.serve.health import (
     SCHEMA_VERSION,
     doctor_report,
     render_doctor_table,
+    render_prometheus,
 )
 from repro.serve.lifecycle import (
     BREAKER_CLOSED,
@@ -37,7 +44,9 @@ from repro.serve.lifecycle import (
     BREAKER_OPEN,
     CircuitBreaker,
     WarmState,
+    read_tier_status,
 )
+from repro.serve.replicas import reuseport_available, run_tier
 
 __all__ = [
     "ACCEPTANCE_GRID_AXES",
@@ -49,11 +58,13 @@ __all__ = [
     "BREAKER_DEGRADED",
     "BREAKER_OPEN",
     "CircuitBreaker",
+    "DiskCacheL2",
     "ParsedRequest",
     "RequestError",
     "ResultCache",
     "SCHEMA_VERSION",
     "ServeConfig",
+    "TieredResultCache",
     "WarmState",
     "build_specs",
     "cache_key",
@@ -62,7 +73,12 @@ __all__ = [
     "evaluate_group",
     "fleet_content_hash",
     "fleet_records",
+    "l2_stats",
     "parse_request",
+    "read_tier_status",
     "render_doctor_table",
+    "render_prometheus",
+    "reuseport_available",
+    "run_tier",
     "serve",
 ]

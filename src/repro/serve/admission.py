@@ -116,3 +116,13 @@ class AdmissionQueue:
         entries = list(self._entries)
         self._entries.clear()
         return entries
+
+    def stats(self) -> dict[str, Any]:
+        """Queue depth and latency view for health endpoints."""
+        ewma = self._latency_ewma_s
+        return {
+            "depth": len(self._entries),
+            "max_depth": self.max_depth,
+            "batch_max": self.batch_max,
+            "latency_ewma_s": None if ewma is None else float(ewma),
+        }

@@ -4,16 +4,23 @@
 records, their extracted :class:`~repro.core.vectorized.FleetFrame`\\ s,
 the spawned worker pool, recent results — warm across requests, so the
 cost structure the library amortizes within one Python lifetime
-amortizes across *clients*.  The HTTP layer is deliberately minimal
-(HTTP/1.1, one request per connection, ``Connection: close``): the
-engineering budget goes to the robustness semantics, not the protocol.
+amortizes across *clients*.  The HTTP layer stays stdlib-asyncio but
+speaks real HTTP/1.1: **persistent connections** (a bounded
+per-connection request loop with an idle timeout, honoring a client's
+``Connection: close``) and **chunked streaming** for large response
+bodies, so a benchmark client no longer pays a TCP setup + teardown
+per request.
 
 Endpoints::
 
     GET  /healthz    liveness: 200 while the event loop runs
     GET  /readyz     readiness: 200 unless breaker-open or draining;
-                     body embeds the shared doctor report
-    GET  /metrics    the obs counter snapshot as JSON
+                     body embeds the shared doctor report (plus the
+                     replica-tier aggregate when running under
+                     ``--workers N``)
+    GET  /metrics    the obs counter snapshot as JSON; Prometheus text
+                     exposition via ``?format=prometheus`` or
+                     ``Accept: text/plain``
     POST /v1/assess  one fleet's totals/coverage (identity scenario)
     POST /v1/sweep   scenario-axes sweep (totals per scenario)
     POST /v1/bands   sweep + per-scenario Monte-Carlo band statistics
@@ -23,8 +30,13 @@ Every refusal is a structured error (``{"error": {"code", "message",
 429 queue-full (with ``Retry-After``), 503 breaker-open/draining, 504
 deadline-exceeded, 500 otherwise.  Response bodies are byte-for-byte
 cacheable; cache status travels in the ``X-Repro-Cache`` header
-(``hit`` / ``miss``) so a cached body stays identical to the computed
-one.
+(``hit`` from the in-process L1, ``hit-l2`` from the shared disk
+tier, ``miss``) so a cached body stays identical to the computed one.
+
+The result cache is two-level when ``--cache-dir`` is configured
+(:mod:`repro.serve.cachetier`): the in-process LRU stays L1, and a
+checksummed file-per-digest directory becomes L2 — shared by every
+replica in a tier and surviving daemon restarts.
 
 SIGTERM starts a graceful drain: readiness drops, new requests are
 refused (503 ``draining``), admitted work finishes, a final
@@ -36,8 +48,9 @@ from __future__ import annotations
 
 import asyncio
 import json
+import os
 import signal
-import sys
+import socket
 from dataclasses import dataclass
 from typing import Any
 
@@ -55,12 +68,25 @@ from repro.serve.batcher import (
     parse_request,
 )
 from repro.serve.cache import ResultCache, canonical_digest
-from repro.serve.health import doctor_report
-from repro.serve.lifecycle import CircuitBreaker, WarmState
+from repro.serve.cachetier import DiskCacheL2, TieredResultCache
+from repro.serve.health import (
+    PROMETHEUS_CONTENT_TYPE,
+    doctor_report,
+    render_prometheus,
+)
+from repro.serve.lifecycle import (
+    CircuitBreaker,
+    WarmState,
+    read_tier_status,
+    write_replica_status,
+)
 
 __all__ = ["ServeConfig", "AssessmentServer", "serve"]
 
 _MAX_BODY_BYTES = 1 << 20  # inline fleets are records, not datasets
+
+#: Chunk size for streamed (Transfer-Encoding: chunked) bodies.
+_STREAM_CHUNK_BYTES = 64 << 10
 
 
 @dataclass(frozen=True)
@@ -79,10 +105,27 @@ class ServeConfig:
     breaker_open_after: int = 5
     breaker_close_after: int = 2
     breaker_cooldown_s: float = 5.0
+    # -- persistent connections ------------------------------------------
+    keepalive_idle_s: float = 5.0     # close a silent connection
+    keepalive_max_requests: int = 100  # then ask the client to reconnect
+    stream_threshold_bytes: int = 1 << 16  # chunk bodies above this
+    # -- shared L2 result cache ------------------------------------------
+    cache_dir: "str | None" = None    # None = L1 only (PR-8 behavior)
+    cache_l2_bytes: int = 64 << 20
+    # -- replica tier (set by the repro.serve.replicas supervisor) -------
+    workers: int = 1
+    replica_index: int = 0
+    tier_dir: "str | None" = None
+    inherit_socket_fd: "int | None" = None  # pre-bound listener (no REUSEPORT)
+    reuseport: bool = False           # bind our own SO_REUSEPORT listener
 
     def __post_init__(self) -> None:
         if self.default_deadline_s > self.max_deadline_s:
             raise ValueError("default_deadline_s exceeds max_deadline_s")
+        if self.keepalive_max_requests < 1:
+            raise ValueError("keepalive_max_requests must be >= 1")
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
 
 
 _STATUS_TEXT = {200: "OK", 400: "Bad Request", 404: "Not Found",
@@ -106,7 +149,11 @@ class AssessmentServer:
             close_after=self.config.breaker_close_after,
             cooldown_s=self.config.breaker_cooldown_s)
         self.warm = WarmState()
-        self.cache = ResultCache(max_entries=self.config.cache_entries)
+        l2 = (DiskCacheL2(self.config.cache_dir,
+                          max_bytes=self.config.cache_l2_bytes)
+              if self.config.cache_dir else None)
+        self.cache = TieredResultCache(
+            ResultCache(max_entries=self.config.cache_entries), l2)
         self.admission = AdmissionQueue(max_depth=self.config.max_queue,
                                         batch_max=self.config.batch_max)
         self.batcher = Batcher(self.admission, self.breaker, self.warm,
@@ -127,12 +174,32 @@ class AssessmentServer:
         return self._server.sockets[0].getsockname()[1]
 
     async def start(self) -> None:
-        self._server = await asyncio.start_server(
-            self._handle_connection, self.config.host, self.config.port)
+        cfg = self.config
+        if cfg.inherit_socket_fd is not None:
+            # Fallback accept-sharing: the supervisor bound + listened
+            # once and every replica accepts from the inherited fd.
+            sock = socket.socket(fileno=cfg.inherit_socket_fd)
+            sock.setblocking(False)
+            self._server = await asyncio.start_server(
+                self._handle_connection, sock=sock)
+        elif cfg.reuseport:
+            # Kernel load-balancing: each replica binds its own
+            # SO_REUSEPORT listener on the (already resolved) port.
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+            sock.bind((cfg.host, cfg.port))
+            sock.listen(128)
+            sock.setblocking(False)
+            self._server = await asyncio.start_server(
+                self._handle_connection, sock=sock)
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection, cfg.host, cfg.port)
         self._tasks = [
             asyncio.create_task(self.batcher.run(), name="repro-batcher"),
             asyncio.create_task(self._janitor(), name="repro-janitor"),
         ]
+        self._publish_replica_status()
 
     async def stop(self) -> None:
         """Immediate teardown (tests); :meth:`drain` is the polite exit."""
@@ -157,6 +224,7 @@ class AssessmentServer:
             return
         self.draining = True
         obs.inc("serve.drains")
+        self._publish_replica_status()
         while self.admission.depth or self.batcher.in_flight:
             await asyncio.sleep(0.01)
         with obs.span("serve.drain", batches=self.batcher.batch_no):
@@ -188,16 +256,59 @@ class AssessmentServer:
             except Exception:
                 # Hygiene must never take down the service.
                 pass
+            # Refresh this replica's tier status so a breaker flip
+            # eventually reaches the aggregate view even without
+            # a lifecycle event.
+            self._publish_replica_status()
+
+    def _publish_replica_status(self) -> None:
+        """Atomically publish this replica's readiness (tier mode only)."""
+        if self.config.tier_dir is None or self._server is None:
+            return
+        write_replica_status(
+            self.config.tier_dir, self.config.replica_index,
+            pid=os.getpid(), port=self.port,
+            ready=not self.draining and self.breaker.state != "open")
 
     # -- HTTP front ----------------------------------------------------------
 
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
+        """The per-connection request loop (HTTP/1.1 keep-alive).
+
+        A connection serves requests until the client asks for
+        ``Connection: close``, stays idle past ``keepalive_idle_s``,
+        hits ``keepalive_max_requests`` (bounding per-connection state
+        the same way every other resource here is bounded), sends
+        malformed framing, or the daemon starts draining.
+        """
+        obs.inc("serve.connections")
+        served = 0
         try:
-            status, headers, body, abort = await self._handle_request(reader)
-            if not abort:
-                writer.write(_render_response(status, headers, body))
-                await writer.drain()
+            while True:
+                try:
+                    request_line = await asyncio.wait_for(
+                        reader.readline(),
+                        timeout=self.config.keepalive_idle_s)
+                except asyncio.TimeoutError:
+                    break
+                if not request_line.strip():
+                    break          # EOF or a client closing politely
+                if served:
+                    obs.inc("serve.keepalive_reuses")
+                (status, headers, body, abort,
+                 close_conn) = await self._handle_request(reader,
+                                                          request_line)
+                if abort:
+                    return     # fault-injected client death: no bytes
+                served += 1
+                if served >= self.config.keepalive_max_requests \
+                        or self.draining:
+                    close_conn = True
+                await self._send_response(writer, status, headers, body,
+                                          close=close_conn)
+                if close_conn:
+                    break
         except (ConnectionError, asyncio.IncompleteReadError):
             pass
         finally:
@@ -207,39 +318,63 @@ class AssessmentServer:
             except (ConnectionError, OSError):
                 pass
 
-    async def _handle_request(self, reader: asyncio.StreamReader,
-                              ) -> tuple[int, dict[str, str], bytes, bool]:
+    async def _handle_request(
+            self, reader: asyncio.StreamReader, request_line: bytes,
+            ) -> tuple[int, dict[str, str], bytes, bool, bool]:
+        """Parse one framed request; returns ``(..., abort, close)``.
+
+        ``close`` is True when the client asked for it (``Connection:
+        close``, or an HTTP/1.0 request without ``keep-alive``) or the
+        framing went wrong — after a parse error the byte stream can no
+        longer be trusted to start a next request.
+        """
+        close_conn = False
+        accept = ""
         try:
-            request_line = await reader.readline()
             parts = request_line.decode("latin-1").split()
             if len(parts) < 2:
-                return 400, {}, _error_body("bad-request",
-                                            "malformed request line"), False
+                return 400, {}, _error_body(
+                    "bad-request", "malformed request line"), False, True
             method, path = parts[0], parts[1]
+            version = parts[2] if len(parts) > 2 else "HTTP/1.1"
+            close_conn = version.upper() == "HTTP/1.0"
             content_length = 0
             while True:
                 line = await reader.readline()
                 if line in (b"\r\n", b"\n", b""):
                     break
                 name, _, value = line.decode("latin-1").partition(":")
-                if name.strip().lower() == "content-length":
+                name = name.strip().lower()
+                if name == "content-length":
                     try:
                         content_length = int(value.strip())
                     except ValueError:
                         return 400, {}, _error_body(
-                            "bad-request", "bad Content-Length"), False
+                            "bad-request", "bad Content-Length"), False, True
+                elif name == "connection":
+                    token = value.strip().lower()
+                    if token == "close":
+                        close_conn = True
+                    elif token == "keep-alive":
+                        close_conn = False
+                elif name == "accept":
+                    accept = value.strip().lower()
             if content_length > _MAX_BODY_BYTES:
                 return 413, {}, _error_body(
-                    "bad-request", "request body too large"), False
+                    "bad-request", "request body too large"), False, True
             raw = (await reader.readexactly(content_length)
                    if content_length else b"")
         except (asyncio.IncompleteReadError, UnicodeDecodeError):
             return 400, {}, _error_body("bad-request",
-                                        "truncated request"), False
-        return await self._route(method, path, raw)
+                                        "truncated request"), False, True
+        status, headers, body, abort = await self._route(
+            method, path, raw, accept=accept)
+        return status, headers, body, abort, close_conn
 
-    async def _route(self, method: str, path: str, raw: bytes,
+    async def _route(self, method: str, path: str, raw: bytes, *,
+                     accept: str = "",
                      ) -> tuple[int, dict[str, str], bytes, bool]:
+        path, _, query = path.partition("?")
         if method == "GET":
             if path == "/healthz":
                 return 200, {}, _json_body(self._healthz()), False
@@ -248,6 +383,11 @@ class AssessmentServer:
                 return (200 if report["ready"] else 503), {}, \
                     _json_body(report), False
             if path == "/metrics":
+                if "format=prometheus" in query.split("&") \
+                        or "text/plain" in accept:
+                    text = render_prometheus()
+                    return 200, {"Content-Type": PROMETHEUS_CONTENT_TYPE}, \
+                        text.encode("utf-8"), False
                 return 200, {}, _json_body(
                     {"counters": obs.metrics_snapshot()}), False
             return 404, {}, _error_body("not-found", f"no route {path}"), False
@@ -260,6 +400,28 @@ class AssessmentServer:
             return 404, {}, _error_body("not-found", f"no route {path}"), False
         return await self._assessment(kind, raw)
 
+    async def _send_response(self, writer: asyncio.StreamWriter, status: int,
+                             headers: dict[str, str], body: bytes, *,
+                             close: bool) -> None:
+        """Write one response; chunk-stream bodies above the threshold.
+
+        Streaming keeps a keep-alive connection reusable for bodies of
+        unknown-at-header-time size and bounds the per-write buffer; the
+        payload bytes on the wire are identical either way.
+        """
+        if len(body) > self.config.stream_threshold_bytes:
+            obs.inc("serve.responses_streamed")
+            writer.write(_render_head(status, headers, close=close,
+                                      chunked=True))
+            for offset in range(0, len(body), _STREAM_CHUNK_BYTES):
+                chunk = body[offset:offset + _STREAM_CHUNK_BYTES]
+                writer.write(b"%x\r\n" % len(chunk) + chunk + b"\r\n")
+                await writer.drain()
+            writer.write(b"0\r\n\r\n")
+        else:
+            writer.write(_render_response(status, headers, body, close=close))
+        await writer.drain()
+
     def _healthz(self) -> dict[str, Any]:
         return {
             "status": "draining" if self.draining else "ok",
@@ -271,9 +433,21 @@ class AssessmentServer:
 
     def _readyz(self) -> dict[str, Any]:
         ready = not self.draining and self.breaker.state != "open"
-        report = doctor_report(sweep=False)
+        report = doctor_report(sweep=False,
+                               cache_dir=self.config.cache_dir,
+                               cache_max_bytes=self.config.cache_l2_bytes)
         report["serve"] = self._healthz()
+        report["serve"]["admission"] = self.admission.stats()
         report["ready"] = ready
+        if self.config.tier_dir is not None:
+            # Any replica answers for the whole tier: the aggregate is
+            # read from the shared status directory, so a prober can
+            # hit whichever replica the kernel picks.
+            tier = read_tier_status(self.config.tier_dir)
+            tier["workers"] = (tier.get("supervisor") or {}).get(
+                "workers", self.config.workers)
+            tier["replica_index"] = self.config.replica_index
+            report["replica_tier"] = tier
         return report
 
     async def _assessment(self, kind: str, raw: bytes,
@@ -319,9 +493,10 @@ class AssessmentServer:
                 fleet_hash = fleet_content_hash(records)
                 self._fleet_hashes[fleet_key] = fleet_hash
             key = cache_key(parsed, fleet_hash)
-            cached = self._cache_lookup(key)
+            cached, tier = self._cache_lookup(key)
             if cached is not None:
-                return 200, {"X-Repro-Cache": "hit"}, \
+                return 200, {"X-Repro-Cache":
+                             "hit" if tier == "l1" else "hit-l2"}, \
                     cached.encode("utf-8"), False
             entry = BatchEntry(parsed, records, fleet_key, fleet_hash, key)
             self.admission.offer(entry)
@@ -342,13 +517,13 @@ class AssessmentServer:
             return 500, {}, _error_body(
                 "internal", f"{type(exc).__name__}: {exc}"), False
 
-    def _cache_lookup(self, key: str) -> "str | None":
+    def _cache_lookup(self, key: str) -> "tuple[str | None, str | None]":
         try:
-            return self.cache.get(key)
+            return self.cache.get_with_tier(key)
         except faults.InjectedFault:
             # An injected (or real) load failure is a miss, never an
             # outage: the batch recomputes and overwrites the entry.
-            return None
+            return None, None
 
 
 def _json_body(payload: dict[str, Any]) -> bytes:
@@ -363,21 +538,38 @@ def _error_body(code: str, message: str, *,
     return json.dumps({"error": error}).encode("utf-8")
 
 
-def _render_response(status: int, headers: dict[str, str],
-                     body: bytes) -> bytes:
+def _render_head(status: int, headers: dict[str, str], *, close: bool,
+                 chunked: bool, content_length: "int | None" = None) -> bytes:
+    extra = dict(headers)
+    content_type = extra.pop("Content-Type", "application/json")
     lines = [f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}",
-             "Content-Type: application/json",
-             f"Content-Length: {len(body)}",
-             "Connection: close"]
-    lines.extend(f"{name}: {value}" for name, value in headers.items())
-    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+             f"Content-Type: {content_type}"]
+    if chunked:
+        lines.append("Transfer-Encoding: chunked")
+    else:
+        lines.append(f"Content-Length: {content_length}")
+    lines.append(f"Connection: {'close' if close else 'keep-alive'}")
+    lines.extend(f"{name}: {value}" for name, value in extra.items())
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
+def _render_response(status: int, headers: dict[str, str],
+                     body: bytes, *, close: bool = True) -> bytes:
+    return _render_head(status, headers, close=close, chunked=False,
+                        content_length=len(body)) + body
 
 
 async def _serve_async(config: ServeConfig) -> int:
     server = AssessmentServer(config)
     await server.start()
-    print(f"repro serve: listening on http://{config.host}:{server.port}",
-          flush=True)
+    if config.tier_dir is None:
+        print(f"repro serve: listening on http://{config.host}:{server.port}",
+              flush=True)
+    else:
+        # Replica mode: the supervisor owns the listening line (one per
+        # tier); replicas announce themselves for the supervisor's log.
+        print(f"repro serve: replica {config.replica_index} ready "
+              f"on port {server.port}", flush=True)
     await server.serve_forever()
     print("repro serve: drained, exiting", flush=True)
     return 0

@@ -27,6 +27,7 @@ from __future__ import annotations
 import asyncio
 import contextvars
 import dataclasses
+import enum
 import json
 import time
 from concurrent.futures.process import BrokenProcessPool
@@ -254,6 +255,19 @@ def fleet_records(parsed: ParsedRequest) -> tuple:
     return tuple(records)
 
 
+def _canonical_field_value(value: Any) -> Any:
+    """One record field value as plain JSON data.
+
+    :func:`canonical_digest` refuses non-JSON types outright, so the
+    one non-JSON field type records carry — enums (``memory_type``) —
+    is lowered *explicitly* to a tagged pair that cannot collide with
+    a plain string field holding the same characters.
+    """
+    if isinstance(value, enum.Enum):
+        return [type(value).__name__, value.name]
+    return value
+
+
 def fleet_content_hash(records) -> str:
     """Content (not identity) hash of a fleet's records.
 
@@ -261,7 +275,7 @@ def fleet_content_hash(records) -> str:
     carry them; a mutated fleet hashes different.  This is the cache
     key's defense against serving one fleet's numbers for another.
     """
-    items = [[(f.name, getattr(record, f.name))
+    items = [[(f.name, _canonical_field_value(getattr(record, f.name)))
               for f in dataclasses.fields(record)]
              for record in records]
     return canonical_digest(items)

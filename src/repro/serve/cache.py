@@ -38,9 +38,22 @@ def canonical_digest(parts: Any) -> str:
     ``parts`` must be plain data (dicts/lists/scalars); dict keys are
     sorted so logically-equal requests digest identically regardless of
     construction order.
+
+    Non-JSON types are a :class:`TypeError`, never a silent coercion:
+    a ``default=str`` fallback would let logically-distinct values
+    digest identically (two objects whose ``str()`` collide, or a
+    value whose repr hides the distinguishing state) — and since these
+    digests key the shared result cache, a collision is a wrong answer
+    served with a straight face.  Callers with legitimately non-JSON
+    values (enums, say) must canonicalize them *explicitly* before
+    digesting, as :func:`repro.serve.batcher.fleet_content_hash` does.
     """
-    blob = json.dumps(parts, sort_keys=True, separators=(",", ":"),
-                      default=str)
+    try:
+        blob = json.dumps(parts, sort_keys=True, separators=(",", ":"))
+    except (TypeError, ValueError) as exc:
+        raise TypeError(
+            f"canonical_digest needs plain JSON data "
+            f"(dicts/lists/str/int/float/bool/None): {exc}") from exc
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 

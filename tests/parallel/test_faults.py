@@ -560,6 +560,76 @@ class TestChaosServe:
         _run_serve_scenario(scenario)
         _assert_drained()
 
+    def test_replica_tier_chaos_drains_without_leaks(self, tmp_path):
+        """One fault spec against a real ``--workers 2`` tier: every
+        response still matches the serial reference byte for byte, the
+        tier drains to exit 0, and nothing leaks — no orphaned shm
+        segment, no half-written L2 temp file."""
+        import signal
+        import socket
+        import subprocess
+        import sys
+        import urllib.request
+        from pathlib import Path
+
+        if not hasattr(socket, "SO_REUSEPORT"):
+            pytest.skip("replica tier assumes SO_REUSEPORT")
+        if not _pool_ready():
+            pytest.skip("cannot spawn worker processes")
+
+        reference = _serve_reference("sweep", self._SWEEP)
+        repo_root = Path(__file__).resolve().parents[2]
+        cache_dir = tmp_path / "l2"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(repo_root / "src")
+        # Each replica kills its first batch's pool; the degradation
+        # ladder recovers inside the request's own deadline.
+        env[faults.FAULT_SPEC_ENV] = "kill@batch=0"
+        env[resilience.BACKOFF_ENV] = "0.01"
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--workers", "2", "--cache-dir", str(cache_dir)],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True, cwd=repo_root, env=env)
+        try:
+            line = process.stdout.readline()
+            assert "listening on" in line, line
+            port = int(line.split("http://127.0.0.1:", 1)[1].split()[0])
+            deadline = time.monotonic() + 30
+            while True:
+                try:
+                    with urllib.request.urlopen(
+                            f"http://127.0.0.1:{port}/readyz",
+                            timeout=10) as response:
+                        tier = json.loads(response.read()).get(
+                            "replica_tier") or {}
+                        if tier.get("n_ready", 0) >= 2:
+                            break
+                except OSError:
+                    pass
+                assert time.monotonic() < deadline, "tier never ready"
+                time.sleep(0.1)
+
+            request = urllib.request.Request(
+                f"http://127.0.0.1:{port}/v1/sweep",
+                data=json.dumps(self._SWEEP).encode(), method="POST")
+            with urllib.request.urlopen(request, timeout=60) as response:
+                assert response.status == 200
+                assert response.read() == reference
+
+            process.send_signal(signal.SIGTERM)
+            assert process.wait(timeout=30) == 0
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=10)
+        # Zero leaked segments (the replicas swept their own), zero
+        # leaked L2 temp files (atomic write-then-rename).
+        assert shm_mod.sweep_orphaned_segments() == ()
+        leftovers = [name for name in os.listdir(cache_dir)
+                     if name.startswith(".tmp-")]
+        assert leftovers == []
+
 
 # ---------------------------------------------------------------------------
 # The shm janitor, end-to-end

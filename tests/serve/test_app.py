@@ -150,8 +150,8 @@ class TestCacheBehavior:
         async def scenario(server, get, post):
             body = {"fleet": "doe-like", "axes": {"pue": [1.0, 1.2]}}
             _, _, first = await post("/v1/sweep", body)
-            for key in list(server.cache._entries):
-                assert server.cache.poison(key)
+            for key in list(server.cache.l1._entries):
+                assert server.cache.l1.poison(key)
             before = obs.get_counter("serve.cache_poisoned")
             status, headers, again = await post("/v1/sweep", body)
             assert status == 200
@@ -160,6 +160,40 @@ class TestCacheBehavior:
             assert obs.get_counter("serve.cache_poisoned") == before + 1
 
         run_server(scenario)
+
+    def test_l2_warm_restart_hit_without_rerunning_kernel(self, tmp_path):
+        """A fresh daemon lifetime over the same --cache-dir serves the
+        previous lifetime's answer byte-identically from L2 — without
+        running a single batch."""
+        body = {"fleet": "doe-like", "axes": {"pue": [1.0, 1.2]}}
+        captured = {}
+
+        async def first_life(server, get, post):
+            status, headers, payload = await post("/v1/sweep", body)
+            assert status == 200 and headers["X-Repro-Cache"] == "miss"
+            captured["payload"] = payload
+
+        run_server(first_life,
+                   ServeConfig(port=0, cache_dir=str(tmp_path)))
+
+        async def second_life(server, get, post):
+            status, headers, payload = await post("/v1/sweep", body)
+            assert status == 200
+            assert headers["X-Repro-Cache"] == "hit-l2"
+            assert payload == captured["payload"]
+            assert server.batcher.batch_no == 0     # no kernel work
+            # The promoted entry now hits L1.
+            status, headers, payload = await post("/v1/sweep", body)
+            assert headers["X-Repro-Cache"] == "hit"
+            assert payload == captured["payload"]
+            # /readyz reports the configured tier.
+            _, _, ready = await get("/readyz")
+            tier = json.loads(ready)["cache_tier"]
+            assert tier["l2_dir"] == str(tmp_path)
+            assert tier["l2_entries"] == 1
+
+        run_server(second_life,
+                   ServeConfig(port=0, cache_dir=str(tmp_path)))
 
     def test_cache_load_fault_degrades_to_miss(self, monkeypatch):
         monkeypatch.setenv(faults.FAULT_SPEC_ENV, "raise@cache-load")

@@ -22,6 +22,42 @@ class TestCanonicalDigest:
         right = canonical_digest([{"x": (1, 2)}, "s"])
         assert left == right
 
+    def test_non_json_types_raise_never_coerce(self):
+        """Regression: ``default=str`` used to silently stringify
+        non-JSON values, so two logically-distinct objects whose
+        ``str()`` collide would share a digest — a wrong answer served
+        from the cache.  Now it's a loud TypeError at digest time."""
+        class Opaque:
+            def __str__(self):
+                return "same"
+
+        with pytest.raises(TypeError, match="plain JSON data"):
+            canonical_digest({"x": Opaque()})
+        with pytest.raises(TypeError, match="plain JSON data"):
+            canonical_digest([object()])
+        # Enums are the documented example: callers lower explicitly.
+        import enum
+
+        class Kind(enum.Enum):
+            A = "a"
+
+        with pytest.raises(TypeError, match="plain JSON data"):
+            canonical_digest({"kind": Kind.A})
+
+    def test_enum_lowering_in_fleet_content_hash(self):
+        """The batcher's explicit enum lowering keeps record hashing
+        working (and collision-free against plain strings)."""
+        from repro.serve.batcher import _canonical_field_value
+        import enum
+
+        class Kind(enum.Enum):
+            A = "a"
+
+        lowered = _canonical_field_value(Kind.A)
+        assert lowered == ["Kind", "A"]
+        assert canonical_digest(lowered) != canonical_digest("Kind.A")
+        assert _canonical_field_value("plain") == "plain"
+
 
 class TestResultCache:
     def test_round_trip_is_verbatim(self):

@@ -23,7 +23,11 @@ from repro.serve.health import (
 #: The frozen v1 key set — a rename or removal here is a breaking
 #: change and must bump SCHEMA_VERSION; additions are always allowed.
 _V1_KEYS = {"schema_version", "version", "pool", "shm", "ladder",
-            "faults", "counters"}
+            "faults", "cache_tier", "counters"}
+
+#: The cache_tier section's own frozen keys (same grow-only rule).
+_CACHE_TIER_KEYS = {"l2_dir", "l2_entries", "l2_bytes", "l2_max_bytes",
+                    "l2_poisoned", "l2_evictions"}
 
 
 class TestDoctorReport:
@@ -45,6 +49,30 @@ class TestDoctorReport:
         assert isinstance(report["ladder"]["latched"], list)
         assert isinstance(report["faults"]["active_rules"], int)
         assert isinstance(report["counters"], dict)
+
+    def test_cache_tier_section_shape(self):
+        report = doctor_report()
+        assert _CACHE_TIER_KEYS <= set(report["cache_tier"])
+        # Unconfigured: no directory, zero usage, but the counters are
+        # still the process-lifetime truth.
+        assert report["cache_tier"]["l2_dir"] is None
+        assert report["cache_tier"]["l2_entries"] == 0
+
+    def test_cache_tier_reports_configured_directory(self, tmp_path):
+        from repro.serve.cachetier import DiskCacheL2
+        DiskCacheL2(tmp_path).put("ab" * 32, '{"x": 1}')
+        report = doctor_report(cache_dir=str(tmp_path),
+                               cache_max_bytes=1 << 20)
+        tier = report["cache_tier"]
+        assert tier["l2_dir"] == str(tmp_path)
+        assert tier["l2_entries"] == 1
+        assert tier["l2_bytes"] > 0
+        assert tier["l2_max_bytes"] == 1 << 20
+
+    def test_cache_tier_env_fallback(self, tmp_path, monkeypatch):
+        from repro.serve.health import CACHE_DIR_ENV
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path))
+        assert doctor_report()["cache_tier"]["l2_dir"] == str(tmp_path)
 
     def test_sweep_flag_adds_janitor_section(self, tmp_path):
         bare = doctor_report()
@@ -79,6 +107,30 @@ class TestRenderTable:
         report = doctor_report()
         report["ladder"]["latched"] = ["shm"]
         assert "latched: shm" in render_doctor_table(report)
+
+    def test_cache_tier_renders(self, tmp_path):
+        report = doctor_report()
+        assert "cache L2     : not configured" in \
+            render_doctor_table(report)
+        report = doctor_report(cache_dir=str(tmp_path))
+        assert f"cache L2     : {tmp_path}" in render_doctor_table(report)
+
+
+class TestRenderPrometheus:
+    def test_counters_render_as_prometheus_text(self):
+        from repro.serve.health import render_prometheus
+        text = render_prometheus({"serve.requests": 3,
+                                  "pool.tasks": 2.0,
+                                  "weird name-1": 1.5})
+        assert "# TYPE repro_serve_requests_total counter" in text
+        assert "repro_serve_requests_total 3" in text
+        assert "repro_pool_tasks_total 2" in text           # integral float
+        assert "repro_weird_name_1_total 1.5" in text       # sanitized
+        assert text.endswith("\n")
+
+    def test_empty_registry_renders_empty(self):
+        from repro.serve.health import render_prometheus
+        assert render_prometheus({}) == ""
 
 
 class TestDoctorCli:

@@ -1,0 +1,226 @@
+"""Persistent connections, chunked streaming, and /metrics negotiation.
+
+The keep-alive contract: N requests over one connection return exactly
+the bytes N fresh connections would have returned — connection reuse
+is a transport optimization, never a semantic one.  The connection
+loop is bounded on every axis (idle timeout, max requests per
+connection, client ``Connection: close``), matching the daemon's
+everything-is-bounded posture.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+
+import pytest
+
+from repro import obs
+from repro.serve import AssessmentServer, ServeConfig
+
+BODY = {"fleet": "doe-like", "axes": {"pue": [1.0, 1.2]}}
+
+
+def run_server(scenario, config=None):
+    """Boot a fresh server; ``scenario(server, call)`` runs blocking
+    client code through ``call`` (an executor hop)."""
+
+    async def runner():
+        server = AssessmentServer(config or ServeConfig(port=0))
+        await server.start()
+        loop = asyncio.get_running_loop()
+
+        def call(fn, *args):
+            return loop.run_in_executor(None, fn, server.port, *args)
+
+        try:
+            await scenario(server, call)
+        finally:
+            await server.stop()
+
+    asyncio.run(runner())
+
+
+def _request(conn, method, path, body=None):
+    payload = json.dumps(body).encode() if body is not None else None
+    headers = {"Content-Type": "application/json"} if payload else {}
+    conn.request(method, path, body=payload, headers=headers)
+    response = conn.getresponse()
+    return response.status, dict(response.headers), response.read()
+
+
+def _fresh_response(port, method="POST", path="/v1/sweep", body=BODY):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    try:
+        return _request(conn, method, path, body)
+    finally:
+        conn.close()
+
+
+class TestKeepAlive:
+    def test_many_requests_one_connection_byte_identical(self):
+        def over_one_connection(port):
+            reference = _fresh_response(port)[2]
+            conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+            try:
+                bodies = []
+                for _ in range(5):
+                    status, headers, body = _request(conn, "POST",
+                                                     "/v1/sweep", BODY)
+                    assert status == 200
+                    assert headers["Connection"] == "keep-alive"
+                    bodies.append(body)
+            finally:
+                conn.close()
+            return reference, bodies
+
+        async def scenario(server, call):
+            before = obs.get_counter("serve.keepalive_reuses")
+            reference, bodies = await call(over_one_connection)
+            assert all(body == reference for body in bodies)
+            # 5 requests on the persistent connection = 4 reuses.
+            assert obs.get_counter("serve.keepalive_reuses") >= before + 4
+
+        run_server(scenario)
+
+    def test_client_connection_close_is_honored(self):
+        def close_requested(port):
+            conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+            try:
+                conn.request("GET", "/healthz",
+                             headers={"Connection": "close"})
+                response = conn.getresponse()
+                assert response.headers["Connection"] == "close"
+                response.read()
+                # http.client notices the server-side close: a second
+                # request on the same object opens a NEW connection,
+                # which is exactly the client-visible contract.
+                assert response.will_close
+            finally:
+                conn.close()
+
+        async def scenario(server, call):
+            await call(close_requested)
+
+        run_server(scenario)
+
+    def test_max_requests_per_connection_bounds_reuse(self):
+        def two_then_closed(port):
+            conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+            try:
+                _, headers, _ = _request(conn, "GET", "/healthz")
+                assert headers["Connection"] == "keep-alive"
+                conn.request("GET", "/healthz")
+                response = conn.getresponse()
+                assert response.headers["Connection"] == "close"
+                response.read()
+            finally:
+                conn.close()
+
+        async def scenario(server, call):
+            await call(two_then_closed)
+
+        run_server(scenario,
+                   ServeConfig(port=0, keepalive_max_requests=2))
+
+    def test_idle_connection_is_closed_by_the_server(self):
+        def idle_out(port):
+            conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+            try:
+                _request(conn, "GET", "/healthz")
+                import time
+                time.sleep(0.6)      # > keepalive_idle_s
+                try:
+                    _request(conn, "GET", "/healthz")
+                except (http.client.HTTPException, ConnectionError,
+                        OSError):
+                    return True      # server hung up, as configured
+                return False
+            finally:
+                conn.close()
+
+        async def scenario(server, call):
+            assert await call(idle_out)
+
+        run_server(scenario, ServeConfig(port=0, keepalive_idle_s=0.2))
+
+
+class TestChunkedStreaming:
+    def test_large_body_streams_chunked_and_byte_identical(self):
+        async def scenario(server, call):
+            before = obs.get_counter("serve.responses_streamed")
+            status, headers, body = await call(_fresh_response)
+            assert status == 200
+            assert headers.get("Transfer-Encoding") == "chunked"
+            assert "Content-Length" not in headers
+            assert obs.get_counter("serve.responses_streamed") == before + 1
+            # The de-chunked bytes equal the unstreamed rendering.
+            reference = json.loads(body)
+            assert reference["scenarios"]
+
+        run_server(scenario,
+                   ServeConfig(port=0, stream_threshold_bytes=64))
+
+    def test_same_bytes_streamed_or_not(self):
+        streamed = {}
+
+        async def capture(server, call):
+            streamed["body"] = (await call(_fresh_response))[2]
+
+        plain = {}
+
+        async def capture_plain(server, call):
+            plain["body"] = (await call(_fresh_response))[2]
+
+        run_server(capture, ServeConfig(port=0, stream_threshold_bytes=64))
+        run_server(capture_plain, ServeConfig(port=0))
+        assert streamed["body"] == plain["body"]
+
+
+class TestMetricsNegotiation:
+    def test_prometheus_via_query_and_accept(self):
+        def scrape(port):
+            results = []
+            for path, headers in (
+                    ("/metrics?format=prometheus", {}),
+                    ("/metrics", {"Accept":
+                                  "text/plain; version=0.0.4"})):
+                conn = http.client.HTTPConnection("127.0.0.1", port,
+                                                  timeout=30)
+                try:
+                    conn.request("GET", path, headers=headers)
+                    response = conn.getresponse()
+                    results.append((dict(response.headers),
+                                    response.read().decode()))
+                finally:
+                    conn.close()
+            return results
+
+        async def scenario(server, call):
+            obs.inc("serve.requests", 0)     # ensure at least one counter
+            for headers, text in await call(scrape):
+                assert headers["Content-Type"].startswith(
+                    "text/plain; version=0.0.4")
+                assert "# TYPE repro_serve_connections_total counter" \
+                    in text
+                assert "repro_serve_connections_total " in text
+
+        run_server(scenario)
+
+    def test_json_metrics_stay_the_default(self):
+        def scrape(port):
+            conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+            try:
+                conn.request("GET", "/metrics")
+                response = conn.getresponse()
+                return dict(response.headers), response.read()
+            finally:
+                conn.close()
+
+        async def scenario(server, call):
+            headers, body = await call(scrape)
+            assert headers["Content-Type"] == "application/json"
+            assert "counters" in json.loads(body)
+
+        run_server(scenario)

@@ -1,0 +1,160 @@
+"""The replica tier, black-box: real supervisor, real replicas.
+
+``repro serve --workers 2`` must behave like one daemon from the
+outside — one address, byte-identical answers wherever the kernel
+routes a connection — while surviving the death of any single replica
+(crash-respawn) and draining the whole tier on one SIGTERM.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(socket, "SO_REUSEPORT"),
+    reason="replica tier tests assume SO_REUSEPORT")
+
+
+def _request(port, path, body=None):
+    url = f"http://127.0.0.1:{port}{path}"
+    if body is None:
+        request = urllib.request.Request(url)
+    else:
+        request = urllib.request.Request(
+            url, data=json.dumps(body).encode("utf-8"), method="POST")
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, dict(response.headers), response.read()
+    except urllib.error.HTTPError as err:
+        return err.code, dict(err.headers), err.read()
+
+
+def start_tier(tmp_path, workers=2, extra=()):
+    """Spawn ``repro serve --workers N``; returns (process, port, dirs)."""
+    tier_dir = tmp_path / "tier"
+    cache_dir = tmp_path / "l2"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env.pop("REPRO_FAULT_SPEC", None)
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--workers", str(workers),
+         "--tier-dir", str(tier_dir), "--cache-dir", str(cache_dir),
+         *extra],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True, cwd=REPO_ROOT, env=env)
+    line = process.stdout.readline()
+    assert "listening on http://127.0.0.1:" in line, line
+    port = int(line.split("http://127.0.0.1:", 1)[1].split()[0])
+    return process, port, tier_dir, cache_dir
+
+
+def wait_tier_ready(port, workers, timeout_s=30):
+    """Poll any replica's /readyz until the aggregate shows N ready."""
+    deadline = time.monotonic() + timeout_s
+    while True:
+        try:
+            status, _, body = _request(port, "/readyz")
+            if status == 200:
+                tier = json.loads(body).get("replica_tier") or {}
+                if tier.get("n_ready", 0) >= workers:
+                    return json.loads(body)
+        except (urllib.error.URLError, ConnectionError):
+            pass
+        assert time.monotonic() < deadline, "tier never became ready"
+        time.sleep(0.1)
+
+
+def stop_tier(process):
+    process.send_signal(signal.SIGTERM)
+    exit_code = process.wait(timeout=30)
+    output = process.stdout.read()
+    return exit_code, output
+
+
+@pytest.mark.timeout(120)
+class TestReplicaTier:
+    def test_tier_serves_and_drains_as_a_unit(self, tmp_path):
+        process, port, tier_dir, cache_dir = start_tier(tmp_path)
+        try:
+            report = wait_tier_ready(port, workers=2)
+            tier = report["replica_tier"]
+            assert tier["workers"] == 2
+            assert len(tier["replicas"]) == 2
+            assert all(replica["alive"] for replica in tier["replicas"])
+            assert tier["supervisor"]["reuseport"] is True
+
+            # The same question through the shared address is answered
+            # byte-identically no matter which replica the kernel
+            # picks: a cold miss computes, every repeat hits a cache
+            # level (own L1 or the shared L2).
+            body = {"fleet": "doe-like", "axes": {"pue": [1.0, 1.2]}}
+            status, headers, first = _request(port, "/v1/sweep", body)
+            assert status == 200
+            assert headers["X-Repro-Cache"] == "miss"
+            for _ in range(6):
+                status, headers, again = _request(port, "/v1/sweep", body)
+                assert status == 200
+                assert headers["X-Repro-Cache"] in ("hit", "hit-l2")
+                assert again == first
+
+            # The shared L2 holds the entry exactly once.
+            entries = [name for name in os.listdir(cache_dir)
+                       if name.endswith(".rc")]
+            assert len(entries) == 1
+        finally:
+            exit_code, output = stop_tier(process)
+        assert exit_code == 0
+        assert "tier drained, exiting" in output
+        # Whole-tier drain leaves no temp droppings in the L2.
+        leftovers = [name for name in os.listdir(cache_dir)
+                     if name.startswith(".tmp-")]
+        assert leftovers == []
+
+    def test_killed_replica_is_respawned(self, tmp_path):
+        process, port, tier_dir, cache_dir = start_tier(tmp_path)
+        try:
+            report = wait_tier_ready(port, workers=2)
+            victim = report["replica_tier"]["replicas"][0]
+            os.kill(victim["pid"], signal.SIGKILL)
+
+            deadline = time.monotonic() + 30
+            while True:
+                try:
+                    status, _, body = _request(port, "/readyz")
+                    tier = json.loads(body).get("replica_tier") or {}
+                    respawns = (tier.get("supervisor") or {}).get(
+                        "respawns", {})
+                    if sum(int(n) for n in respawns.values()) >= 1 \
+                            and tier.get("n_ready", 0) >= 2:
+                        break
+                except (urllib.error.URLError, ConnectionError):
+                    pass     # we may have hit the dead replica's slot
+                assert time.monotonic() < deadline, \
+                    "killed replica never respawned"
+                time.sleep(0.1)
+
+            # The reborn replica answers warm from the shared L2: the
+            # entry its predecessor wrote survives the crash.
+            body = {"fleet": "doe-like", "axes": {"pue": [1.0, 1.2]}}
+            _request(port, "/v1/sweep", body)
+            status, headers, again = _request(port, "/v1/sweep", body)
+            assert status == 200
+            assert headers["X-Repro-Cache"] in ("hit", "hit-l2")
+        finally:
+            exit_code, output = stop_tier(process)
+        assert exit_code == 0
+        assert "tier drained, exiting" in output

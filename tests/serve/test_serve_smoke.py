@@ -3,14 +3,18 @@
 This mirrors the CI serve-smoke job: start ``python -m repro serve``
 as a subprocess, wait for readiness, run one assess and one
 64-scenario sweep (cache hit on repeat), then SIGTERM it and require a
-clean drain — exit code 0, with the drain line on stdout.
+clean drain — exit code 0, with the drain line on stdout.  The tier
+variant does the same through ``--workers 2`` with a keep-alive
+client, asserting connection reuse never changes a byte.
 """
 
 from __future__ import annotations
 
+import http.client
 import json
 import os
 import signal
+import socket
 import subprocess
 import sys
 import time
@@ -77,6 +81,66 @@ def test_serve_smoke_sigterm_drains_to_exit_zero():
         exit_code = process.wait(timeout=30)
         assert exit_code == 0
         assert "drained, exiting" in process.stdout.read()
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait(timeout=10)
+
+
+@pytest.mark.timeout(120)
+@pytest.mark.skipif(not hasattr(socket, "SO_REUSEPORT"),
+                    reason="replica tier assumes SO_REUSEPORT")
+def test_serve_smoke_replica_tier_with_keepalive_client():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env.pop("REPRO_FAULT_SPEC", None)
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--workers", "2"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True, cwd=REPO_ROOT, env=env)
+    try:
+        ready_line = process.stdout.readline()
+        assert "listening on http://127.0.0.1:" in ready_line, ready_line
+        port = int(ready_line.split("http://127.0.0.1:", 1)[1].split()[0])
+
+        deadline = time.monotonic() + 30
+        while True:
+            try:
+                status, _, body = _request(port, "/readyz")
+                tier = json.loads(body).get("replica_tier") or {}
+                if status == 200 and tier.get("n_ready", 0) >= 2:
+                    break
+            except (urllib.error.URLError, ConnectionError):
+                pass
+            assert time.monotonic() < deadline, "tier never became ready"
+            time.sleep(0.1)
+
+        # Fresh-connection references (urllib sends Connection: close).
+        request_body = {"fleet": "doe-like", "axes": {"pue": [1.0, 1.2]}}
+        status, _, reference = _request(port, "/v1/sweep", request_body)
+        assert status == 200
+
+        # Keep-alive client: several requests over ONE connection must
+        # be byte-identical to the fresh-connection response, whichever
+        # replica the kernel routed the connection to.
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+        try:
+            for _ in range(4):
+                conn.request("POST", "/v1/sweep",
+                             body=json.dumps(request_body).encode(),
+                             headers={"Content-Type": "application/json"})
+                response = conn.getresponse()
+                assert response.status == 200
+                assert response.headers["Connection"] == "keep-alive"
+                assert response.read() == reference
+        finally:
+            conn.close()
+
+        process.send_signal(signal.SIGTERM)
+        exit_code = process.wait(timeout=30)
+        assert exit_code == 0
+        assert "tier drained, exiting" in process.stdout.read()
     finally:
         if process.poll() is None:
             process.kill()
