@@ -1,0 +1,140 @@
+"""Throughput of the hour-axis engine (scenario × hour-window × system).
+
+Not a paper figure — the engineering benchmark for
+:func:`repro.scenarios.shift_sweep`: the acceptance workload is the
+64-scenario grid × 24 hourly windows × the 500-system list under a
+diurnal intensity profile.  The engine evaluates the base 2-D sweep
+once and factorizes the window axis; the status quo ante it replaces
+re-ran the sweep per window.  Both are timed, the bit-identity of
+their outputs is asserted, and the machine-normalized speedup is
+merged into ``results/BENCH_throughput.json`` (key ``shift_sweep``)
+for the CI regression gate.
+"""
+
+import json
+import pathlib
+import time
+
+import numpy as np
+
+from repro import scenarios
+from repro.core.vectorized import fleet_frame
+from repro.grid.intervals import synthetic_diurnal
+from repro.reporting.figures import shift_table
+from repro.scenarios import (
+    hourly_windows,
+    shift_scalar_reference,
+    shift_sweep,
+)
+
+PROFILE = synthetic_diurnal(1.0, amplitude=0.3, peak_hour=19.0)
+
+
+def _grid_64():
+    """The acceptance grid (4 ACI × 4 PUE × 4 greenest-k placements)."""
+    return scenarios.ScenarioGrid.cartesian(
+        scenarios.aci_scale_axis((1.0, 0.9, 0.8, 0.7)),
+        scenarios.pue_axis((1.0, 1.1, 1.2, 1.3)),
+        scenarios.greenest_hours_axis((24, 18, 12, 6)),
+    ).specs()
+
+
+def _merge_throughput_json(results_dir: pathlib.Path, key: str,
+                           payload: dict) -> None:
+    """Read-modify-write one key of the shared throughput baseline."""
+    path = results_dir / "BENCH_throughput.json"
+    data = {}
+    if path.exists():
+        data = json.loads(path.read_text(encoding="utf-8"))
+    data[key] = payload
+    path.write_text(json.dumps(data, indent=2) + "\n", encoding="utf-8")
+
+
+def test_shift_sweep_64x24(study, save_artifact, results_dir):
+    """The 64 × 24 × 500 acceptance sweep: identity + recorded speedup."""
+    records = list(study.public_records)
+    specs = _grid_64()
+    windows = hourly_windows()
+    frame = fleet_frame(records)
+
+    def engine():
+        return shift_sweep(records, specs, windows=windows,
+                           profile=PROFILE, frame=frame)
+
+    cube = engine()
+
+    def per_window_loop():
+        """The status quo ante: one full 2-D sweep per hour window,
+        the window factor applied to each window's own sweep output."""
+        op, emb = [], []
+        for wi, _window in enumerate(windows):
+            base = scenarios.sweep(records, specs, frame=frame)
+            op.append(base.operational_mt
+                      * cube.op_hour_factors[:, wi, None])
+            emb.append(base.embodied_mt)
+        return (np.stack(op, axis=1), np.stack(emb, axis=1))
+
+    assert cube.values("operational").shape == (64, 24, 500)
+    loop_op, loop_emb = per_window_loop()
+    assert np.array_equal(cube.values("operational"), loop_op,
+                          equal_nan=True)
+    assert np.array_equal(cube.values("embodied"), loop_emb, equal_nan=True)
+
+    # The reference-loop contract on a corner of the grid (the full
+    # 64-scenario scalar loop runs in tests/scenarios; here a slice
+    # keeps the CI smoke step fast).
+    sub = (specs[0], specs[31], specs[63])
+    reference = shift_scalar_reference(records, sub, windows=windows,
+                                       profile=PROFILE)
+    sub_cube = shift_sweep(records, sub, windows=windows,
+                           profile=PROFILE, frame=frame)
+    assert np.array_equal(sub_cube.values("operational"),
+                          reference.operational_mt, equal_nan=True)
+    assert np.array_equal(sub_cube.values("embodied"),
+                          reference.embodied_mt, equal_nan=True)
+
+    def best_of(fn, rounds=5):
+        times = []
+        for _ in range(rounds):
+            start = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - start)
+        return min(times)
+
+    engine_s = best_of(engine)
+    loop_s = best_of(per_window_loop)
+    speedup = loop_s / engine_s
+
+    _merge_throughput_json(results_dir, "shift_sweep", {
+        "n_scenarios": len(specs),
+        "n_windows": len(windows),
+        "n_systems": len(records),
+        "engine_ms": engine_s * 1e3,
+        "per_window_loop_ms": loop_s * 1e3,
+        "speedup_vs_per_window_loop": speedup,
+        "note": ("shift_sweep factorizes the hour-window axis over one "
+                 "base 2-D sweep; the loop re-runs the sweep per window "
+                 "(identical outputs, asserted).  24 hourly windows, so "
+                 "~24x is the ceiling for this shape."),
+    })
+    save_artifact("shift_table.txt",
+                  shift_table(shift_sweep(
+                      records, specs[:8], profile=PROFILE, frame=frame)))
+
+    # The issue's acceptance floor is 3x; the 24-point axis typically
+    # measures far above it, so this holds on noisy CI runners too.
+    assert speedup > 3.0, {"engine_s": engine_s, "loop_s": loop_s}
+
+
+def test_shift_paper_default_anchor(study):
+    """With no profile the hour axis is inert: every window column of
+    the paper-default sweep equals the atemporal sweep, exactly."""
+    records = list(study.public_records)
+    specs = (scenarios.baseline_spec(),
+             scenarios.ScenarioSpec(name="clean", aci_scale=0.8))
+    cube = shift_sweep(records, specs)
+    flat = scenarios.sweep(records, specs)
+    assert (cube.op_hour_factors == 1.0).all()
+    for w in range(cube.n_windows):
+        assert np.array_equal(cube.values("operational", w),
+                              flat.values("operational"), equal_nan=True)

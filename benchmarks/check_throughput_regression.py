@@ -12,6 +12,9 @@ measured within one process on one machine:
 * ``projection_sweep.speedup_vs_per_year_loop`` — the temporal
   projection engine (one base sweep + factorized year axis) against
   re-running the 2-D sweep per projected year;
+* ``shift_sweep.speedup_vs_per_window_loop`` — the hour-axis
+  load-shifting engine (one base sweep + factorized hour-window axis)
+  against re-running the 2-D sweep per hour window;
 * ``mc_bands.speedup_vs_band_loop`` — the batched Monte-Carlo band
   kernel (one stream draw for the whole (scenario × year) stack)
   against the per-cell reference draw loop it replaced.
@@ -89,6 +92,7 @@ METRICS = (
     "speedup_vs_scalar_engine",
     "scenario_sweep.speedup_vs_batch_loop",
     "projection_sweep.speedup_vs_per_year_loop",
+    "shift_sweep.speedup_vs_per_window_loop",
     "mc_bands.speedup_vs_band_loop",
 )
 

@@ -16,6 +16,11 @@ Commands:
   through the 2-D kernel, over the Top500 study or a built-in fleet;
   renders whole cubes (``--footprint all``, ``--bands``) and persists
   or reloads them (``--save`` / ``--load``).
+* ``shift``     — carbon-aware load-shifting sweep through the
+  (scenario × hour-window × system) engine: synthetic or CSV-derived
+  hour profiles, greenest-k / off-peak placement axes, optional
+  Monte-Carlo bands; with a flat profile it reproduces ``scenarios``
+  bit-identically (the annual-mean path).
 * ``doctor``    — parallel-substrate health check: reports pool/shm
   availability, degradation-ladder state, and the process-lifetime
   activity counters, and sweeps shared-memory segments orphaned by
@@ -195,6 +200,70 @@ def build_parser() -> argparse.ArgumentParser:
     scen.add_argument("--trace", default=None, metavar="PATH",
                       help="stream span records to PATH as JSON-lines "
                            "and print the per-stage time table")
+
+    shift = sub.add_parser(
+        "shift",
+        help="carbon-aware load-shifting sweep through the "
+             "(scenario x hour-window x system) engine")
+    shift.add_argument("--fleet", default=None,
+                       choices=["access-like", "doe-like", "eurohpc-like"],
+                       help="sweep a built-in fleet instead of the "
+                            "Top500 study")
+    shift.add_argument("--amplitude", type=float, default=0.25,
+                       metavar="A",
+                       help="synthetic diurnal profile amplitude "
+                            "(0 = flat = the paper-default annual-mean "
+                            "path; default 0.25)")
+    shift.add_argument("--peak-hour", type=float, default=19.0,
+                       metavar="H",
+                       help="dirtiest hour of the synthetic profile "
+                            "(default 19 — the evening peak)")
+    shift.add_argument("--ci-csv", default=None, metavar="PATH",
+                       help="derive the hour profile from an "
+                            "Ichnos-style carbon-intensity CSV instead "
+                            "of the synthetic generator")
+    shift.add_argument("--greenest", type=ints, default=None,
+                       metavar="K1,K2,...",
+                       help="greenest-k placement axis: run only in "
+                            "the k cleanest hours (default family: 6,12)")
+    shift.add_argument("--offpeak", type=floats, default=None,
+                       metavar="X1,X2,...",
+                       help="off-peak shift axis: move fraction x of a "
+                            "uniform load into the 8 greenest hours "
+                            "(default family: 0.25,0.5)")
+    shift.add_argument("--load-hours", type=ints, default=None,
+                       metavar="H1,H2,...",
+                       help="one fixed-placement scenario restricted "
+                            "to these hours of day")
+    shift.add_argument("--aci-scale", type=floats, default=None,
+                       metavar="S1,S2,...",
+                       help="cross a grid-intensity scale axis with "
+                            "the placement family")
+    shift.add_argument("--hourly", action="store_true",
+                       help="24 single-hour windows instead of the "
+                            "all-hours + day-part blocks")
+    shift.add_argument("--footprint", default="operational",
+                       choices=["operational", "embodied"],
+                       help="which footprint the table reports "
+                            "(embodied is hour-invariant)")
+    shift.add_argument("--bands", action="store_true",
+                       help="append per-scenario Monte-Carlo p5-p95 "
+                            "bands at the first window")
+    shift.add_argument("--mc-samples", type=int, default=None, metavar="N",
+                       help="Monte-Carlo draws per band (default: the "
+                            "library-wide DEFAULT_MC_SAMPLES)")
+    shift.add_argument("--band-kind", default=None,
+                       choices=["quantile", "normal"],
+                       help="band flavor: sampled percentiles, or the "
+                            "mean +/- 1.645 sigma normal approximation")
+    shift.add_argument("--save", default=None, metavar="PATH",
+                       help="persist the swept cube to PATH(.npz)")
+    shift.add_argument("--load", default=None, metavar="PATH",
+                       help="render a previously saved cube instead of "
+                            "sweeping (axis flags are ignored)")
+    shift.add_argument("--trace", default=None, metavar="PATH",
+                       help="stream span records to PATH as JSON-lines "
+                            "and print the per-stage time table")
 
     doctor = sub.add_parser(
         "doctor",
@@ -533,6 +602,80 @@ def cmd_scenarios(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_shift(args: argparse.Namespace) -> int:
+    """``repro shift``: the hour-axis load-shifting sweep."""
+    from repro import scenarios
+    from repro.reporting.figures import shift_table
+
+    problem = _check_band_flags(args)
+    if problem:
+        print(problem, file=sys.stderr)
+        return 2
+    if args.load:
+        cube = scenarios.ShiftCube.load_npz(args.load)
+        print(shift_table(cube, args.footprint, bands=args.bands,
+                          n_samples=_mc_samples(args),
+                          band_kind=args.band_kind or "quantile"))
+        return 0
+
+    if args.ci_csv:
+        from repro.grid.intervals import read_ci_csv
+        profile = read_ci_csv(args.ci_csv)
+    elif args.amplitude:
+        from repro.grid.intervals import synthetic_diurnal
+        profile = synthetic_diurnal(1.0, amplitude=args.amplitude,
+                                    peak_hour=args.peak_hour)
+    else:
+        profile = None  # flat: the paper-default annual-mean path
+
+    # Placement specs concatenate (the fields are mutually exclusive);
+    # an intensity-scale axis crosses the whole family.
+    family = [scenarios.baseline_spec()]
+    explicit = (args.greenest is not None or args.offpeak is not None
+                or args.load_hours is not None)
+    greenest = args.greenest if args.greenest is not None \
+        else (None if explicit else [6, 12])
+    offpeak = args.offpeak if args.offpeak is not None \
+        else (None if explicit else [0.25, 0.5])
+    if greenest:
+        family.extend(scenarios.greenest_hours_axis(tuple(greenest)))
+    if offpeak:
+        family.extend(scenarios.offpeak_shift_axis(tuple(offpeak)))
+    if args.load_hours:
+        family.extend(scenarios.load_hours_axis(
+            (tuple(args.load_hours),)))
+    specs = (scenarios.ScenarioGrid.cartesian(
+                 scenarios.aci_scale_axis(args.aci_scale),
+                 tuple(family)).specs()
+             if args.aci_scale else tuple(family))
+
+    windows = scenarios.hourly_windows() if args.hourly else None
+
+    if args.fleet:
+        from repro.fleets import BUILTIN_FLEETS
+        subject = f"fleet {args.fleet}"
+        cube = scenarios.shift_sweep(BUILTIN_FLEETS[args.fleet].systems,
+                                     specs, windows=windows,
+                                     profile=profile)
+    else:
+        from repro.study import run_default_study
+        study = run_default_study()
+        subject = "Top500 study (+public info)"
+        cube = scenarios.shift_sweep(
+            list(study.public_records), specs, windows=windows,
+            profile=profile,
+            operational_model=study.easyc.operational_model,
+            embodied_model=study.easyc.embodied_model)
+
+    if args.save:
+        cube.save_npz(args.save)
+    print(f"# {subject}")
+    print(shift_table(cube, args.footprint, bands=args.bands,
+                      n_samples=_mc_samples(args),
+                      band_kind=args.band_kind or "quantile"))
+    return 0
+
+
 def cmd_doctor(args: argparse.Namespace) -> int:
     """Substrate health check + shm janitor pass.
 
@@ -657,6 +800,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return cmd_project(args)
     if args.command == "scenarios":
         return cmd_scenarios(args)
+    if args.command == "shift":
+        return cmd_shift(args)
     if args.command == "doctor":
         return cmd_doctor(args)
     if args.command == "serve":

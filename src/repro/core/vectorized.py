@@ -526,13 +526,38 @@ class FleetFrame:
         """Per-record grid intensity under ``grid`` (nan = no location).
 
         One lookup per *unique* location, gathered through the code
-        column.
+        column.  ``grid`` is duck-typed: anything with a
+        ``lookup(country, region)`` works, including
+        :class:`~repro.grid.intervals.IntervalGridDB` (whose lookup
+        collapses interval series to their declared annual mean, so a
+        frame built against an interval DB matches the scalar DB
+        bit-for-bit).
         """
         table = np.empty(len(self.locations) + 1)
         table[-1] = np.nan
         for idx, (country, region) in enumerate(self.locations):
             table[idx] = grid.lookup(country, region)
         return table[self.loc_code]
+
+    def hour_aci(self, interval_db) -> np.ndarray:
+        """Per-record hour-of-day grid intensity, shape ``(24, n)``.
+
+        Row ``h`` holds each record's mean intensity during hour ``h``
+        under ``interval_db`` (an
+        :class:`~repro.grid.intervals.IntervalGridDB`); locations
+        without an interval series fall back to their flat annual
+        scalar in every row, and records with no location are nan.
+        Like :meth:`aci`, one resolution per *unique* location,
+        gathered through the code column.
+        """
+        table = np.empty((24, len(self.locations) + 1))
+        table[:, -1] = np.nan
+        for idx, (country, region) in enumerate(self.locations):
+            annual = interval_db.lookup(country, region)
+            factors = interval_db.hour_factors(country, region)
+            for h in range(24):
+                table[h, idx] = annual * factors[h]
+        return table[:, self.loc_code]
 
     def slice(self, start: int, stop: int) -> "FleetFrame":
         """Column-sliced sub-frame (shares the lookup tables)."""

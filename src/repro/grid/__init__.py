@@ -8,22 +8,41 @@ up to ±77.5 % — the LUMI (Finnish hydro) vs Leonardo (Italian mix)
 
 * :mod:`repro.grid.intensity` — country/region ACI database with
   sub-national refinements (the "public info" layer).
+* :mod:`repro.grid.intervals` — interval-resolved intensity series
+  (Ichnos-style CSV ingestion, synthetic diurnal/seasonal generators)
+  layered over the annual scalars, annual-mean collapse bit-identical.
 * :mod:`repro.grid.pue` — facility power-usage-effectiveness models.
 """
 
 from repro.grid.intensity import (
     GridIntensityDB,
     DEFAULT_GRID_DB,
+    DecarbonizationTrajectory,
     aci_kg_per_kwh,
     WORLD_AVERAGE_ACI,
+)
+from repro.grid.intervals import (
+    IntensitySeries,
+    IntervalGridDB,
+    default_interval_db,
+    read_ci_csv,
+    synthetic_diurnal,
+    synthetic_seasonal,
 )
 from repro.grid.pue import PueModel, DEFAULT_PUE_MODEL
 
 __all__ = [
     "GridIntensityDB",
     "DEFAULT_GRID_DB",
+    "DecarbonizationTrajectory",
     "aci_kg_per_kwh",
     "WORLD_AVERAGE_ACI",
+    "IntensitySeries",
+    "IntervalGridDB",
+    "default_interval_db",
+    "read_ci_csv",
+    "synthetic_diurnal",
+    "synthetic_seasonal",
     "PueModel",
     "DEFAULT_PUE_MODEL",
 ]

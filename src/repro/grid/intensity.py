@@ -120,22 +120,21 @@ class GridIntensityDB:
                 country when present.
             strict: if True, raise
                 :class:`~repro.errors.UnknownRegionError` instead of
-                falling back to the world average.
+                falling back to the world average.  Strict mode only
+                forbids that *final* fallback: an unknown region still
+                falls through to the country layer, preserving the
+                documented region → country → world-average order.
         """
         if region:
             key = region.strip().lower()
             if key in self.region_aci:
                 return self.region_aci[key]
-            if strict:
-                raise UnknownRegionError(region)
         if country:
             key = country.strip().lower()
             if key in self.country_aci:
                 return self.country_aci[key]
-            if strict:
-                raise UnknownRegionError(country)
         if strict:
-            raise UnknownRegionError("(none provided)")
+            raise UnknownRegionError(region or country or "(none provided)")
         return self.world_average
 
     def knows_region(self, region: str) -> bool:
@@ -148,7 +147,7 @@ class GridIntensityDB:
             raise ValueError(f"ACI must be positive, got {aci}")
         updated = dict(self.region_aci)
         updated[region.strip().lower()] = aci
-        return GridIntensityDB(country_aci=self.country_aci,
+        return GridIntensityDB(country_aci=dict(self.country_aci),
                                region_aci=updated,
                                world_average=self.world_average)
 
@@ -197,10 +196,16 @@ class DecarbonizationTrajectory:
                 f"floor_frac must be in [0, 1], got {self.floor_frac}")
 
     def factor(self, year: int) -> float:
-        """Intensity multiplier for ``year`` relative to the base year."""
-        if year < self.base_year:
-            raise ValueError(
-                f"year {year} precedes trajectory base year {self.base_year}")
+        """Intensity multiplier for ``year`` relative to the base year.
+
+        Years *before* ``base_year`` return exactly ``1.0``: the
+        trajectory describes future decarbonization, not a backcast, so
+        pre-base years see the base grid unchanged.  This keeps sweeps
+        whose year axis (or ``install_year`` refresh path) starts
+        before the trajectory base from dying mid-kernel.
+        """
+        if year <= self.base_year:
+            return 1.0
         decayed = (1.0 - self.annual_decline) ** (year - self.base_year)
         return max(decayed, self.floor_frac) if self.floor_frac else decayed
 

@@ -292,6 +292,54 @@ def cube_table(cube, footprints=("operational", "embodied"),
               f"{cube.n_systems} systems")
 
 
+def shift_table(cube, footprint: str = "operational", *,
+                bands: bool = False, band_window=None,
+                n_samples: int = DEFAULT_MC_SAMPLES,
+                band_kind: str = "quantile") -> str:
+    """Load-shifting table for a :class:`~repro.scenarios.ShiftCube`.
+
+    One row per scenario, one column per hour window (totals in kMT),
+    closing with the best-window multiple of the first window — the
+    hour-axis sibling of :func:`figure10_cube`.  This is what
+    ``repro shift`` prints.
+
+    Args:
+        cube: a :class:`~repro.scenarios.ShiftCube` from
+            :func:`repro.scenarios.shift_sweep`.
+        footprint: which footprint to tabulate (embodied is
+            hour-invariant — its columns repeat the base total).
+        bands: append the Monte-Carlo p5-p95 band (kMT) at
+            ``band_window`` — all scenarios sampled as one batched
+            kernel (:meth:`~repro.scenarios.ShiftCube.band_stack`).
+        band_window: window name/index for the band column (default:
+            the first window).
+        n_samples: Monte-Carlo draws per band.
+        band_kind: ``"quantile"`` (sampled percentiles — the reference
+            semantics) or ``"normal"`` (``mean ± 1.645·σ``).
+    """
+    headers = ["Scenario"] + list(cube.window_names) + ["best x"]
+    stack = None
+    if bands:
+        band_window = 0 if band_window is None else band_window
+        w = cube.window_index(band_window)
+        headers.append(f"p5-p95@{cube.windows[w].name} (kMT)")
+        stack = cube.band_stack(footprint, w, n_samples=n_samples)
+    rows = []
+    for s, (name, per_window, multiple) in \
+            enumerate(cube.table_rows(footprint)):
+        row = [name] + [round(v, 1) for v in per_window] \
+            + [round(multiple, 3)]
+        if bands:
+            band = stack.band(s, kind=band_kind)
+            row.append(f"{band.p5_mt / 1e3:,.1f} - {band.p95_mt / 1e3:,.1f}")
+        rows.append(tuple(row))
+    return render_table(
+        tuple(headers), rows,
+        title=f"Load-shifting sweep: {cube.n_scenarios} scenarios x "
+              f"{cube.n_windows} hour windows x {cube.n_systems} systems "
+              f"({footprint}, kMT)")
+
+
 def _reference_projection_cube():
     """The paper-defaults engine cube over the reference-path totals.
 

@@ -39,14 +39,27 @@ from repro.scenarios.spec import (
     aci_scale_axis,
     baseline_spec,
     decarbonization_axis,
+    greenest_hours_axis,
     growth_axis,
+    hour_profile_axis,
     lifetime_axis,
+    load_hours_axis,
+    offpeak_shift_axis,
     pue_axis,
     refresh_axis,
     trajectory_axis,
     utilization_axis,
 )
 from repro.scenarios.sweep import sweep, sweep_scalar_reference
+from repro.scenarios.timeaxis import (
+    HourWindow,
+    ShiftCube,
+    ShiftReference,
+    default_hour_windows,
+    hourly_windows,
+    shift_scalar_reference,
+    shift_sweep,
+)
 
 __all__ = [
     "FOOTPRINTS",
@@ -56,12 +69,23 @@ __all__ = [
     "aci_scale_axis",
     "baseline_spec",
     "decarbonization_axis",
+    "greenest_hours_axis",
     "growth_axis",
+    "hour_profile_axis",
     "lifetime_axis",
+    "load_hours_axis",
+    "offpeak_shift_axis",
     "pue_axis",
     "refresh_axis",
     "trajectory_axis",
     "utilization_axis",
     "sweep",
     "sweep_scalar_reference",
+    "HourWindow",
+    "ShiftCube",
+    "ShiftReference",
+    "default_hour_windows",
+    "hourly_windows",
+    "shift_scalar_reference",
+    "shift_sweep",
 ]

@@ -30,6 +30,7 @@ from dataclasses import dataclass
 from repro.core.embodied import EmbodiedModel
 from repro.core.operational import OperationalModel
 from repro.grid.intensity import DecarbonizationTrajectory, GridIntensityDB
+from repro.grid.intervals import IntensitySeries
 from repro.grid.pue import PueModel
 from repro.hardware.catalog import HardwareCatalog
 from repro.hardware.memory import MemorySpec
@@ -47,6 +48,10 @@ __all__ = [
     "growth_axis",
     "refresh_axis",
     "trajectory_axis",
+    "hour_profile_axis",
+    "load_hours_axis",
+    "greenest_hours_axis",
+    "offpeak_shift_axis",
 ]
 
 #: Fields where composition is "the later spec wins".
@@ -55,6 +60,7 @@ _OVERRIDE_FIELDS = (
     "component_power_pue", "measured_power_utilization",
     "component_utilization", "catalog", "fab_yield", "lifetime_years",
     "operational_growth", "embodied_growth", "refresh_embodied",
+    "hour_profile", "load_hours", "greenest_hours", "offpeak_shift",
 )
 
 #: Multiplicative fields: composing two specs multiplies the factors.
@@ -142,6 +148,22 @@ class ScenarioSpec:
             embodied carbon every ``lifetime_years`` after its install
             year (entrant intensity growing at ``embodied_growth``).
             Requires ``lifetime_years``; atemporal sweeps ignore it.
+        hour_profile: interval-resolved intensity shape
+            (:class:`~repro.grid.intervals.IntensitySeries`) for the
+            hour-axis engine (:func:`repro.scenarios.shift_sweep`);
+            ``None`` defers to the sweep's default profile (flat =
+            the paper's annual-mean path).  Atemporal sweeps ignore it.
+        load_hours: restrict load placement to these hours of day
+            (0-23) — "the job only runs at night".  Hour-axis engine
+            only; at most one placement field may be set.
+        greenest_hours: place load uniformly in the k greenest hours
+            of the resolved profile — the carbon-aware scheduler
+            what-if ("run the Top500 workload in the 6 greenest
+            hours").  Hour-axis engine only.
+        offpeak_shift: move this fraction of an otherwise-uniform load
+            into the profile's off-peak (greenest-third) hours — the
+            demand-response what-if ("shift 30 % of load off-peak").
+            Hour-axis engine only.
     """
 
     name: str = "baseline"
@@ -172,6 +194,12 @@ class ScenarioSpec:
     embodied_growth: float | None = None
     refresh_embodied: bool | None = None
 
+    # -- time-of-day (hour-axis engine) ---------------------------------------
+    hour_profile: IntensitySeries | None = None
+    load_hours: tuple[int, ...] | None = None
+    greenest_hours: int | None = None
+    offpeak_shift: float | None = None
+
     def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("scenario needs a non-empty name")
@@ -196,6 +224,31 @@ class ScenarioSpec:
             raise ValueError(
                 f"scenario {self.name!r} sets refresh_embodied but no "
                 "lifetime_years to schedule refreshes from")
+        placements = [f for f in ("load_hours", "greenest_hours",
+                                  "offpeak_shift")
+                      if getattr(self, f) is not None]
+        if len(placements) > 1:
+            raise ValueError(
+                f"scenario {self.name!r} sets {placements}: load "
+                "placement fields are mutually exclusive")
+        if self.load_hours is not None:
+            hours = tuple(self.load_hours)
+            if not hours or len(set(hours)) != len(hours) or \
+                    any(not 0 <= h < 24 for h in hours):
+                raise ValueError(
+                    f"load_hours must be distinct hours in [0, 24), got "
+                    f"{self.load_hours}")
+            object.__setattr__(self, "load_hours",
+                               tuple(int(h) for h in hours))
+        if self.greenest_hours is not None and \
+                not 1 <= self.greenest_hours <= 24:
+            raise ValueError(
+                f"greenest_hours must be in [1, 24], got "
+                f"{self.greenest_hours}")
+        if self.offpeak_shift is not None and \
+                not 0.0 <= self.offpeak_shift <= 1.0:
+            raise ValueError(
+                f"offpeak_shift must be in [0, 1], got {self.offpeak_shift}")
 
     # -- lowering -------------------------------------------------------------
 
@@ -433,6 +486,55 @@ def refresh_axis(lifetimes: Sequence[float]) -> tuple[ScenarioSpec, ...]:
     return tuple(ScenarioSpec(name=f"refresh@{y:g}y", lifetime_years=y,
                               refresh_embodied=True)
                  for y in lifetimes)
+
+
+def hour_profile_axis(profiles: Sequence[IntensitySeries],
+                      names: Sequence[str] | None = None,
+                      ) -> tuple[ScenarioSpec, ...]:
+    """One spec per intensity shape, for the hour-axis engine.
+
+    The model-form lever of the time axis: sweep the assumed diurnal
+    shape itself (flat vs mild vs strong swing) while everything else
+    holds still.  Atemporal sweeps ignore the profile, so the base
+    2-D sweep dedupes to one lowering.
+    """
+    if names is None:
+        names = tuple(f"profile-{i}" for i in range(len(profiles)))
+    if len(names) != len(profiles):
+        raise ValueError("need one name per profile")
+    return tuple(ScenarioSpec(name=name, hour_profile=profile)
+                 for name, profile in zip(names, profiles))
+
+
+def load_hours_axis(hour_sets: Sequence[Sequence[int]],
+                    names: Sequence[str] | None = None,
+                    ) -> tuple[ScenarioSpec, ...]:
+    """One spec per allowed-hours set ("the job only runs at night")."""
+    if names is None:
+        names = tuple(
+            f"hours={min(hours):02d}-{max(hours):02d}"
+            for hours in hour_sets)
+    if len(names) != len(hour_sets):
+        raise ValueError("need one name per hour set")
+    return tuple(ScenarioSpec(name=name, load_hours=tuple(hours))
+                 for name, hours in zip(names, hour_sets))
+
+
+def greenest_hours_axis(ks: Sequence[int]) -> tuple[ScenarioSpec, ...]:
+    """One spec per carbon-aware scheduling budget.
+
+    ``k=24`` is the uniform baseline; ``k=6`` is the paper-adjacent
+    "run the Top500 workload in the 6 greenest hours" what-if.
+    """
+    return tuple(ScenarioSpec(name=f"greenest-{k}", greenest_hours=k)
+                 for k in ks)
+
+
+def offpeak_shift_axis(fractions: Sequence[float],
+                       ) -> tuple[ScenarioSpec, ...]:
+    """One spec per demand-response shift fraction (0.0 = baseline)."""
+    return tuple(ScenarioSpec(name=f"shift={f:.0%}", offpeak_shift=f)
+                 for f in fractions)
 
 
 def trajectory_axis(trajectories: Sequence[DecarbonizationTrajectory],

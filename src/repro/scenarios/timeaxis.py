@@ -1,0 +1,666 @@
+"""The hour-axis engine: scenario grids × time-of-day windows.
+
+:mod:`repro.projection.engine` factorized the *year* axis over one
+base 2-D sweep; this module does the same for *hours of day*, opening
+the carbon-aware scheduling scenario family (Ichnos-style time-shift
+what-ifs) on the existing cube stack.
+
+Structure of the kernel
+-----------------------
+
+The hour axis is separable when every record in a scenario sees the
+same intensity *shape* (one profile per scenario — the spec's own
+``hour_profile`` or the sweep default; per-record shapes are a
+recorded future fold-in, see ROADMAP).  Then the cube factorizes as
+
+``value[s, w, i] = base[s, i] × hour_factor[s, w]``
+
+where ``base`` is the ordinary 2-D scenario sweep (evaluated once —
+serially or fanned out over the shared-memory pool through the
+supervised dispatcher, exactly like the year engine) and the hour
+factors are an ``(S, W)`` matrix: O(S·W), not O(S·W·n).  Embodied
+carbon is hour-invariant — manufacturing doesn't care when the job
+runs — so only the operational footprint carries factors.
+
+The per-scenario factor for a window is the *conditional mean* of the
+profile's hour factors under the scenario's load distribution::
+
+    factor[s, w] = Σ_{h ∈ w} D_s[h]·f_s[h] / Σ_{h ∈ w} D_s[h]
+
+where ``f_s`` are the profile's 24 hour-of-day factors
+(:meth:`~repro.grid.intervals.IntensitySeries.hour_factors`) and
+``D_s`` is the load distribution the spec's placement fields imply:
+uniform (baseline), uniform over ``load_hours``, uniform over the
+``greenest_hours`` k greenest hours, or ``offpeak_shift``'s
+partial move of a uniform load into the greenest third of the day.
+Windows where the scenario places no load fall back to the unweighted
+window mean (the grid is still dirty there even if this workload
+isn't).
+
+Bit-compatibility contracts
+---------------------------
+
+* Every materialized cell is **bit-identical** to the scalar reference
+  loop (:func:`shift_scalar_reference`): one multiply of the scalar
+  base estimate by a factor computed by the *same shared pure-Python
+  float-op sequence* (``tests/scenarios/test_timeaxis.py``).
+* With no profile anywhere (the paper default), every hour factor is
+  *exactly* 1.0 — flat profiles short-circuit — so the cube reproduces
+  the atemporal :func:`~repro.scenarios.sweep` bit-identically: the
+  annual-mean path is unchanged to the last bit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import os
+import pickle
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import obs
+from repro.analysis.series import CarbonSeries
+from repro.core.embodied import EmbodiedModel
+from repro.core.operational import OperationalModel
+from repro.core.record import SystemRecord
+from repro.core.uncertainty import (
+    DEFAULT_MC_SAMPLES,
+    DEFAULT_MC_SEED,
+    UncertaintyBand,
+    total_with_uncertainty_arrays,
+)
+from repro.core.vectorized import FleetFrame
+from repro.grid.intervals import IntensitySeries
+from repro.scenarios.cube import ScenarioCube
+from repro.scenarios.spec import ScenarioGrid, ScenarioSpec
+from repro.scenarios.sweep import sweep, sweep_scalar_reference
+
+__all__ = [
+    "HourWindow",
+    "ShiftCube",
+    "ShiftReference",
+    "default_hour_windows",
+    "hourly_windows",
+    "shift_sweep",
+    "shift_scalar_reference",
+]
+
+#: Hours counted as "off-peak" by ``offpeak_shift``: the greenest
+#: third of the day under the scenario's profile.
+OFFPEAK_HOURS: int = 8
+
+#: Fields the hour-axis engine owns; stripped before the base sweep.
+_TIME_FIELDS = ("hour_profile", "load_hours", "greenest_hours",
+                "offpeak_shift")
+
+
+@dataclass(frozen=True)
+class HourWindow:
+    """A named set of hours of day (0-23) — one slot of the W axis."""
+
+    name: str
+    hours: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("window needs a non-empty name")
+        hours = tuple(int(h) for h in self.hours)
+        if not hours or len(set(hours)) != len(hours) or \
+                any(not 0 <= h < 24 for h in hours):
+            raise ValueError(
+                f"window {self.name!r} needs distinct hours in [0, 24), "
+                f"got {self.hours}")
+        object.__setattr__(self, "hours", hours)
+
+    @classmethod
+    def block(cls, name: str, start: int, stop: int) -> "HourWindow":
+        """A contiguous ``[start, stop)`` block, e.g. night = (0, 6)."""
+        if not 0 <= start < stop <= 24:
+            raise ValueError(f"need 0 <= start < stop <= 24, got "
+                             f"({start}, {stop})")
+        return cls(name=name, hours=tuple(range(start, stop)))
+
+
+def default_hour_windows() -> tuple[HourWindow, ...]:
+    """All-hours plus the four six-hour day-part blocks."""
+    return (
+        HourWindow("all-hours", tuple(range(24))),
+        HourWindow.block("night", 0, 6),
+        HourWindow.block("morning", 6, 12),
+        HourWindow.block("afternoon", 12, 18),
+        HourWindow.block("evening", 18, 24),
+    )
+
+
+def hourly_windows() -> tuple[HourWindow, ...]:
+    """Twenty-four single-hour windows (the fully resolved W axis)."""
+    return tuple(HourWindow(f"h{h:02d}", (h,)) for h in range(24))
+
+
+# ---------------------------------------------------------------------------
+# The shared factor arithmetic (engine AND reference call exactly this)
+# ---------------------------------------------------------------------------
+
+def _profile_factors(spec: ScenarioSpec,
+                     default_profile: IntensitySeries | None,
+                     ) -> tuple[float, ...]:
+    """The 24 hour-of-day factors a scenario resolves to.
+
+    The spec's own profile wins; no profile anywhere means flat —
+    exactly 1.0 per hour (the paper-default annual-mean path).
+    """
+    profile = spec.hour_profile if spec.hour_profile is not None \
+        else default_profile
+    if profile is None:
+        return (1.0,) * 24
+    return profile.hour_factors()
+
+
+def _load_distribution(spec: ScenarioSpec,
+                       factors: tuple[float, ...]) -> tuple[float, ...]:
+    """The load distribution ``D_s`` over hours of day (sums to 1).
+
+    Placement fields are mutually exclusive (spec validation):
+
+    * ``load_hours`` — uniform over the allowed hours;
+    * ``greenest_hours`` — uniform over the k greenest hours of the
+      resolved profile (ties broken by hour index, deterministic);
+    * ``offpeak_shift`` — a uniform load with fraction ``x`` moved
+      into the greenest :data:`OFFPEAK_HOURS` hours:
+      ``D[h] = (1-x)/24 (+ x/8 off-peak)``;
+    * none — uniform.
+    """
+    if spec.load_hours is not None:
+        allowed = set(spec.load_hours)
+        weight = 1.0 / len(allowed)
+        return tuple(weight if h in allowed else 0.0 for h in range(24))
+    if spec.greenest_hours is not None:
+        k = spec.greenest_hours
+        order = sorted(range(24), key=lambda h: (factors[h], h))
+        chosen = set(order[:k])
+        weight = 1.0 / k
+        return tuple(weight if h in chosen else 0.0 for h in range(24))
+    if spec.offpeak_shift is not None:
+        x = spec.offpeak_shift
+        order = sorted(range(24), key=lambda h: (factors[h], h))
+        offpeak = set(order[:OFFPEAK_HOURS])
+        base = (1.0 - x) / 24.0
+        bonus = x / OFFPEAK_HOURS
+        return tuple(base + bonus if h in offpeak else base
+                     for h in range(24))
+    return (1.0 / 24.0,) * 24
+
+
+def _window_factor(factors: tuple[float, ...],
+                   dist: tuple[float, ...],
+                   window: HourWindow) -> float:
+    """One scenario's operational multiplier for one window.
+
+    The conditional mean of the hour factors under the load
+    distribution, restricted to the window.  Pure Python floats in a
+    fixed accumulation order — the engine's ``(S, W)`` table and the
+    scalar reference compute every factor through this one function,
+    which is what makes their bit-identity checkable.  A flat profile
+    short-circuits to exactly 1.0; a window carrying zero load falls
+    back to the unweighted window mean.
+    """
+    if all(f == 1.0 for f in factors):
+        return 1.0
+    num = math.fsum(dist[h] * factors[h] for h in window.hours)
+    den = math.fsum(dist[h] for h in window.hours)
+    if den == 0.0:
+        return math.fsum(factors[h] for h in window.hours) \
+            / len(window.hours)
+    return num / den
+
+
+def _hour_factor_table(specs: Sequence[ScenarioSpec],
+                       windows: Sequence[HourWindow],
+                       default_profile: IntensitySeries | None,
+                       ) -> np.ndarray:
+    """The factorized ``(S, W)`` operational hour-factor matrix."""
+    table = np.empty((len(specs), len(windows)))
+    for s, spec in enumerate(specs):
+        factors = _profile_factors(spec, default_profile)
+        dist = _load_distribution(spec, factors)
+        for w, window in enumerate(windows):
+            table[s, w] = _window_factor(factors, dist, window)
+    return table
+
+
+def _strip_time(spec: ScenarioSpec) -> ScenarioSpec:
+    """The atemporal residue of a spec (what the base sweep lowers).
+
+    Hour profiles and placement fields resolve on the window axis, not
+    at lowering time; everything else stays put so identity-keyed
+    lowering caches still hit (specs differing only in time fields
+    share one base row via the sweep compiler's dedupe).
+    """
+    if all(getattr(spec, f) is None for f in _TIME_FIELDS):
+        return spec
+    return dataclasses.replace(spec, **{f: None for f in _TIME_FIELDS})
+
+
+def _as_specs(specs) -> tuple[ScenarioSpec, ...]:
+    if specs is None:
+        return (ScenarioSpec(),)
+    out = specs.specs() if isinstance(specs, ScenarioGrid) else tuple(specs)
+    if not out:
+        raise ValueError("need at least one scenario")
+    return out
+
+
+def _as_windows(windows) -> tuple[HourWindow, ...]:
+    if windows is None:
+        return default_hour_windows()
+    out = tuple(windows)
+    if not out:
+        raise ValueError("need at least one hour window")
+    names = [w.name for w in out]
+    if len(set(names)) != len(names):
+        raise ValueError(f"window names must be unique, got {names}")
+    return out
+
+
+# ---------------------------------------------------------------------------
+# The (scenario × hour-window × system) result
+# ---------------------------------------------------------------------------
+
+def _npz_path(path) -> str:
+    path = os.fspath(path)
+    return path if path.endswith(".npz") else path + ".npz"
+
+
+@dataclass(frozen=True)
+class ShiftCube:
+    """Scenario × hour-window × system carbon, factorized over windows.
+
+    ``base`` is the atemporal :class:`~repro.scenarios.ScenarioCube`
+    (the ordinary 2-D sweep); the window axis rides as the
+    per-scenario ``(S, W)`` operational factor matrix.  Embodied
+    carbon is hour-invariant: its "factor" is identity and its values
+    repeat along the window axis.
+    """
+
+    base: ScenarioCube
+    windows: tuple[HourWindow, ...]
+    op_hour_factors: np.ndarray            # (S, W)
+
+    def __post_init__(self) -> None:
+        shape = (self.base.n_scenarios, len(self.windows))
+        if self.op_hour_factors.shape != shape:
+            raise ValueError(
+                f"op_hour_factors shape {self.op_hour_factors.shape} "
+                f"!= {shape}")
+        if not self.windows:
+            raise ValueError("need at least one hour window")
+
+    # -- axes ----------------------------------------------------------------
+
+    @property
+    def n_scenarios(self) -> int:
+        return self.base.n_scenarios
+
+    @property
+    def n_windows(self) -> int:
+        return len(self.windows)
+
+    @property
+    def n_systems(self) -> int:
+        return self.base.n_systems
+
+    @property
+    def specs(self) -> tuple[ScenarioSpec, ...]:
+        return self.base.specs
+
+    @property
+    def scenario_names(self) -> tuple[str, ...]:
+        return self.base.scenario_names
+
+    @property
+    def window_names(self) -> tuple[str, ...]:
+        return tuple(w.name for w in self.windows)
+
+    def index(self, scenario) -> int:
+        """Scenario-axis position (index, name, or spec)."""
+        return self.base.index(scenario)
+
+    def window_index(self, window) -> int:
+        """Window-axis position (index, name, or :class:`HourWindow`)."""
+        if isinstance(window, HourWindow):
+            window = window.name
+        if isinstance(window, str):
+            for w, candidate in enumerate(self.windows):
+                if candidate.name == window:
+                    return w
+            raise KeyError(f"window {window!r} not in cube "
+                           f"(have {list(self.window_names)})")
+        w = int(window)
+        if not 0 <= w < len(self.windows):
+            raise KeyError(f"window index {w} out of range "
+                           f"[0, {len(self.windows)})")
+        return w
+
+    # -- materialization -----------------------------------------------------
+
+    def values(self, footprint: str = "operational",
+               window=None) -> np.ndarray:
+        """Carbon values, MT CO2e (``nan`` = uncovered).
+
+        ``(S, W, n)`` for the whole cube, ``(S, n)`` when ``window``
+        is given.  Operational cells are one multiply of the base
+        sweep's value by the scenario/window factor — bit-identical to
+        :func:`shift_scalar_reference`; embodied footprints are
+        hour-invariant and repeat the base row.
+        """
+        base = self.base.values(footprint)
+        if footprint == "operational":
+            if window is not None:
+                return base * self.op_hour_factors[
+                    :, self.window_index(window), None]
+            return base[:, None, :] * self.op_hour_factors[:, :, None]
+        if window is not None:
+            return base.copy()
+        return np.repeat(base[:, None, :], self.n_windows, axis=1)
+
+    def uncertainty(self, footprint: str = "operational") -> np.ndarray:
+        """Relative uncertainty, ``(S, n)`` — window-invariant.
+
+        A window factor multiplies every sample of a record's
+        distribution alike, so the relative width is unchanged (the
+        year-axis engine's argument, hour-sized).
+        """
+        return self.base.uncertainty(footprint)
+
+    def coverage(self, footprint: str = "operational") -> np.ndarray:
+        """(S, n) bool mask of covered systems (window-invariant)."""
+        return self.base.coverage(footprint)
+
+    def at_window(self, window) -> ScenarioCube:
+        """The cube's one-window slice as an ordinary scenario cube.
+
+        Everything downstream of :class:`~repro.scenarios.ScenarioCube`
+        — delta tables, figures, npz persistence — works on a shifted
+        window unchanged.
+        """
+        op = self.values("operational", window)
+        emb = self.values("embodied", window)
+        op_unc = np.where(np.isnan(op), np.nan, self.base.operational_unc)
+        emb_unc = np.where(np.isnan(emb), np.nan, self.base.embodied_unc)
+        return ScenarioCube(
+            specs=self.base.specs, ranks=self.base.ranks,
+            names=self.base.names,
+            operational_mt=op, operational_unc=op_unc,
+            embodied_mt=emb, embodied_unc=emb_unc,
+            lifetime_years=self.base.lifetime_years,
+        )
+
+    # -- reductions ----------------------------------------------------------
+
+    def totals(self, footprint: str = "operational") -> np.ndarray:
+        """(S, W) fleet totals over covered systems, MT CO2e.
+
+        Factorized: ``base_total × window_factor`` (the year engine's
+        float order); embodied totals repeat along the window axis.
+        """
+        base_totals = self.base.totals(footprint)
+        if footprint == "operational":
+            return base_totals[:, None] * self.op_hour_factors
+        return np.repeat(base_totals[:, None], self.n_windows, axis=1)
+
+    def total(self, scenario, window,
+              footprint: str = "operational") -> float:
+        """One (scenario, window) fleet total, MT CO2e."""
+        return float(self.totals(footprint)[self.index(scenario),
+                                            self.window_index(window)])
+
+    def shift_savings(self, scenario, footprint: str = "operational",
+                      ) -> float:
+        """Fractional saving of the scenario's *greenest* window vs
+        the first (conventionally all-hours) window — the headline
+        "run it in the green hours" statistic."""
+        totals = self.totals(footprint)[self.index(scenario)]
+        if not totals[0]:
+            return float("nan")
+        return float(1.0 - min(totals) / totals[0])
+
+    def series(self, scenario, window,
+               footprint: str = "operational") -> CarbonSeries:
+        """One (scenario, window) rank-indexed series (None = uncovered)."""
+        s = self.index(scenario)
+        w = self.window_index(window)
+        row = self.values(footprint, w)[s]
+        base = "embodied" if footprint.startswith("embodied") else footprint
+        return CarbonSeries(
+            footprint=base,
+            scenario=f"{self.base.specs[s].name}@{self.windows[w].name}",
+            values={rank: (None if np.isnan(v) else float(v))
+                    for rank, v in zip(self.base.ranks, row)},
+        )
+
+    def band(self, scenario, window, footprint: str = "operational", *,
+             n_samples: int = DEFAULT_MC_SAMPLES,
+             seed: int = DEFAULT_MC_SEED) -> UncertaintyBand:
+        """Monte-Carlo fleet-total band for one (scenario, window).
+
+        Bit-identical to the same cell of the batched
+        :meth:`band_stack` (the seed-stream contract).
+        """
+        s = self.index(scenario)
+        return total_with_uncertainty_arrays(
+            self.values(footprint, window)[s],
+            self.uncertainty(footprint)[s],
+            n_samples=n_samples, seed=seed)
+
+    def band_stack(self, footprint: str = "operational",
+                   window=None, *,
+                   n_samples: int = DEFAULT_MC_SAMPLES,
+                   seed: int = DEFAULT_MC_SEED, method: str = "auto",
+                   max_workers: int | None = None):
+        """Band statistics for the whole cube from one batched draw.
+
+        Returns a :class:`repro.uncertainty.mc.BandStack` — shape
+        ``(S, W)`` for the full cube, ``(S,)`` when ``window`` is
+        given — every cell bit-identical to the per-cell :meth:`band`
+        call.  ``method="shm"`` fans cell blocks over the
+        shared-memory pool through the supervised dispatcher.
+        """
+        from repro.uncertainty.mc import mc_band_stack
+
+        values = self.values(footprint, window)
+        unc = self.uncertainty(footprint)
+        if window is None:
+            unc = np.broadcast_to(unc[:, None, :], values.shape)
+        return mc_band_stack(values, unc, n_samples=n_samples, seed=seed,
+                             method=method, max_workers=max_workers)
+
+    def bands(self, footprint: str = "operational", window=None, *,
+              n_samples: int = DEFAULT_MC_SAMPLES,
+              seed: int = DEFAULT_MC_SEED, method: str = "auto",
+              kind: str = "quantile", max_workers: int | None = None,
+              ) -> dict[str, UncertaintyBand]:
+        """Per-scenario bands at one window (default: the first).
+
+        One draw kernel for all scenarios, keyed by scenario name.
+        """
+        window = 0 if window is None else window
+        stack = self.band_stack(footprint, window, n_samples=n_samples,
+                                seed=seed, method=method,
+                                max_workers=max_workers)
+        return {spec.name: stack.band(s, kind=kind)
+                for s, spec in enumerate(self.base.specs)}
+
+    def table_rows(self, footprint: str = "operational",
+                   ) -> list[tuple[str, list[float], float]]:
+        """(name, per-window totals in kMT, greenest-vs-first multiple)."""
+        totals = self.totals(footprint)
+        rows = []
+        for s, spec in enumerate(self.base.specs):
+            per_window = [float(v) / 1e3 for v in totals[s]]
+            first = totals[s, 0]
+            multiple = float(min(totals[s]) / first) if first \
+                else float("nan")
+            rows.append((spec.name, per_window, multiple))
+        return rows
+
+    # -- persistence ---------------------------------------------------------
+
+    def save_npz(self, path) -> None:
+        """Persist the cube to one ``.npz`` file (exact round trip).
+
+        Same layout discipline as the scenario/projection cubes:
+        numeric payload as lossless arrays, labeled axes as one
+        pickled blob packed into a uint8 array.
+        """
+        meta = pickle.dumps(
+            {"specs": self.base.specs, "ranks": self.base.ranks,
+             "names": self.base.names, "windows": self.windows},
+            protocol=pickle.HIGHEST_PROTOCOL)
+        np.savez_compressed(
+            _npz_path(path),
+            meta=np.frombuffer(meta, dtype=np.uint8),
+            operational_mt=self.base.operational_mt,
+            operational_unc=self.base.operational_unc,
+            embodied_mt=self.base.embodied_mt,
+            embodied_unc=self.base.embodied_unc,
+            lifetime_years=self.base.lifetime_years,
+            op_hour_factors=self.op_hour_factors,
+        )
+
+    @classmethod
+    def load_npz(cls, path) -> "ShiftCube":
+        """Reload a cube saved by :meth:`save_npz` (exact round trip)."""
+        with np.load(_npz_path(path)) as data:
+            meta = pickle.loads(data["meta"].tobytes())
+            base = ScenarioCube(
+                specs=tuple(meta["specs"]),
+                ranks=tuple(meta["ranks"]),
+                names=tuple(meta["names"]),
+                operational_mt=data["operational_mt"],
+                operational_unc=data["operational_unc"],
+                embodied_mt=data["embodied_mt"],
+                embodied_unc=data["embodied_unc"],
+                lifetime_years=data["lifetime_years"],
+            )
+            return cls(base=base, windows=tuple(meta["windows"]),
+                       op_hour_factors=data["op_hour_factors"])
+
+
+# ---------------------------------------------------------------------------
+# The sweep entry point
+# ---------------------------------------------------------------------------
+
+def shift_sweep(records: Sequence[SystemRecord],
+                specs: "Iterable[ScenarioSpec] | ScenarioGrid | None" = None,
+                *,
+                windows: Sequence[HourWindow] | None = None,
+                profile: IntensitySeries | None = None,
+                operational_model: OperationalModel | None = None,
+                embodied_model: EmbodiedModel | None = None,
+                frame: FleetFrame | None = None,
+                parallel: str | None = None,
+                max_workers: int | None = None) -> ShiftCube:
+    """Sweep a scenario grid over a fleet along an hour-window axis.
+
+    The time-of-day entry point: one base
+    :func:`~repro.scenarios.sweep` over the cached frame (serial or
+    ``parallel="scenario-block"`` over the shared-memory pool via the
+    supervised dispatcher — bit-identical either way), then
+    per-scenario window factors.
+
+    Args:
+        records: the fleet.
+        specs: scenario specs or a grid (default: baseline).  Specs
+            may carry time fields (``hour_profile``, ``load_hours``,
+            ``greenest_hours``, ``offpeak_shift``) — the window axis
+            resolves them; everything else lowers into the base sweep.
+        windows: the W axis (default: :func:`default_hour_windows` —
+            all-hours plus the four day-part blocks; pass
+            :func:`hourly_windows` for full resolution).
+        profile: default intensity shape for specs without their own
+            ``hour_profile``.  ``None`` (the paper default) is flat:
+            every factor is exactly 1.0 and the cube reproduces the
+            atemporal sweep bit-identically.
+        operational_model / embodied_model / frame /
+        parallel / max_workers: forwarded to the base sweep.
+
+    Returns:
+        A :class:`ShiftCube`, bit-identical to
+        :func:`shift_scalar_reference` on the same inputs.
+    """
+    specs = _as_specs(specs)
+    windows = _as_windows(windows)
+    with obs.span("shift.sweep", n_scenarios=len(specs),
+                  n_windows=len(windows)):
+        base_specs = tuple(_strip_time(spec) for spec in specs)
+        base = sweep(records, base_specs,
+                     operational_model=operational_model,
+                     embodied_model=embodied_model,
+                     frame=frame, parallel=parallel,
+                     max_workers=max_workers)
+        with obs.span("shift.factors", n_scenarios=len(specs),
+                      n_windows=len(windows)):
+            table = _hour_factor_table(specs, windows, profile)
+    return ShiftCube(base=base, windows=windows, op_hour_factors=table)
+
+
+# ---------------------------------------------------------------------------
+# The reference semantics: per-scenario, per-window, per-record loop
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ShiftReference:
+    """Materialized reference result (no factorization, no broadcast)."""
+
+    base: ScenarioCube
+    windows: tuple[HourWindow, ...]
+    operational_mt: np.ndarray   # (S, W, n)
+    embodied_mt: np.ndarray      # (S, W, n)
+
+
+def shift_scalar_reference(records: Sequence[SystemRecord],
+                           specs=None, *,
+                           windows: Sequence[HourWindow] | None = None,
+                           profile: IntensitySeries | None = None,
+                           operational_model: OperationalModel | None = None,
+                           embodied_model: EmbodiedModel | None = None,
+                           ) -> ShiftReference:
+    """The reference implementation: loop scenarios, windows, records.
+
+    Base estimates come from the scalar per-record loop
+    (:func:`~repro.scenarios.sweep_scalar_reference`); each
+    (scenario, window, record) operational cell is then one
+    Python-float multiply by the window factor — computed by the same
+    shared :func:`_window_factor` sequence the engine tabulates —
+    and embodied cells carry the base estimate unchanged.  The
+    engine's materialized :meth:`ShiftCube.values` must (and, per
+    ``tests/scenarios/test_timeaxis.py``, does) match bit-for-bit.
+    """
+    specs = _as_specs(specs)
+    windows = _as_windows(windows)
+    records = list(records)
+    base_specs = tuple(_strip_time(spec) for spec in specs)
+    base = sweep_scalar_reference(records, base_specs,
+                                  operational_model=operational_model,
+                                  embodied_model=embodied_model)
+    n_scen, n_win, n = len(specs), len(windows), len(records)
+    op_values = np.full((n_scen, n_win, n), np.nan)
+    emb_values = np.full((n_scen, n_win, n), np.nan)
+    for s, spec in enumerate(specs):
+        factors = _profile_factors(spec, profile)
+        dist = _load_distribution(spec, factors)
+        for w, window in enumerate(windows):
+            factor = _window_factor(factors, dist, window)
+            for i in range(n):
+                base_op = base.operational_mt[s, i]
+                if not np.isnan(base_op):
+                    op_values[s, w, i] = base_op * factor
+                base_emb = base.embodied_mt[s, i]
+                if not np.isnan(base_emb):
+                    emb_values[s, w, i] = base_emb
+    return ShiftReference(base=base, windows=windows,
+                          operational_mt=op_values,
+                          embodied_mt=emb_values)

@@ -339,3 +339,40 @@ class TestSpeed:
         scalar_time = time.perf_counter() - start
 
         assert batch_time < scalar_time
+
+
+class TestHourAci:
+    def test_flat_db_rows_repeat_annual_aci(self, dataset):
+        from repro.grid.intervals import default_interval_db
+
+        frame = fleet_frame(dataset.public_records())
+        db = default_interval_db(amplitude=0.0)
+        hourly = frame.hour_aci(db)
+        assert hourly.shape == (24, len(frame.records))
+        flat = frame.aci(db)
+        for h in range(24):
+            np.testing.assert_array_equal(hourly[h], flat)
+
+    def test_diurnal_db_means_back_to_annual(self, dataset):
+        from repro.grid.intervals import default_interval_db
+
+        frame = fleet_frame(dataset.public_records())
+        db = default_interval_db(amplitude=0.3)
+        hourly = frame.hour_aci(db)
+        annual = frame.aci(db)
+        # Hour rows vary, but their unweighted mean recovers the
+        # annual scalar (the profile's factors average to ~1).
+        assert not np.array_equal(hourly[3], hourly[19], equal_nan=True)
+        np.testing.assert_allclose(np.nanmean(hourly, axis=0), annual,
+                                   rtol=1e-12)
+
+    def test_missing_location_is_nan_every_hour(self):
+        from repro.core.record import SystemRecord
+        from repro.grid.intervals import default_interval_db
+
+        record = SystemRecord(rank=1, rmax_tflops=1000.0,
+                              rpeak_tflops=1500.0, name="nowhere",
+                              country=None)
+        frame = fleet_frame([record])
+        hourly = frame.hour_aci(default_interval_db())
+        assert np.isnan(hourly).all()

@@ -53,13 +53,54 @@ class TestLookup:
         with pytest.raises(UnknownRegionError):
             DEFAULT_GRID_DB.lookup("Atlantis", strict=True)
 
-    def test_strict_unknown_region_raises(self):
-        with pytest.raises(UnknownRegionError):
-            DEFAULT_GRID_DB.lookup("United States", "us-atlantis", strict=True)
-
     def test_unknown_region_falls_back_to_country(self):
         assert DEFAULT_GRID_DB.lookup("United States", "us-atlantis") == \
             COUNTRY_ACI["united states"]
+
+
+class TestStrictLookup:
+    """Strict mode forbids only the *world-average* fallback.
+
+    Regression matrix for the documented region → country → world
+    order: an unknown region with a known country must resolve to the
+    country layer even under ``strict=True``.
+    """
+
+    def test_unknown_region_known_country_strict_falls_back(self):
+        assert DEFAULT_GRID_DB.lookup("United States", "us-atlantis",
+                                      strict=True) == \
+            COUNTRY_ACI["united states"]
+
+    def test_known_region_strict_resolves_region(self):
+        assert DEFAULT_GRID_DB.lookup("United States", "us-tva",
+                                      strict=True) == REGION_ACI["us-tva"]
+
+    def test_unknown_region_unknown_country_strict_raises(self):
+        with pytest.raises(UnknownRegionError):
+            DEFAULT_GRID_DB.lookup("Atlantis", "at-atlantis", strict=True)
+
+    def test_unknown_region_no_country_strict_raises(self):
+        with pytest.raises(UnknownRegionError):
+            DEFAULT_GRID_DB.lookup(region="us-atlantis", strict=True)
+
+    def test_nothing_provided_strict_raises(self):
+        with pytest.raises(UnknownRegionError):
+            DEFAULT_GRID_DB.lookup(strict=True)
+
+    @pytest.mark.parametrize("strict", [False, True])
+    def test_strict_never_changes_a_resolvable_answer(self, strict):
+        # For every (country, region) combination that resolves without
+        # strict mode above the world average, strict must agree.
+        cases = [
+            ("United States", None),
+            ("United States", "us-tva"),
+            ("United States", "us-atlantis"),
+            (None, "us-tva"),
+            ("Finland", "fi-hydro-contract"),
+        ]
+        for country, region in cases:
+            assert DEFAULT_GRID_DB.lookup(country, region, strict=strict) == \
+                DEFAULT_GRID_DB.lookup(country, region)
 
     def test_module_level_wrapper(self):
         assert aci_kg_per_kwh("Finland") == COUNTRY_ACI["finland"]
@@ -89,6 +130,41 @@ class TestMutation:
                              world_average=0.4)
         assert db.lookup("X") == 0.5
         assert db.lookup("Y") == 0.4
+
+
+class TestMutationIsolation:
+    """Derived DBs must never alias their parent's dicts.
+
+    ``with_region`` used to pass ``country_aci`` through by reference,
+    so mutating the child's country layer silently corrupted the parent
+    (including the shared ``DEFAULT_GRID_DB`` singleton).
+    """
+
+    def test_with_region_does_not_alias_country_dict(self):
+        child = DEFAULT_GRID_DB.with_region("test-region", 0.123)
+        assert child.country_aci is not DEFAULT_GRID_DB.country_aci
+        assert child.region_aci is not DEFAULT_GRID_DB.region_aci
+        child.country_aci["mutant"] = 9.9
+        child.region_aci["mutant"] = 9.9
+        assert "mutant" not in DEFAULT_GRID_DB.country_aci
+        assert "mutant" not in DEFAULT_GRID_DB.region_aci
+        del child.country_aci["mutant"]
+        del child.region_aci["mutant"]
+
+    def test_scaled_does_not_alias_either_dict(self):
+        child = DEFAULT_GRID_DB.scaled(0.5)
+        assert child.country_aci is not DEFAULT_GRID_DB.country_aci
+        assert child.region_aci is not DEFAULT_GRID_DB.region_aci
+        child.country_aci["mutant"] = 9.9
+        child.region_aci["mutant"] = 9.9
+        assert "mutant" not in DEFAULT_GRID_DB.country_aci
+        assert "mutant" not in DEFAULT_GRID_DB.region_aci
+
+    def test_default_db_does_not_alias_module_tables(self):
+        assert DEFAULT_GRID_DB.country_aci is not COUNTRY_ACI
+        assert DEFAULT_GRID_DB.region_aci is not REGION_ACI
+        assert DEFAULT_GRID_DB.country_aci == COUNTRY_ACI
+        assert DEFAULT_GRID_DB.region_aci == REGION_ACI
 
 
 class TestScaling:
@@ -142,7 +218,42 @@ class TestDecarbonizationTrajectory:
         with pytest.raises(ValueError):
             DecarbonizationTrajectory(base_year=2024, annual_decline=0.05,
                                       floor_frac=2.0)
+    def test_pre_base_years_are_unity(self):
+        """Years before the base see the base grid unchanged.
+
+        Pins the contract that keeps sweeps whose year axis (or
+        ``install_year`` refresh path) starts before the trajectory
+        base from dying mid-kernel.
+        """
         trajectory = DecarbonizationTrajectory(base_year=2024,
+                                               annual_decline=0.05,
+                                               floor_frac=0.3)
+        assert trajectory.factor(2020) == 1.0
+        assert trajectory.factor(2023) == 1.0
+        # grid_for returns the base instance itself (factor == 1.0).
+        assert trajectory.grid_for(DEFAULT_GRID_DB, 2020) is DEFAULT_GRID_DB
+
+    def test_pre_base_projection_year_axis(self, dataset):
+        """A projection whose year axis (including records whose
+        ``install_year`` precedes the trajectory base, refresh path on)
+        starts before the trajectory base year must evaluate, not
+        raise — and pre-base years must match the no-trajectory spec
+        bit-for-bit."""
+        import numpy as np
+
+        from repro.projection import project_sweep
+        from repro.scenarios import ScenarioSpec
+
+        records = dataset.public_records()[:8]
+        trajectory = DecarbonizationTrajectory(base_year=2027,
                                                annual_decline=0.05)
-        with pytest.raises(ValueError):
-            trajectory.factor(2020)
+        spec = ScenarioSpec(name="pre-base", trajectory=trajectory,
+                            lifetime_years=3.0, refresh_embodied=True)
+        cube = project_sweep(records, [spec], years=list(range(2024, 2030)))
+        assert cube.values().shape[1] == 6
+        flat_spec = ScenarioSpec(name="flat", lifetime_years=3.0,
+                                 refresh_embodied=True)
+        flat = project_sweep(records, [flat_spec],
+                             years=list(range(2024, 2030)))
+        np.testing.assert_array_equal(
+            cube.values()[:, :3, :], flat.values()[:, :3, :])

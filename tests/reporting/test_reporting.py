@@ -136,3 +136,39 @@ class TestFigureFunctions:
         text = headline()
         assert "1,393,725" in text
         assert "325," in text
+
+
+class TestShiftTable:
+    @pytest.fixture(scope="class")
+    def cube(self, dataset):
+        from repro.grid.intervals import synthetic_diurnal
+        from repro.scenarios import (
+            baseline_spec, greenest_hours_axis, shift_sweep)
+
+        specs = (baseline_spec(),) + greenest_hours_axis((6,))
+        return shift_sweep(dataset.public_records()[:16], specs,
+                           profile=synthetic_diurnal(1.0, amplitude=0.3))
+
+    def test_renders_windows_and_scenarios(self, cube):
+        from repro.reporting.figures import shift_table
+
+        text = shift_table(cube)
+        assert "all-hours" in text and "evening" in text
+        assert "greenest-6" in text
+        assert "5 hour windows" in text
+
+    def test_bands_column_at_named_window(self, cube):
+        from repro.reporting.figures import shift_table
+
+        text = shift_table(cube, bands=True, band_window="night",
+                           n_samples=200)
+        assert "p5-p95@night" in text
+
+    def test_embodied_is_hour_invariant(self, cube):
+        from repro.reporting.figures import shift_table
+
+        text = shift_table(cube, "embodied")
+        row = next(line for line in text.splitlines()
+                   if line.startswith("baseline"))
+        cells = row.split()[1:-1]
+        assert len(set(cells)) == 1

@@ -236,3 +236,79 @@ class TestCli:
         assert code == 0
         reloaded = capsys.readouterr().out
         assert "aci x0.5" in first and "aci x0.5" in reloaded
+
+
+class TestShiftCli:
+    def test_shift_default_family(self, capsys):
+        code = main(["shift", "--fleet", "access-like"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "greenest-6" in out and "shift=25%" in out
+        assert "all-hours" in out and "night" in out
+
+    def test_shift_flat_profile_is_window_invariant(self, capsys):
+        # --amplitude 0 is the paper-default annual-mean path: every
+        # window column repeats the atemporal total.
+        code = main(["shift", "--fleet", "doe-like", "--amplitude", "0",
+                     "--greenest", "6"])
+        out = capsys.readouterr().out
+        assert code == 0
+        row = next(line for line in out.splitlines()
+                   if line.startswith("greenest-6"))
+        cells = row.split()[1:-1]
+        assert len(set(cells)) == 1
+
+    def test_shift_aci_scale_crosses_family(self, capsys):
+        code = main(["shift", "--fleet", "doe-like",
+                     "--aci-scale", "1.0,0.8", "--greenest", "6",
+                     "--bands", "--mc-samples", "200"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "aci x0.8+greenest-6" in out
+        assert "p5-p95@all-hours" in out
+
+    def test_shift_hourly_windows(self, capsys):
+        code = main(["shift", "--fleet", "access-like", "--hourly",
+                     "--offpeak", "0.5"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "h00" in out and "h23" in out
+        assert "24 hour windows" in out
+
+    def test_shift_load_hours(self, capsys):
+        code = main(["shift", "--fleet", "access-like",
+                     "--load-hours", "0,1,2,3,4,5"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "hours=00-05" in out
+
+    def test_shift_band_flags_require_bands(self, capsys):
+        code = main(["shift", "--fleet", "doe-like",
+                     "--band-kind", "normal"])
+        assert code == 2
+        assert "--bands" in capsys.readouterr().err
+
+    def test_shift_save_and_load_round_trip(self, capsys, tmp_path):
+        path = str(tmp_path / "shift")
+        code = main(["shift", "--fleet", "doe-like", "--greenest", "6",
+                     "--save", path])
+        assert code == 0
+        first = capsys.readouterr().out
+        code = main(["shift", "--load", path])
+        assert code == 0
+        reloaded = capsys.readouterr().out
+        assert "greenest-6" in first and "greenest-6" in reloaded
+
+    def test_shift_ci_csv_profile(self, capsys, tmp_path):
+        import math
+        csv = tmp_path / "ci.csv"
+        rows = ["timestamp,carbon_intensity"]
+        rows += [f"2024-01-01T{h:02d}:00,"
+                 f"{400 + 100 * math.sin(h / 24 * 2 * math.pi):.1f}"
+                 for h in range(24)]
+        csv.write_text("\n".join(rows) + "\n")
+        code = main(["shift", "--fleet", "access-like",
+                     "--ci-csv", str(csv), "--greenest", "4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "greenest-4" in out
